@@ -1,0 +1,124 @@
+// cmfl-client is one standalone slave of the TCP emulation: it generates its
+// private non-IID digit shard, connects to cmfl-server and participates in
+// synchronous federated training, optionally gating its uploads with CMFL or
+// Gaia. See cmd/cmfl-server for a full launch example.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"cmfl/internal/compress"
+	"cmfl/internal/core"
+	"cmfl/internal/dataset"
+	"cmfl/internal/emu"
+	"cmfl/internal/fl"
+	"cmfl/internal/gaia"
+	"cmfl/internal/nn"
+	"cmfl/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cmfl-client: ")
+
+	addr := flag.String("addr", "127.0.0.1:7070", "server address")
+	id := flag.Int("id", 0, "client id in [0, clients)")
+	clients := flag.Int("clients", 4, "total client count (must match server)")
+	samples := flag.Int("samples", 30, "private samples per client")
+	imageSize := flag.Int("image-size", 12, "digit image side (must match server)")
+	epochs := flag.Int("epochs", 4, "local epochs per round (E)")
+	batch := flag.Int("batch", 2, "local minibatch size (B)")
+	eta0 := flag.Float64("eta0", 0.15, "learning rate eta0 (eta_t = eta0/sqrt(t))")
+	filterName := flag.String("filter", "vanilla", "upload filter: vanilla|cmfl|gaia")
+	threshold := flag.Float64("threshold", 0.52, "filter threshold")
+	decay := flag.Bool("decay", false, "decay the filter threshold as v0/sqrt(t)")
+	codecName := flag.String("compress", "none", "update codec: none|quantize8|top<k> (must match the server)")
+	seed := flag.Int64("seed", 7, "experiment seed (must match server)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-message network timeout")
+	flag.Parse()
+
+	if *id < 0 || *id >= *clients {
+		log.Fatalf("-id %d outside [0, %d)", *id, *clients)
+	}
+	// Build the full federation's data deterministically and keep only this
+	// client's shard, so independent processes agree on the partition.
+	all, err := dataset.Digits(dataset.DigitsConfig{
+		Samples:   *clients * *samples,
+		ImageSize: *imageSize,
+		Noise:     0.15,
+		MaxShift:  1,
+		Seed:      *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shards, err := dataset.SortedShards(all, *clients, 2, xrand.Derive(*seed, "shards", 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var filter fl.UploadFilter
+	var schedule core.Schedule = core.Constant(*threshold)
+	if *decay {
+		schedule = core.InvSqrt{V0: *threshold}
+	}
+	switch *filterName {
+	case "vanilla":
+		filter = fl.Vanilla{}
+	case "cmfl":
+		filter = core.NewFilter(schedule)
+	case "gaia":
+		filter = gaia.NewFilter(schedule)
+	default:
+		log.Fatalf("unknown -filter %q", *filterName)
+	}
+
+	codec, err := parseCodec(*codecName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := nn.CNNConfig{ImageSize: *imageSize, Kernel: 3, Conv1: 3, Conv2: 6, Hidden: 24, Classes: 10}
+	res, err := emu.RunClient(emu.ClientConfig{
+		Addr:         *addr,
+		ID:           *id,
+		Model:        func() *nn.Network { return nn.NewCNN(cfg, xrand.Derive(*seed, "init", 0)) },
+		Data:         shards[*id],
+		Epochs:       *epochs,
+		Batch:        *batch,
+		LR:           core.InvSqrt{V0: *eta0},
+		Filter:       filter,
+		Compressor:   codec,
+		Seed:         *seed,
+		RoundTimeout: *timeout,
+		DialTimeout:  *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client %d: %d rounds, %d uploads, %d skips, %d bytes sent\n",
+		*id, res.Rounds, res.Uploads, res.Skips, res.SentWire)
+}
+
+// parseCodec maps the -compress flag to an update codec.
+func parseCodec(name string) (fl.UpdateCodec, error) {
+	switch {
+	case name == "" || name == "none":
+		return nil, nil
+	case name == "quantize8":
+		return compress.Uniform8{}, nil
+	case strings.HasPrefix(name, "top"):
+		k, err := strconv.Atoi(strings.TrimPrefix(name, "top"))
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("bad top-k codec %q", name)
+		}
+		return compress.TopK{K: k}, nil
+	default:
+		return nil, fmt.Errorf("unknown codec %q", name)
+	}
+}

@@ -1,0 +1,60 @@
+// cmfl-emu regenerates the paper's testbed experiment (Fig. 7): the
+// next-word-prediction workload trained by a master and D slaves over real
+// TCP connections on localhost, with exact uplink byte accounting.
+//
+// Usage:
+//
+//	cmfl-emu -scale quick
+//	cmfl-emu -scale paper -clients 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"cmfl/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cmfl-emu: ")
+
+	scale := flag.String("scale", "quick", "preset scale: quick|paper")
+	clients := flag.Int("clients", 0, "override cluster size (0 = preset)")
+	rounds := flag.Int("rounds", 0, "override round budget (0 = preset)")
+	csvDir := flag.String("csv", "", "also write the figure's data series as CSV into this directory")
+	flag.Parse()
+
+	var setup experiments.EmulationSetup
+	switch *scale {
+	case "quick":
+		setup = experiments.QuickEmulation()
+	case "paper":
+		setup = experiments.PaperEmulation()
+	default:
+		log.Fatalf("unknown -scale %q (want quick or paper)", *scale)
+	}
+	if *clients > 0 {
+		setup.Clients = *clients
+		setup.NWP.Dialogue.Roles = *clients
+	}
+	if *rounds > 0 {
+		setup.NWP.Rounds = *rounds
+	}
+
+	start := time.Now()
+	res, err := experiments.Fig7(setup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csvDir != "" {
+		if err := experiments.WriteCSV(*csvDir, "fig7.csv", res.CSV()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println(res.Render())
+	fmt.Fprintf(os.Stderr, "[fig7 finished in %v]\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,125 @@
+// cmfl-server is the standalone master of the TCP emulation: it listens for
+// the configured number of cmfl-client processes, drives synchronous
+// federated rounds over the digit workload, and prints the accuracy and
+// communication statistics when training finishes.
+//
+// Server and clients must be launched with the same -seed and model flags so
+// that their architectures agree; the data shards live on the clients, as in
+// the paper's master–slave deployment.
+//
+// Example (one server, four clients):
+//
+//	cmfl-server -addr 127.0.0.1:7070 -clients 4 -rounds 40 &
+//	for i in 0 1 2 3; do cmfl-client -addr 127.0.0.1:7070 -id $i -clients 4 -filter cmfl -threshold 0.52 & done
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"cmfl/internal/compress"
+	"cmfl/internal/dataset"
+	"cmfl/internal/emu"
+	"cmfl/internal/fl"
+	"cmfl/internal/nn"
+	"cmfl/internal/report"
+	"cmfl/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cmfl-server: ")
+
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	clients := flag.Int("clients", 4, "number of clients that will join")
+	rounds := flag.Int("rounds", 40, "synchronous training rounds")
+	target := flag.Float64("target", 0, "stop early at this test accuracy (0 = run all rounds)")
+	testSamples := flag.Int("test-samples", 300, "server-side test set size")
+	imageSize := flag.Int("image-size", 12, "digit image side (must match clients)")
+	seed := flag.Int64("seed", 7, "experiment seed (must match clients)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-message network timeout")
+	codecName := flag.String("compress", "none", "update codec: none|quantize8|top<k> (must match the clients)")
+	flag.Parse()
+
+	test, err := dataset.Digits(dataset.DigitsConfig{
+		Samples:   *testSamples,
+		ImageSize: *imageSize,
+		Noise:     0.15,
+		MaxShift:  1,
+		Seed:      *seed + 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	codec, err := parseCodec(*codecName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := emu.NewServer(emu.ServerConfig{
+		Addr:           *addr,
+		Clients:        *clients,
+		Model:          digitModel(*imageSize, *seed),
+		TestData:       test,
+		Rounds:         *rounds,
+		TargetAccuracy: *target,
+		Compressor:     codec,
+		RoundTimeout:   *timeout,
+		AcceptTimeout:  *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s, waiting for %d clients", srv.Addr(), *clients)
+	res, err := srv.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rows := make([][]string, 0, len(res.History))
+	for _, h := range res.History {
+		acc := "-"
+		if !math.IsNaN(h.Accuracy) {
+			acc = fmt.Sprintf("%.3f", h.Accuracy)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", h.Round),
+			fmt.Sprintf("%d", h.Uploaded),
+			fmt.Sprintf("%d", h.Skipped),
+			fmt.Sprintf("%d", h.CumUploads),
+			fmt.Sprintf("%d", h.CumUplinkBytes),
+			acc,
+		})
+	}
+	fmt.Print(report.Table([]string{"round", "uploads", "skips", "cum uploads", "cum bytes", "accuracy"}, rows))
+	fmt.Printf("final accuracy %.3f, uplink wire bytes %d, downlink wire bytes %d\n",
+		res.FinalAccuracy(), res.UplinkWireBytes, res.DownlinkWireBytes)
+}
+
+// digitModel must match cmd/cmfl-client's model for the same flags.
+func digitModel(imageSize int, seed int64) func() *nn.Network {
+	cfg := nn.CNNConfig{ImageSize: imageSize, Kernel: 3, Conv1: 3, Conv2: 6, Hidden: 24, Classes: 10}
+	return func() *nn.Network { return nn.NewCNN(cfg, xrand.Derive(seed, "init", 0)) }
+}
+
+// parseCodec maps the -compress flag to an update codec.
+func parseCodec(name string) (fl.UpdateCodec, error) {
+	switch {
+	case name == "" || name == "none":
+		return nil, nil
+	case name == "quantize8":
+		return compress.Uniform8{}, nil
+	case strings.HasPrefix(name, "top"):
+		k, err := strconv.Atoi(strings.TrimPrefix(name, "top"))
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("bad top-k codec %q", name)
+		}
+		return compress.TopK{K: k}, nil
+	default:
+		return nil, fmt.Errorf("unknown codec %q", name)
+	}
+}

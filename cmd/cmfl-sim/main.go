@@ -1,0 +1,197 @@
+// cmfl-sim regenerates the paper's simulation figures and tables
+// (Fig. 1-4, Table I) on the vanilla-FL workloads.
+//
+// Usage:
+//
+//	cmfl-sim -exp all -scale quick
+//	cmfl-sim -exp fig4a -scale paper
+//	cmfl-sim -exp overhead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"cmfl/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cmfl-sim: ")
+
+	exp := flag.String("exp", "all", "experiment: fig1|fig2|fig3|fig4a|fig4b|table1|overhead|all")
+	scale := flag.String("scale", "quick", "preset scale: quick|paper")
+	rounds := flag.Int("rounds", 0, "override round budget (0 = preset)")
+	clients := flag.Int("clients", 0, "override MNIST client count (0 = preset)")
+	seed := flag.Int64("seed", 0, "override experiment seed (0 = preset)")
+	csvDir := flag.String("csv", "", "also write each figure's data series as CSV into this directory")
+	repeat := flag.Int("repeat", 0, "for fig4a/fig4b: rerun across this many seeds and report mean ± std savings")
+	flag.Parse()
+
+	var mn experiments.MNISTSetup
+	var nw experiments.NWPSetup
+	switch *scale {
+	case "quick":
+		mn, nw = experiments.QuickMNIST(), experiments.QuickNWP()
+	case "paper":
+		mn, nw = experiments.PaperMNIST(), experiments.PaperNWP()
+	default:
+		log.Fatalf("unknown -scale %q (want quick or paper)", *scale)
+	}
+	if *rounds > 0 {
+		mn.Rounds, nw.Rounds = *rounds, *rounds
+	}
+	if *clients > 0 {
+		mn.Clients = *clients
+	}
+	if *seed != 0 {
+		mn.Seed, nw.Seed = *seed, *seed
+		nw.Dialogue.Seed = *seed + 1
+	}
+
+	run := func(name string, f func() (fmt.Stringer, error)) {
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(out)
+		fmt.Fprintf(os.Stderr, "[%s finished in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	var fig4a, fig4b *experiments.Fig4Result
+	if want("fig1") {
+		run("fig1", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig1(mn, nw)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeCSV(*csvDir, "fig1.csv", r.CSV()); err != nil {
+				return nil, err
+			}
+			return render{r.Render, true}, nil
+		})
+	}
+	if want("fig2") {
+		run("fig2", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig2(mn)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeCSV(*csvDir, "fig2.csv", r.CSV()); err != nil {
+				return nil, err
+			}
+			return render{r.Render, true}, nil
+		})
+	}
+	if want("fig3") {
+		run("fig3", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig3(mn, nw)
+			if err != nil {
+				return nil, err
+			}
+			if err := writeCSV(*csvDir, "fig3.csv", r.CSV()); err != nil {
+				return nil, err
+			}
+			return render{r.Render, true}, nil
+		})
+	}
+	if want("fig4a") || want("table1") {
+		run("fig4a", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig4MNIST(mn)
+			if err != nil {
+				return nil, err
+			}
+			fig4a = r
+			if err := writeCSV(*csvDir, "fig4a.csv", r.CSV()); err != nil {
+				return nil, err
+			}
+			return render{r.Render, true}, nil
+		})
+	}
+	if want("fig4b") || want("table1") {
+		run("fig4b", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig4NWP(nw)
+			if err != nil {
+				return nil, err
+			}
+			fig4b = r
+			if err := writeCSV(*csvDir, "fig4b.csv", r.CSV()); err != nil {
+				return nil, err
+			}
+			return render{r.Render, true}, nil
+		})
+	}
+	if (want("table1")) && fig4a != nil && fig4b != nil {
+		fmt.Println(experiments.Table1Render(fig4a, fig4b))
+	}
+	if *repeat > 1 {
+		seeds := make([]int64, *repeat)
+		for i := range seeds {
+			seeds[i] = mn.Seed + int64(i)
+		}
+		if want("fig4a") {
+			r, err := experiments.MultiSeedFig4MNIST(mn, seeds)
+			if err != nil {
+				log.Fatalf("fig4a multiseed: %v", err)
+			}
+			fmt.Println(r.Render())
+		}
+		if want("fig4b") {
+			r, err := experiments.MultiSeedFig4NWP(nw, seeds)
+			if err != nil {
+				log.Fatalf("fig4b multiseed: %v", err)
+			}
+			fmt.Println(r.Render())
+		}
+	}
+	if want("overhead") {
+		run("overhead", func() (fmt.Stringer, error) {
+			r, err := experiments.Overhead(mn)
+			if err != nil {
+				return nil, err
+			}
+			return render{r.Render, true}, nil
+		})
+	}
+	if !anyKnown(*exp) {
+		log.Fatalf("unknown -exp %q", *exp)
+	}
+}
+
+func anyKnown(exp string) bool {
+	known := []string{"all", "fig1", "fig2", "fig3", "fig4a", "fig4b", "table1", "overhead"}
+	for _, k := range known {
+		if exp == k {
+			return true
+		}
+	}
+	return false
+}
+
+// writeCSV writes a figure's CSV when -csv is set.
+func writeCSV(dir, name, content string) error {
+	if dir == "" {
+		return nil
+	}
+	return experiments.WriteCSV(dir, name, content)
+}
+
+// render adapts a Render method to fmt.Stringer.
+type render struct {
+	f  func() string
+	ok bool
+}
+
+func (r render) String() string {
+	if !r.ok || r.f == nil {
+		return ""
+	}
+	return strings.TrimRight(r.f(), "\n")
+}

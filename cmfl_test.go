@@ -1,0 +1,175 @@
+package cmfl_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cmfl"
+)
+
+// TestPublicAPIEndToEnd exercises the facade exactly the way the README's
+// quickstart does: generate non-IID shards, train with the CMFL filter, and
+// inspect the communication statistics.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	all, err := cmfl.Digits(cmfl.DigitsConfig{Samples: 200, ImageSize: 10, Noise: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := cmfl.SortedShards(all, 5, 2, cmfl.NewStream(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := cmfl.Digits(cmfl.DigitsConfig{Samples: 100, ImageSize: 10, Noise: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cmfl.RunFederated(cmfl.FederatedConfig{
+		Model: func() *cmfl.Network {
+			return cmfl.NewLogisticFlat(100, 10, cmfl.DeriveStream(4, "init", 0))
+		},
+		ClientData: shards,
+		TestData:   test,
+		Epochs:     2,
+		Batch:      4,
+		LR:         cmfl.Constant(0.15),
+		Filter:     cmfl.NewCMFLFilter(cmfl.Constant(0.5)),
+		Rounds:     10,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FilterName != "cmfl" {
+		t.Fatalf("FilterName = %q", res.FilterName)
+	}
+	if len(res.History) != 10 {
+		t.Fatalf("history = %d rounds, want 10", len(res.History))
+	}
+	if math.IsNaN(res.FinalAccuracy()) {
+		t.Fatal("no accuracy evaluated")
+	}
+}
+
+func TestPublicMetrics(t *testing.T) {
+	rel, err := cmfl.Relevance([]float64{1, -1}, []float64{2, -3})
+	if err != nil || rel != 1 {
+		t.Fatalf("Relevance = %v, %v", rel, err)
+	}
+	sig, err := cmfl.Significance([]float64{3, 4}, []float64{5, 0})
+	if err != nil || sig != 1 {
+		t.Fatalf("Significance = %v, %v", sig, err)
+	}
+	du, err := cmfl.DeltaUpdate([]float64{1, 0}, []float64{1, 0})
+	if err != nil || du != 0 {
+		t.Fatalf("DeltaUpdate = %v, %v", du, err)
+	}
+	cos, err := cmfl.CosineRelevance([]float64{1, 0}, []float64{1, 0})
+	if err != nil || math.Abs(cos-1) > 1e-12 {
+		t.Fatalf("CosineRelevance = %v, %v", cos, err)
+	}
+}
+
+func TestPublicFiltersAndSchedules(t *testing.T) {
+	f := cmfl.NewCMFLFilter(cmfl.InvSqrt{V0: 0.8})
+	d, err := f.Check([]float64{1, 1}, nil, []float64{1, 1}, 4)
+	if err != nil || !d.Upload {
+		t.Fatalf("CMFL filter: %+v, %v", d, err)
+	}
+	g := cmfl.NewGaiaFilter(cmfl.Constant(0.5))
+	d, err = g.Check([]float64{1, 0}, []float64{1, 0}, nil, 1)
+	if err != nil || !d.Upload {
+		t.Fatalf("Gaia filter: %+v, %v", d, err)
+	}
+	var v cmfl.Vanilla
+	d, err = v.Check(nil, nil, nil, 1)
+	if err != nil || !d.Upload {
+		t.Fatalf("Vanilla filter: %+v, %v", d, err)
+	}
+	if got := (cmfl.Step{V0: 1, Warm: 2, After: 0.5}).At(3); got != 0.5 {
+		t.Fatalf("Step schedule = %v", got)
+	}
+}
+
+func TestPublicMTL(t *testing.T) {
+	har, err := cmfl.GenerateHAR(cmfl.HARConfig{
+		Clients: 6, Outliers: 1, Features: 20,
+		MinSamples: 10, MaxSamples: 20,
+		ClassSep: 2, PersonalScale: 0.2, OutlierScale: 1.5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cmfl.RunMTL(cmfl.MTLConfig{
+		Clients: har.Clients,
+		Lambda:  0.01,
+		LR:      cmfl.Constant(0.05),
+		Epochs:  2,
+		Batch:   4,
+		Rounds:  10,
+		Filter:  cmfl.NewCMFLFilter(cmfl.Constant(0.4)),
+		Omega:   cmfl.OmegaMeanRegularized,
+		Seed:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FilterName != "mocha+cmfl" {
+		t.Fatalf("FilterName = %q", res.FilterName)
+	}
+}
+
+func TestPublicCluster(t *testing.T) {
+	all, err := cmfl.Digits(cmfl.DigitsConfig{Samples: 90, ImageSize: 10, Noise: 0.2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := cmfl.SortedShards(all, 3, 2, cmfl.NewStream(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cmfl.RunCluster(cmfl.ClusterConfig{
+		Model: func() *cmfl.Network {
+			return cmfl.NewLogisticFlat(100, 10, cmfl.DeriveStream(11, "init", 0))
+		},
+		ClientData: shards,
+		TestData:   all,
+		Epochs:     1,
+		Batch:      4,
+		LR:         cmfl.Constant(0.1),
+		Rounds:     3,
+		Seed:       12,
+		Timeout:    time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Server.UplinkWireBytes <= 0 {
+		t.Fatal("no wire bytes observed")
+	}
+}
+
+func TestPublicStatsAndReport(t *testing.T) {
+	cdf := cmfl.NewCDF([]float64{1, 2, 3})
+	if cdf.At(2) != 2.0/3 {
+		t.Fatalf("CDF.At = %v", cdf.At(2))
+	}
+	div, err := cmfl.NormalizedModelDivergence([][]float64{{2}}, []float64{1})
+	if err != nil || div[0] != 1 {
+		t.Fatalf("divergence = %v, %v", div, err)
+	}
+	v := &cmfl.AccuracyTrace{CumUploads: []int{10, 20}, Accuracy: []float64{0.5, 0.9}}
+	a := &cmfl.AccuracyTrace{CumUploads: []int{5, 10}, Accuracy: []float64{0.5, 0.9}}
+	s, ok := cmfl.Saving(v, a, 0.9)
+	if !ok || s != 2 {
+		t.Fatalf("Saving = %v, %v", s, ok)
+	}
+	table := cmfl.RenderTable([]string{"a"}, [][]string{{"b"}})
+	if table == "" {
+		t.Fatal("empty table")
+	}
+	plot := cmfl.RenderPlot("t", 20, 6, cmfl.PlotSeries{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}})
+	if plot == "" {
+		t.Fatal("empty plot")
+	}
+}

@@ -1,0 +1,79 @@
+// MNIST-style comparison: trains the digit CNN federation three times —
+// vanilla FL, Gaia, CMFL — and prints accuracy against accumulated
+// communication rounds plus the savings at two target accuracies, i.e. a
+// miniature of the paper's Fig. 4a and Table I.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmfl"
+)
+
+func main() {
+	const (
+		clients = 16
+		rounds  = 50
+	)
+	all, err := cmfl.Digits(cmfl.DigitsConfig{Samples: clients * 30, ImageSize: 12, Noise: 0.15, MaxShift: 1, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shards, err := cmfl.SortedShards(all, clients, 2, cmfl.NewStream(12))
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := cmfl.Digits(cmfl.DigitsConfig{Samples: 300, ImageSize: 12, Noise: 0.15, MaxShift: 1, Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := func() *cmfl.Network {
+		cfg := cmfl.CNNConfig{ImageSize: 12, Kernel: 3, Conv1: 3, Conv2: 6, Hidden: 24, Classes: 10}
+		return cmfl.NewCNN(cfg, cmfl.DeriveStream(14, "init", 0))
+	}
+
+	run := func(name string, filter cmfl.UploadFilter) *cmfl.AccuracyTrace {
+		res, err := cmfl.RunFederated(cmfl.FederatedConfig{
+			Model:      model,
+			ClientData: shards,
+			TestData:   test,
+			Epochs:     4,
+			Batch:      2,
+			LR:         cmfl.InvSqrt{V0: 0.15},
+			Filter:     filter,
+			Rounds:     rounds,
+			Seed:       15,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		tr := &cmfl.AccuracyTrace{}
+		for _, h := range res.History {
+			tr.CumUploads = append(tr.CumUploads, h.CumUploads)
+			tr.Accuracy = append(tr.Accuracy, h.Accuracy)
+		}
+		last := res.History[len(res.History)-1]
+		fmt.Printf("%-8s final accuracy %.3f after %d uploads\n", name, res.FinalAccuracy(), last.CumUploads)
+		return tr
+	}
+
+	vanilla := run("vanilla", nil)
+	gaiaTr := run("gaia", cmfl.NewGaiaFilter(cmfl.Constant(0.05)))
+	cmflTr := run("cmfl", cmfl.NewCMFLFilter(cmfl.Constant(0.52)))
+
+	fmt.Println()
+	for _, target := range []float64{0.5, 0.7} {
+		gs, gok := cmfl.Saving(vanilla, gaiaTr, target)
+		cs, cok := cmfl.Saving(vanilla, cmflTr, target)
+		fmt.Printf("saving at %.0f%% accuracy: gaia %s, cmfl %s\n",
+			100*target, fmtSaving(gs, gok), fmtSaving(cs, cok))
+	}
+}
+
+func fmtSaving(s float64, ok bool) string {
+	if !ok {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", s)
+}

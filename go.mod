@@ -1,0 +1,3 @@
+module cmfl
+
+go 1.22

@@ -1,0 +1,222 @@
+// Package compress implements the update-compression baselines the paper
+// positions CMFL against (Sec. II-C "structured updates and sketched
+// updates", Konečný et al.): lossy encodings that reduce the bits per
+// upload instead of the number of uploads.
+//
+// Each Codec turns an update vector into a compact byte payload and back.
+// The federated engine can apply a Codec to every uploaded update, so the
+// footprint-versus-accuracy trade-off of bit-reduction can be compared
+// directly against CMFL's upload-reduction on the same workload (the
+// BenchmarkAblationCompression bench does exactly that). As the paper
+// notes, these schemes lose information on every upload and carry no
+// convergence guarantee — the behaviour the benchmarks exhibit.
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Codec is a lossy update encoder. Implementations must be safe for
+// concurrent use.
+type Codec interface {
+	Name() string
+	// Encode compresses the update into a payload.
+	Encode(update []float64) ([]byte, error)
+	// Decode reconstructs a (lossy) update of length dim from a payload.
+	Decode(payload []byte, dim int) ([]float64, error)
+}
+
+// ErrCorruptPayload reports an undecodable payload.
+var ErrCorruptPayload = errors.New("compress: corrupt payload")
+
+// Uniform8 quantises each coordinate to 8 bits over the update's own
+// [min, max] range (a "sketched update" in the paper's terminology).
+// Payload: min, max as float64 followed by one byte per coordinate —
+// an 8x reduction over float64.
+type Uniform8 struct{}
+
+// Name implements Codec.
+func (Uniform8) Name() string { return "quantize8" }
+
+// Encode implements Codec.
+func (Uniform8) Encode(update []float64) ([]byte, error) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range update {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if len(update) == 0 {
+		lo, hi = 0, 0
+	}
+	out := make([]byte, 16+len(update))
+	binary.BigEndian.PutUint64(out[:8], math.Float64bits(lo))
+	binary.BigEndian.PutUint64(out[8:16], math.Float64bits(hi))
+	scale := hi - lo
+	for i, v := range update {
+		q := 0.0
+		if scale > 0 {
+			q = (v - lo) / scale * 255
+		}
+		out[16+i] = byte(math.Round(q))
+	}
+	return out, nil
+}
+
+// Decode implements Codec.
+func (Uniform8) Decode(payload []byte, dim int) ([]float64, error) {
+	if len(payload) != 16+dim {
+		return nil, fmt.Errorf("%w: quantize8 payload %d bytes for dim %d", ErrCorruptPayload, len(payload), dim)
+	}
+	lo := math.Float64frombits(binary.BigEndian.Uint64(payload[:8]))
+	hi := math.Float64frombits(binary.BigEndian.Uint64(payload[8:16]))
+	scale := hi - lo
+	out := make([]float64, dim)
+	for i := range out {
+		out[i] = lo + float64(payload[16+i])/255*scale
+	}
+	return out, nil
+}
+
+// TopK keeps only the K largest-magnitude coordinates (a "structured
+// update"). Payload: K (index uint32, value float64) pairs; all other
+// coordinates decode to zero.
+type TopK struct {
+	K int
+}
+
+// Name implements Codec.
+func (c TopK) Name() string { return fmt.Sprintf("top%d", c.K) }
+
+// Encode implements Codec.
+func (c TopK) Encode(update []float64) ([]byte, error) {
+	if c.K <= 0 {
+		return nil, errors.New("compress: TopK requires K > 0")
+	}
+	k := c.K
+	if k > len(update) {
+		k = len(update)
+	}
+	idx := make([]int, len(update))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return math.Abs(update[idx[a]]) > math.Abs(update[idx[b]])
+	})
+	kept := idx[:k]
+	sort.Ints(kept)
+	out := make([]byte, 0, k*12)
+	var buf [12]byte
+	for _, i := range kept {
+		binary.BigEndian.PutUint32(buf[:4], uint32(i))
+		binary.BigEndian.PutUint64(buf[4:12], math.Float64bits(update[i]))
+		out = append(out, buf[:]...)
+	}
+	return out, nil
+}
+
+// Decode implements Codec.
+func (c TopK) Decode(payload []byte, dim int) ([]float64, error) {
+	if len(payload)%12 != 0 {
+		return nil, fmt.Errorf("%w: topk payload %d bytes", ErrCorruptPayload, len(payload))
+	}
+	out := make([]float64, dim)
+	for off := 0; off < len(payload); off += 12 {
+		i := int(binary.BigEndian.Uint32(payload[off : off+4]))
+		if i < 0 || i >= dim {
+			return nil, fmt.Errorf("%w: topk index %d outside dim %d", ErrCorruptPayload, i, dim)
+		}
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(payload[off+4 : off+12]))
+	}
+	return out, nil
+}
+
+// RandomMask transmits a pseudo-random Fraction of coordinates chosen by a
+// seed shared between encoder and decoder, so only the seed and the kept
+// values travel (the random-mask structured update). The mask depends on
+// (Seed, dim) and a per-call counter is unnecessary because federated
+// updates are idempotent per round.
+type RandomMask struct {
+	Fraction float64
+	Seed     uint64
+}
+
+// Name implements Codec.
+func (c RandomMask) Name() string { return fmt.Sprintf("mask%.0f%%", c.Fraction*100) }
+
+// maskKeep reproduces the deterministic keep-decision for coordinate i.
+func (c RandomMask) maskKeep(i, dim int) bool {
+	// SplitMix64 over (seed, i): cheap, stateless, identical on both ends.
+	z := c.Seed + uint64(i)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11)/float64(1<<53) < c.Fraction
+}
+
+// Encode implements Codec.
+func (c RandomMask) Encode(update []float64) ([]byte, error) {
+	if c.Fraction <= 0 || c.Fraction > 1 {
+		return nil, errors.New("compress: RandomMask fraction must be in (0, 1]")
+	}
+	out := make([]byte, 0, int(float64(len(update))*c.Fraction)*8+8)
+	var buf [8]byte
+	for i, v := range update {
+		if c.maskKeep(i, len(update)) {
+			binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+			out = append(out, buf[:]...)
+		}
+	}
+	return out, nil
+}
+
+// Decode implements Codec.
+func (c RandomMask) Decode(payload []byte, dim int) ([]float64, error) {
+	out := make([]float64, dim)
+	off := 0
+	for i := 0; i < dim; i++ {
+		if !c.maskKeep(i, dim) {
+			continue
+		}
+		if off+8 > len(payload) {
+			return nil, fmt.Errorf("%w: mask payload too short", ErrCorruptPayload)
+		}
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(payload[off : off+8]))
+		off += 8
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("%w: mask payload has %d trailing bytes", ErrCorruptPayload, len(payload)-off)
+	}
+	return out, nil
+}
+
+// Identity is the no-compression control (full float64 payload).
+type Identity struct{}
+
+// Name implements Codec.
+func (Identity) Name() string { return "identity" }
+
+// Encode implements Codec.
+func (Identity) Encode(update []float64) ([]byte, error) {
+	out := make([]byte, len(update)*8)
+	for i, v := range update {
+		binary.BigEndian.PutUint64(out[i*8:(i+1)*8], math.Float64bits(v))
+	}
+	return out, nil
+}
+
+// Decode implements Codec.
+func (Identity) Decode(payload []byte, dim int) ([]float64, error) {
+	if len(payload) != dim*8 {
+		return nil, fmt.Errorf("%w: identity payload %d bytes for dim %d", ErrCorruptPayload, len(payload), dim)
+	}
+	out := make([]float64, dim)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(payload[i*8 : (i+1)*8]))
+	}
+	return out, nil
+}

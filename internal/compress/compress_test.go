@@ -1,0 +1,206 @@
+package compress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cmfl/internal/xrand"
+)
+
+func TestIdentityRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		u := rng.NormVec(1+rng.Intn(40), 0, 3)
+		payload, err := Identity{}.Encode(u)
+		if err != nil {
+			return false
+		}
+		got, err := Identity{}.Decode(payload, len(u))
+		if err != nil {
+			return false
+		}
+		for i := range u {
+			if got[i] != u[i] {
+				return false
+			}
+		}
+		return len(payload) == len(u)*8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniform8BoundedError(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		u := rng.NormVec(2+rng.Intn(40), 0, 2)
+		payload, err := Uniform8{}.Encode(u)
+		if err != nil {
+			return false
+		}
+		got, err := Uniform8{}.Decode(payload, len(u))
+		if err != nil {
+			return false
+		}
+		lo, hi := u[0], u[0]
+		for _, v := range u {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		step := (hi - lo) / 255
+		for i := range u {
+			if math.Abs(got[i]-u[i]) > step/2+1e-12 {
+				return false
+			}
+		}
+		// 8x compression plus the 16-byte range header.
+		return len(payload) == 16+len(u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniform8ConstantVector(t *testing.T) {
+	u := []float64{2.5, 2.5, 2.5}
+	payload, err := Uniform8{}.Encode(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Uniform8{}.Decode(payload, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 2.5 {
+			t.Fatalf("constant vector round trip [%d] = %v", i, v)
+		}
+	}
+}
+
+func TestTopKKeepsLargest(t *testing.T) {
+	u := []float64{0.1, -5, 0.2, 3, -0.05}
+	c := TopK{K: 2}
+	payload, err := c.Encode(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(payload, len(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, -5, 0, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK decode = %v, want %v", got, want)
+		}
+	}
+	if len(payload) != 2*12 {
+		t.Fatalf("TopK payload = %d bytes, want 24", len(payload))
+	}
+}
+
+func TestTopKLargerThanDim(t *testing.T) {
+	u := []float64{1, 2}
+	got, err := TopK{K: 10}.Encode(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := TopK{K: 10}.Decode(got, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[0] != 1 || dec[1] != 2 {
+		t.Fatalf("TopK over-K decode = %v", dec)
+	}
+}
+
+func TestTopKInvalid(t *testing.T) {
+	if _, err := (TopK{}).Encode([]float64{1}); err == nil {
+		t.Fatal("expected error for K=0")
+	}
+	if _, err := (TopK{K: 1}).Decode([]byte{1, 2, 3}, 4); err == nil {
+		t.Fatal("expected error for ragged payload")
+	}
+	bad, _ := TopK{K: 1}.Encode([]float64{9})
+	if _, err := (TopK{K: 1}).Decode(bad, 0); err == nil {
+		t.Fatal("expected error for out-of-range index")
+	}
+}
+
+func TestRandomMaskRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		dim := 10 + rng.Intn(100)
+		u := rng.NormVec(dim, 0, 1)
+		c := RandomMask{Fraction: 0.25, Seed: uint64(seed)}
+		payload, err := c.Encode(u)
+		if err != nil {
+			return false
+		}
+		got, err := c.Decode(payload, dim)
+		if err != nil {
+			return false
+		}
+		for i := range u {
+			if got[i] != 0 && got[i] != u[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomMaskFractionApprox(t *testing.T) {
+	rng := xrand.New(9)
+	u := rng.NormVec(10000, 0, 1)
+	c := RandomMask{Fraction: 0.25, Seed: 7}
+	payload, err := c.Encode(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(len(payload)/8) / 10000
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("mask kept %.3f of coords, want ~0.25", frac)
+	}
+}
+
+func TestRandomMaskInvalid(t *testing.T) {
+	if _, err := (RandomMask{Fraction: 0}).Encode([]float64{1}); err == nil {
+		t.Fatal("expected error for zero fraction")
+	}
+	c := RandomMask{Fraction: 0.5, Seed: 1}
+	if _, err := c.Decode([]byte{1}, 10); err == nil {
+		t.Fatal("expected error for short payload")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := (Identity{}).Decode([]byte{1, 2}, 1); err == nil {
+		t.Fatal("identity should reject wrong length")
+	}
+	if _, err := (Uniform8{}).Decode([]byte{1}, 4); err == nil {
+		t.Fatal("quantize8 should reject wrong length")
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := []struct {
+		codec interface{ Name() string }
+		want  string
+	}{
+		{Identity{}, "identity"},
+		{Uniform8{}, "quantize8"},
+		{TopK{K: 5}, "top5"},
+		{RandomMask{Fraction: 0.25}, "mask25%"},
+	}
+	for _, c := range cases {
+		if got := c.codec.Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import "sync"
+
+// AdaptiveFilter is a CMFL extension: instead of a hand-tuned threshold
+// schedule, it controls the relevance threshold to track a target upload
+// fraction, removing the paper's per-workload threshold sweep. After every
+// round the server reports how many clients uploaded; the filter nudges the
+// threshold up when too many uploaded and down when too few
+// (an integral controller with gain Gain, clamped to [Min, Max]).
+//
+// It is safe for concurrent Check calls; ObserveRound must be called from
+// the engine between rounds (the fl engine does this automatically for any
+// filter implementing its RoundObserver interface).
+type AdaptiveFilter struct {
+	// Target is the desired upload fraction in (0, 1).
+	Target float64
+	// Gain is the per-round adjustment step (default 0.05).
+	Gain float64
+	// Min and Max clamp the threshold (defaults 0.05 and 0.95).
+	Min, Max float64
+
+	mu        sync.Mutex
+	threshold float64
+}
+
+// NewAdaptiveFilter creates an adaptive CMFL filter starting at threshold
+// start and tracking the target upload fraction.
+func NewAdaptiveFilter(start, target float64) *AdaptiveFilter {
+	return &AdaptiveFilter{
+		Target:    target,
+		Gain:      0.05,
+		Min:       0.05,
+		Max:       0.95,
+		threshold: start,
+	}
+}
+
+// Name implements the fl.UploadFilter interface.
+func (f *AdaptiveFilter) Name() string { return "cmfl-adaptive" }
+
+// Threshold returns the current threshold (for tracing).
+func (f *AdaptiveFilter) Threshold() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.threshold
+}
+
+// Check implements the fl.UploadFilter interface.
+func (f *AdaptiveFilter) Check(local, model, prevGlobal []float64, t int) (Decision, error) {
+	if isZero(prevGlobal) {
+		return Decision{Upload: true, Metric: 1}, nil
+	}
+	rel, err := Relevance(local, prevGlobal)
+	if err != nil {
+		return Decision{}, err
+	}
+	f.mu.Lock()
+	thr := f.threshold
+	f.mu.Unlock()
+	return Decision{Upload: rel >= thr, Metric: rel}, nil
+}
+
+// ObserveRound implements the fl engine's RoundObserver hook: it adjusts
+// the threshold toward the target upload fraction.
+func (f *AdaptiveFilter) ObserveRound(round, uploaded, participants int) {
+	if participants == 0 {
+		return
+	}
+	frac := float64(uploaded) / float64(participants)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.threshold += f.Gain * (frac - f.Target)
+	if f.threshold < f.Min {
+		f.threshold = f.Min
+	}
+	if f.threshold > f.Max {
+		f.threshold = f.Max
+	}
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cmfl/internal/xrand"
+)
+
+func TestSign(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int
+	}{
+		{1.5, 1}, {-2, -1}, {0, 0}, {1e-300, 1}, {-1e-300, -1},
+	}
+	for _, c := range cases {
+		if got := Sign(c.in); got != c.want {
+			t.Errorf("Sign(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRelevanceKnownValues(t *testing.T) {
+	cases := []struct {
+		name          string
+		local, global []float64
+		want          float64
+	}{
+		{"identical", []float64{1, -2, 3}, []float64{2, -1, 5}, 1},
+		{"opposed", []float64{1, -2, 3}, []float64{-1, 2, -3}, 0},
+		{"half", []float64{1, 1, -1, -1}, []float64{1, -1, -1, 1}, 0.5},
+		{"zeros-align", []float64{0, 1}, []float64{0, 2}, 1},
+		{"zero-vs-nonzero", []float64{0, 1}, []float64{1, 1}, 0.5},
+	}
+	for _, c := range cases {
+		got, err := Relevance(c.local, c.global)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: Relevance = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRelevanceLengthMismatch(t *testing.T) {
+	if _, err := Relevance([]float64{1}, []float64{1, 2}); err != ErrLengthMismatch {
+		t.Fatalf("err = %v, want ErrLengthMismatch", err)
+	}
+}
+
+func TestRelevanceEmpty(t *testing.T) {
+	got, err := Relevance(nil, nil)
+	if err != nil || got != 0 {
+		t.Fatalf("Relevance(nil, nil) = %v, %v; want 0, nil", got, err)
+	}
+}
+
+// TestRelevanceScaleInvariance verifies the paper's central robustness
+// claim: relevance is invariant to positive rescaling of either update
+// (learning rate, dataset size), unlike Gaia's magnitude test.
+func TestRelevanceScaleInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(50)
+		u := rng.NormVec(n, 0, 1)
+		g := rng.NormVec(n, 0, 1)
+		alpha := 0.01 + 100*rng.Float64()
+		su := make([]float64, n)
+		for i := range u {
+			su[i] = alpha * u[i]
+		}
+		r1, err1 := Relevance(u, g)
+		r2, err2 := Relevance(su, g)
+		return err1 == nil && err2 == nil && r1 == r2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelevanceSelfIsOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(50)
+		u := rng.NormVec(n, 0, 1)
+		r, err := Relevance(u, u)
+		return err == nil && r == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelevanceSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(30)
+		u := rng.NormVec(n, 0, 1)
+		g := rng.NormVec(n, 0, 1)
+		a, _ := Relevance(u, g)
+		b, _ := Relevance(g, u)
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelevanceBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(30)
+		r, err := Relevance(rng.NormVec(n, 0, 5), rng.NormVec(n, 0, 5))
+		return err == nil && r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosineRelevance(t *testing.T) {
+	got, err := CosineRelevance([]float64{1, 0}, []float64{1, 0})
+	if err != nil || math.Abs(got-1) > 1e-12 {
+		t.Fatalf("aligned cosine relevance = %v, %v; want 1", got, err)
+	}
+	got, err = CosineRelevance([]float64{1, 0}, []float64{-1, 0})
+	if err != nil || math.Abs(got) > 1e-12 {
+		t.Fatalf("opposed cosine relevance = %v, %v; want 0", got, err)
+	}
+	got, err = CosineRelevance([]float64{1, 0}, []float64{0, 1})
+	if err != nil || math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("orthogonal cosine relevance = %v, %v; want 0.5", got, err)
+	}
+	got, err = CosineRelevance([]float64{0, 0}, []float64{1, 1})
+	if err != nil || got != 0.5 {
+		t.Fatalf("zero-vector cosine relevance = %v, %v; want 0.5", got, err)
+	}
+}
+
+func TestDeltaUpdate(t *testing.T) {
+	got, err := DeltaUpdate([]float64{3, 4}, []float64{3, 4})
+	if err != nil || got != 0 {
+		t.Fatalf("identical updates: ΔUpdate = %v, %v; want 0", got, err)
+	}
+	got, err = DeltaUpdate([]float64{1, 0}, []float64{0, 1})
+	if err != nil || math.Abs(got-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("orthogonal unit updates: ΔUpdate = %v; want √2", got)
+	}
+	got, err = DeltaUpdate([]float64{0, 0}, []float64{1, 1})
+	if err != nil || !math.IsInf(got, 1) {
+		t.Fatalf("zero prev: ΔUpdate = %v; want +Inf", got)
+	}
+	if _, err = DeltaUpdate([]float64{1}, []float64{1, 2}); err != ErrLengthMismatch {
+		t.Fatalf("err = %v, want ErrLengthMismatch", err)
+	}
+}
+
+func TestSchedules(t *testing.T) {
+	c := Constant(0.8)
+	if c.At(1) != 0.8 || c.At(1000) != 0.8 {
+		t.Fatal("Constant schedule must not vary")
+	}
+	s := InvSqrt{V0: 0.8}
+	if s.At(1) != 0.8 {
+		t.Fatalf("InvSqrt.At(1) = %v, want 0.8", s.At(1))
+	}
+	if got := s.At(4); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("InvSqrt.At(4) = %v, want 0.4", got)
+	}
+	if s.At(0) != 0.8 {
+		t.Fatalf("InvSqrt.At(0) should clamp to t=1")
+	}
+	st := Step{V0: 0.9, Warm: 3, After: 0.5}
+	if st.At(3) != 0.9 || st.At(4) != 0.5 {
+		t.Fatal("Step schedule boundary wrong")
+	}
+}
+
+func TestInvSqrtMonotoneDecreasing(t *testing.T) {
+	f := func(raw uint16) bool {
+		t1 := int(raw%1000) + 1
+		s := InvSqrt{V0: 1}
+		return s.At(t1+1) <= s.At(t1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterFirstRoundAlwaysUploads(t *testing.T) {
+	f := NewFilter(Constant(0.99))
+	d, err := f.Check([]float64{1, -1}, []float64{0, 0}, []float64{0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Upload {
+		t.Fatal("first round (zero feedback) must upload")
+	}
+	d, err = f.Check([]float64{1, -1}, []float64{0, 0}, nil, 1)
+	if err != nil || !d.Upload {
+		t.Fatalf("nil feedback must upload: %+v, %v", d, err)
+	}
+}
+
+func TestFilterThresholding(t *testing.T) {
+	f := NewFilter(Constant(0.6))
+	global := []float64{1, 1, 1, 1, 1}
+	// 3/5 aligned -> 0.6 >= 0.6 -> upload.
+	d, err := f.Check([]float64{1, 1, 1, -1, -1}, nil, global, 2)
+	if err != nil || !d.Upload || d.Metric != 0.6 {
+		t.Fatalf("relevance 0.6 at threshold 0.6: %+v, %v; want upload", d, err)
+	}
+	// 2/5 aligned -> 0.4 < 0.6 -> skip.
+	d, err = f.Check([]float64{1, 1, -1, -1, -1}, nil, global, 2)
+	if err != nil || d.Upload || d.Metric != 0.4 {
+		t.Fatalf("relevance 0.4 at threshold 0.6: %+v, %v; want skip", d, err)
+	}
+}
+
+func TestFilterDecayAdmitsMoreOverTime(t *testing.T) {
+	f := NewFilter(InvSqrt{V0: 0.8})
+	global := []float64{1, 1, 1, 1, 1}
+	local := []float64{1, 1, -1, -1, -1} // relevance 0.4
+	d1, err := f.Check(local, nil, global, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Upload {
+		t.Fatal("round 1: 0.4 < 0.8 must skip")
+	}
+	d16, err := f.Check(local, nil, global, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d16.Upload { // threshold 0.8/4 = 0.2 <= 0.4
+		t.Fatal("round 16: 0.4 >= 0.2 must upload")
+	}
+}
+
+func TestFilterCosineMode(t *testing.T) {
+	f := NewFilter(Constant(0.6))
+	f.UseCosine = true
+	if f.Name() != "cmfl-cosine" {
+		t.Fatalf("Name = %q, want cmfl-cosine", f.Name())
+	}
+	d, err := f.Check([]float64{1, 0}, nil, []float64{1, 0}, 2)
+	if err != nil || !d.Upload {
+		t.Fatalf("aligned cosine must upload: %+v, %v", d, err)
+	}
+}
+
+func TestFilterLengthMismatchError(t *testing.T) {
+	f := NewFilter(Constant(0.5))
+	if _, err := f.Check([]float64{1}, nil, []float64{1, 2}, 2); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestFilterName(t *testing.T) {
+	if got := NewFilter(Constant(0.5)).Name(); got != "cmfl" {
+		t.Fatalf("Name = %q, want cmfl", got)
+	}
+}
+
+func TestAdaptiveFilterTracksTarget(t *testing.T) {
+	f := NewAdaptiveFilter(0.5, 0.4)
+	if f.Name() != "cmfl-adaptive" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	// Everyone uploading drives the threshold up; nobody uploading drives
+	// it down.
+	start := f.Threshold()
+	f.ObserveRound(1, 10, 10)
+	if f.Threshold() <= start {
+		t.Fatal("threshold should rise when upload fraction exceeds target")
+	}
+	up := f.Threshold()
+	f.ObserveRound(2, 0, 10)
+	if f.Threshold() >= up {
+		t.Fatal("threshold should fall when upload fraction is below target")
+	}
+}
+
+func TestAdaptiveFilterClamps(t *testing.T) {
+	f := NewAdaptiveFilter(0.9, 0.1)
+	for i := 0; i < 1000; i++ {
+		f.ObserveRound(i, 10, 10) // always over target -> pushes up
+	}
+	if f.Threshold() > f.Max {
+		t.Fatalf("threshold %v exceeded Max %v", f.Threshold(), f.Max)
+	}
+	for i := 0; i < 1000; i++ {
+		f.ObserveRound(i, 0, 10)
+	}
+	if f.Threshold() < f.Min {
+		t.Fatalf("threshold %v below Min %v", f.Threshold(), f.Min)
+	}
+}
+
+func TestAdaptiveFilterCheck(t *testing.T) {
+	f := NewAdaptiveFilter(0.6, 0.5)
+	global := []float64{1, 1, 1, 1, 1}
+	d, err := f.Check([]float64{1, 1, 1, 1, -1}, nil, global, 2) // rel 0.8
+	if err != nil || !d.Upload {
+		t.Fatalf("relevance 0.8 vs threshold 0.6: %+v, %v", d, err)
+	}
+	d, err = f.Check([]float64{1, 1, -1, -1, -1}, nil, global, 2) // rel 0.4
+	if err != nil || d.Upload {
+		t.Fatalf("relevance 0.4 vs threshold 0.6: %+v, %v", d, err)
+	}
+	d, err = f.Check([]float64{1}, nil, []float64{0}, 1)
+	if err != nil || !d.Upload {
+		t.Fatalf("bootstrap round must upload: %+v, %v", d, err)
+	}
+	f.ObserveRound(1, 0, 0) // must not divide by zero
+}

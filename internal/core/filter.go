@@ -1,0 +1,68 @@
+package core
+
+// Decision is the outcome of a client-side upload check: whether to upload
+// and the metric value that produced the decision (relevance for CMFL,
+// significance for Gaia), recorded for the Fig. 2 traces.
+type Decision struct {
+	Upload bool
+	Metric float64
+}
+
+// Filter is CMFL's client-side upload gate (paper Algorithm 1,
+// CheckRelevance with the prose semantics: exclude when e(u, ū) < v(t)).
+//
+// The zero value is unusable; construct with NewFilter. Filter is stateless
+// across rounds and safe for concurrent use by multiple clients.
+type Filter struct {
+	threshold Schedule
+	// UseCosine switches to the cosine-relevance ablation metric.
+	UseCosine bool
+}
+
+// NewFilter builds a CMFL filter with the given relevance-threshold
+// schedule.
+func NewFilter(threshold Schedule) *Filter {
+	return &Filter{threshold: threshold}
+}
+
+// Name implements the fl.UploadFilter interface.
+func (f *Filter) Name() string {
+	if f.UseCosine {
+		return "cmfl-cosine"
+	}
+	return "cmfl"
+}
+
+// Check decides whether a local update should be uploaded in round t.
+//
+// prevGlobal is the previous round's global update (the feedback estimate of
+// the current global update, Sec. IV-A). In the very first round there is no
+// feedback yet — prevGlobal is all zeros or empty — and every update is
+// uploaded, matching the paper's bootstrap.
+func (f *Filter) Check(local, model, prevGlobal []float64, t int) (Decision, error) {
+	if isZero(prevGlobal) {
+		return Decision{Upload: true, Metric: 1}, nil
+	}
+	var (
+		rel float64
+		err error
+	)
+	if f.UseCosine {
+		rel, err = CosineRelevance(local, prevGlobal)
+	} else {
+		rel, err = Relevance(local, prevGlobal)
+	}
+	if err != nil {
+		return Decision{}, err
+	}
+	return Decision{Upload: rel >= f.threshold.At(t), Metric: rel}, nil
+}
+
+func isZero(v []float64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,95 @@
+// Package core implements the paper's contribution: the CMFL relevance
+// metric (Eq. 9), its threshold schedules, and the client-side upload filter
+// that excludes irrelevant updates from communication.
+//
+// An update's relevance against the previous global update is the fraction
+// of parameters whose signs agree. A client uploads its local update only if
+// the relevance reaches the round's threshold v(t); otherwise it sends a
+// tiny skip notification instead of the full gradient vector. Theorem 1 of
+// the paper guarantees convergence for decaying η_t and v_t (e.g. both
+// ∝ 1/√t), which the InvSqrt schedule provides.
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrLengthMismatch reports that two update vectors being compared have
+// different dimensionality.
+var ErrLengthMismatch = errors.New("core: update vectors have different lengths")
+
+// Sign returns -1, 0 or +1. Exact zeros are their own sign class: a zero
+// coordinate agrees only with another zero ("no change" direction).
+func Sign(v float64) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Relevance computes Eq. 9: the fraction of coordinates of local whose sign
+// matches the corresponding coordinate of global.
+//
+// An empty pair of vectors has relevance 0 (nothing aligns). The measure is
+// invariant to positive per-coordinate scaling of either argument — the
+// property that makes it robust to learning-rate and dataset-size skew,
+// unlike Gaia's magnitude test (paper Sec. III-B).
+func Relevance(local, global []float64) (float64, error) {
+	if len(local) != len(global) {
+		return 0, ErrLengthMismatch
+	}
+	if len(local) == 0 {
+		return 0, nil
+	}
+	matches := 0
+	for i, v := range local {
+		if Sign(v) == Sign(global[i]) {
+			matches++
+		}
+	}
+	return float64(matches) / float64(len(local)), nil
+}
+
+// CosineRelevance is an ablation alternative to Eq. 9: the cosine similarity
+// between local and global mapped from [-1, 1] to [0, 1] so the same
+// thresholds apply. Zero vectors yield 0.5 (no information).
+func CosineRelevance(local, global []float64) (float64, error) {
+	if len(local) != len(global) {
+		return 0, ErrLengthMismatch
+	}
+	var dot, nl, ng float64
+	for i, v := range local {
+		dot += v * global[i]
+		nl += v * v
+		ng += global[i] * global[i]
+	}
+	if nl == 0 || ng == 0 {
+		return 0.5, nil
+	}
+	cos := dot / math.Sqrt(nl*ng)
+	return (cos + 1) / 2, nil
+}
+
+// DeltaUpdate computes Eq. 8: the normalized difference between two
+// sequential global updates, ‖next − prev‖ / ‖prev‖. It returns +Inf when
+// prev is the zero vector, matching the mathematical definition.
+func DeltaUpdate(prev, next []float64) (float64, error) {
+	if len(prev) != len(next) {
+		return 0, ErrLengthMismatch
+	}
+	var diff, norm float64
+	for i, p := range prev {
+		d := next[i] - p
+		diff += d * d
+		norm += p * p
+	}
+	if norm == 0 {
+		return math.Inf(1), nil
+	}
+	return math.Sqrt(diff / norm), nil
+}

@@ -1,0 +1,48 @@
+package core
+
+import "math"
+
+// Schedule maps a 1-based round number to a threshold (or learning-rate)
+// value. The paper's convergence guarantee (Theorem 1) requires both the
+// learning rate and the relevance threshold to decay over time; v_t = v0/√t
+// is the concrete choice evaluated in Sec. V.
+type Schedule interface {
+	// At returns the scheduled value for round t (t >= 1).
+	At(t int) float64
+}
+
+// Constant is a time-invariant schedule.
+type Constant float64
+
+// At implements Schedule.
+func (c Constant) At(int) float64 { return float64(c) }
+
+// InvSqrt decays as v0/√t.
+type InvSqrt struct {
+	V0 float64
+}
+
+// At implements Schedule.
+func (s InvSqrt) At(t int) float64 {
+	if t < 1 {
+		t = 1
+	}
+	return s.V0 / math.Sqrt(float64(t))
+}
+
+// Step keeps V0 for the first Warm rounds, then switches to After.
+// Useful for ablations that delay filtering until the global direction has
+// stabilised.
+type Step struct {
+	V0    float64
+	Warm  int
+	After float64
+}
+
+// At implements Schedule.
+func (s Step) At(t int) float64 {
+	if t <= s.Warm {
+		return s.V0
+	}
+	return s.After
+}

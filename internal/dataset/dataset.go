@@ -1,0 +1,159 @@
+// Package dataset generates the synthetic workloads used to reproduce the
+// paper's four evaluation datasets, and partitions them across federated
+// clients with the same non-IID structure the paper relies on.
+//
+// Real MNIST, Shakespeare, Human-Activity-Recognition and Semeion files are
+// not available offline, so each generator builds the closest synthetic
+// equivalent (see DESIGN.md §2). The property that matters for CMFL — that
+// each client's local gradient is a biased, partially tangential view of the
+// collaborative optimum — is reproduced structurally: label-sorted shards
+// for MNIST, per-role vocabulary bias for the dialogue corpus, per-client
+// mean offsets (with explicit outliers) for HAR.
+package dataset
+
+import (
+	"fmt"
+
+	"cmfl/internal/tensor"
+	"cmfl/internal/xrand"
+)
+
+// Set is a supervised dataset: X's first dimension indexes samples, Y holds
+// integer class labels aligned with it.
+type Set struct {
+	X *tensor.Tensor
+	Y []int
+}
+
+// Len returns the number of samples.
+func (s *Set) Len() int { return len(s.Y) }
+
+// SampleShape returns the shape of one sample (X's shape without the leading
+// sample dimension).
+func (s *Set) SampleShape() []int { return s.X.Shape[1:] }
+
+// Subset copies the samples at the given indices into a new Set.
+func (s *Set) Subset(idx []int) *Set {
+	sampleLen := s.X.Len() / s.Len()
+	shape := append([]int{len(idx)}, s.SampleShape()...)
+	out := &Set{X: tensor.New(shape...), Y: make([]int, len(idx))}
+	for i, src := range idx {
+		copy(out.X.Data[i*sampleLen:(i+1)*sampleLen], s.X.Data[src*sampleLen:(src+1)*sampleLen])
+		out.Y[i] = s.Y[src]
+	}
+	return out
+}
+
+// Batch copies samples [lo, hi) into a fresh (X, Y) minibatch.
+func (s *Set) Batch(lo, hi int) (*tensor.Tensor, []int) {
+	sampleLen := s.X.Len() / s.Len()
+	shape := append([]int{hi - lo}, s.SampleShape()...)
+	x := tensor.New(shape...)
+	copy(x.Data, s.X.Data[lo*sampleLen:hi*sampleLen])
+	y := make([]int, hi-lo)
+	copy(y, s.Y[lo:hi])
+	return x, y
+}
+
+// Shuffled returns a copy of the set with sample order permuted by rng.
+func (s *Set) Shuffled(rng *xrand.Stream) *Set {
+	return s.Subset(rng.Perm(s.Len()))
+}
+
+// Merge concatenates several sets with identical sample shapes.
+func Merge(sets []*Set) *Set {
+	if len(sets) == 0 {
+		return &Set{X: tensor.New(0), Y: nil}
+	}
+	total := 0
+	for _, s := range sets {
+		total += s.Len()
+	}
+	shape := append([]int{total}, sets[0].SampleShape()...)
+	out := &Set{X: tensor.New(shape...), Y: make([]int, 0, total)}
+	off := 0
+	for _, s := range sets {
+		copy(out.X.Data[off:], s.X.Data)
+		off += s.X.Len()
+		out.Y = append(out.Y, s.Y...)
+	}
+	return out
+}
+
+// SortedShards partitions a dataset across clients the way the paper
+// prepares MNIST: samples are sorted by label, cut into
+// clients×shardsPerClient contiguous shards, and each client receives
+// shardsPerClient shards chosen at random. With shardsPerClient=2 most
+// clients see only one or two digit classes — a strongly non-IID split.
+func SortedShards(s *Set, clients, shardsPerClient int, rng *xrand.Stream) ([]*Set, error) {
+	n := s.Len()
+	totalShards := clients * shardsPerClient
+	if totalShards == 0 || n < totalShards {
+		return nil, fmt.Errorf("dataset: cannot cut %d samples into %d shards", n, totalShards)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Stable sort by label, preserving generation order within a class.
+	byLabel := make([][]int, 0)
+	maxLabel := 0
+	for _, y := range s.Y {
+		if y > maxLabel {
+			maxLabel = y
+		}
+	}
+	byLabel = make([][]int, maxLabel+1)
+	for i, y := range s.Y {
+		byLabel[y] = append(byLabel[y], i)
+	}
+	order = order[:0]
+	for _, idx := range byLabel {
+		order = append(order, idx...)
+	}
+
+	shardSize := n / totalShards
+	shardOrder := rng.Perm(totalShards)
+	out := make([]*Set, clients)
+	for c := 0; c < clients; c++ {
+		var idx []int
+		for s2 := 0; s2 < shardsPerClient; s2++ {
+			shard := shardOrder[c*shardsPerClient+s2]
+			idx = append(idx, order[shard*shardSize:(shard+1)*shardSize]...)
+		}
+		out[c] = s.Subset(idx)
+	}
+	return out, nil
+}
+
+// CorruptLabels replaces the given fraction of s's labels with uniform
+// random classes in [0, classes), in place. It models outlier clients whose
+// updates are tangential to the collaborative optimum: real federated
+// populations contain such clients (the paper finds 37 of 142 HAR clients
+// account for 84.5% of CMFL's eliminations), while clean synthetic data
+// would not.
+func CorruptLabels(s *Set, fraction float64, classes int, rng *xrand.Stream) {
+	if fraction <= 0 || classes <= 0 {
+		return
+	}
+	for i := range s.Y {
+		if rng.Float64() < fraction {
+			s.Y[i] = rng.Intn(classes)
+		}
+	}
+}
+
+// IIDSplit partitions a dataset uniformly at random into equal client sets,
+// used as a control in ablations.
+func IIDSplit(s *Set, clients int, rng *xrand.Stream) ([]*Set, error) {
+	if clients <= 0 || s.Len() < clients {
+		return nil, fmt.Errorf("dataset: cannot split %d samples across %d clients", s.Len(), clients)
+	}
+	perm := rng.Perm(s.Len())
+	per := s.Len() / clients
+	out := make([]*Set, clients)
+	for c := 0; c < clients; c++ {
+		out[c] = s.Subset(perm[c*per : (c+1)*per])
+	}
+	return out, nil
+}

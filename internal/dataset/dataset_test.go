@@ -1,0 +1,477 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cmfl/internal/xrand"
+)
+
+func TestSubsetCopies(t *testing.T) {
+	s, err := Digits(DigitsConfig{Samples: 20, ImageSize: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := s.Subset([]int{3, 7})
+	if sub.Len() != 2 {
+		t.Fatalf("Subset Len = %d, want 2", sub.Len())
+	}
+	if sub.Y[0] != s.Y[3] || sub.Y[1] != s.Y[7] {
+		t.Fatalf("Subset labels = %v, want [%d %d]", sub.Y, s.Y[3], s.Y[7])
+	}
+	sub.X.Data[0] = 99
+	if s.X.Data[3*100] == 99 {
+		t.Fatal("Subset must copy, not alias")
+	}
+}
+
+func TestBatchContents(t *testing.T) {
+	s, err := Digits(DigitsConfig{Samples: 10, ImageSize: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := s.Batch(2, 5)
+	if x.Dim(0) != 3 || len(y) != 3 {
+		t.Fatalf("Batch size = %d/%d, want 3", x.Dim(0), len(y))
+	}
+	for i := 0; i < 3; i++ {
+		if y[i] != s.Y[2+i] {
+			t.Fatalf("Batch label %d = %d, want %d", i, y[i], s.Y[2+i])
+		}
+	}
+}
+
+func TestMergePreservesCount(t *testing.T) {
+	a, _ := Digits(DigitsConfig{Samples: 10, ImageSize: 8, Seed: 1})
+	b, _ := Digits(DigitsConfig{Samples: 14, ImageSize: 8, Seed: 2})
+	m := Merge([]*Set{a, b})
+	if m.Len() != 24 {
+		t.Fatalf("Merge Len = %d, want 24", m.Len())
+	}
+	if m.Y[10] != b.Y[0] {
+		t.Fatalf("Merge misaligned labels")
+	}
+}
+
+func TestSortedShardsNonIID(t *testing.T) {
+	s, err := Digits(DigitsConfig{Samples: 1000, ImageSize: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients, err := SortedShards(s, 50, 2, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clients) != 50 {
+		t.Fatalf("clients = %d, want 50", len(clients))
+	}
+	// Each client should see at most ~3 distinct labels (2 shards, shard
+	// boundaries may straddle one label change each).
+	for c, cs := range clients {
+		seen := map[int]bool{}
+		for _, y := range cs.Y {
+			seen[y] = true
+		}
+		if len(seen) > 4 {
+			t.Fatalf("client %d sees %d labels; sorted sharding should be non-IID", c, len(seen))
+		}
+	}
+}
+
+func TestSortedShardsCoversAllLabels(t *testing.T) {
+	s, _ := Digits(DigitsConfig{Samples: 1000, ImageSize: 8, Seed: 1})
+	clients, err := SortedShards(s, 20, 2, xrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, cs := range clients {
+		for _, y := range cs.Y {
+			seen[y] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("union of client labels = %d classes, want 10", len(seen))
+	}
+}
+
+func TestSortedShardsErrors(t *testing.T) {
+	s, _ := Digits(DigitsConfig{Samples: 10, ImageSize: 8, Seed: 1})
+	if _, err := SortedShards(s, 100, 2, xrand.New(1)); err == nil {
+		t.Fatal("expected error when shards exceed samples")
+	}
+}
+
+func TestIIDSplitBalanced(t *testing.T) {
+	s, _ := Digits(DigitsConfig{Samples: 1000, ImageSize: 8, Seed: 1})
+	clients, err := IIDSplit(s, 10, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, cs := range clients {
+		if cs.Len() != 100 {
+			t.Fatalf("client %d has %d samples, want 100", c, cs.Len())
+		}
+		seen := map[int]bool{}
+		for _, y := range cs.Y {
+			seen[y] = true
+		}
+		if len(seen) < 8 {
+			t.Fatalf("IID client %d sees only %d labels", c, len(seen))
+		}
+	}
+}
+
+func TestDigitsLabelsBalanced(t *testing.T) {
+	s, err := Digits(DigitsConfig{Samples: 1000, ImageSize: 12, Noise: 0.1, MaxShift: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 10)
+	for _, y := range s.Y {
+		counts[y]++
+	}
+	for d, c := range counts {
+		if c != 100 {
+			t.Fatalf("digit %d has %d samples, want 100", d, c)
+		}
+	}
+}
+
+func TestDigitsClassesAreSeparable(t *testing.T) {
+	// Mean image of class 1 (two vertical strokes) must differ from class 8
+	// (all segments) by a wide margin in pixel mass.
+	s, err := Digits(DigitsConfig{Samples: 500, ImageSize: 12, Noise: 0.1, MaxShift: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := func(label int) float64 {
+		var sum float64
+		var n int
+		size := 144
+		for i, y := range s.Y {
+			if y != label {
+				continue
+			}
+			for _, v := range s.X.Data[i*size : (i+1)*size] {
+				sum += v
+			}
+			n++
+		}
+		return sum / float64(n)
+	}
+	if m1, m8 := mass(1), mass(8); m8 < 1.5*m1 {
+		t.Fatalf("digit 8 mass %v should far exceed digit 1 mass %v", m8, m1)
+	}
+}
+
+func TestDigitsDeterministic(t *testing.T) {
+	cfg := DigitsConfig{Samples: 50, ImageSize: 10, Noise: 0.2, MaxShift: 1, Seed: 5}
+	a, _ := Digits(cfg)
+	b, _ := Digits(cfg)
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("same-seed digit sets differ")
+		}
+	}
+}
+
+func TestDigitsInvalidConfig(t *testing.T) {
+	if _, err := Digits(DigitsConfig{Samples: 0, ImageSize: 10}); err == nil {
+		t.Fatal("expected error for zero samples")
+	}
+	if _, err := Digits(DigitsConfig{Samples: 10, ImageSize: 4}); err == nil {
+		t.Fatal("expected error for tiny image")
+	}
+}
+
+func TestSemeionShapeAndLabels(t *testing.T) {
+	s, err := Semeion(SemeionConfig{Samples: 200, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.X.Dim(1) != 256 {
+		t.Fatalf("Semeion feature dim = %d, want 256", s.X.Dim(1))
+	}
+	pos := 0
+	for _, y := range s.Y {
+		if y != 0 && y != 1 {
+			t.Fatalf("Semeion label %d outside {0,1}", y)
+		}
+		pos += y
+	}
+	if pos == 0 || pos == s.Len() {
+		t.Fatalf("Semeion labels degenerate: %d positives of %d", pos, s.Len())
+	}
+	for _, v := range s.X.Data {
+		if v != 0 && v != 1 {
+			t.Fatalf("Semeion feature %v not binary", v)
+		}
+	}
+}
+
+func TestDialogueStructure(t *testing.T) {
+	cfg := DefaultDialogueConfig()
+	cfg.Roles = 5
+	cfg.SamplesPerRole = 20
+	d, err := GenerateDialogue(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Clients) != 5 {
+		t.Fatalf("roles = %d, want 5", len(d.Clients))
+	}
+	for r, set := range d.Clients {
+		if set.Len() != 20 {
+			t.Fatalf("role %d has %d samples, want 20", r, set.Len())
+		}
+		if set.X.Dim(1) != cfg.Window {
+			t.Fatalf("window = %d, want %d", set.X.Dim(1), cfg.Window)
+		}
+		for _, id := range set.X.Data {
+			if id < 0 || int(id) >= cfg.Vocab {
+				t.Fatalf("word id %v outside vocab", id)
+			}
+		}
+		for _, y := range set.Y {
+			if y < 0 || y >= cfg.Vocab {
+				t.Fatalf("label %d outside vocab", y)
+			}
+		}
+	}
+}
+
+func TestDialogueWindowsAreConsecutive(t *testing.T) {
+	cfg := DefaultDialogueConfig()
+	cfg.Roles = 2
+	cfg.SamplesPerRole = 10
+	d, err := GenerateDialogue(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample i's window shifted by one must equal sample i+1's window prefix.
+	set := d.Clients[0]
+	w := cfg.Window
+	for i := 0; i+1 < set.Len(); i++ {
+		for j := 0; j+1 < w; j++ {
+			if set.X.Data[i*w+j+1] != set.X.Data[(i+1)*w+j] {
+				t.Fatalf("windows %d and %d are not consecutive slices", i, i+1)
+			}
+		}
+		if float64(set.Y[i]) != set.X.Data[(i+1)*w+w-1] {
+			t.Fatalf("label of window %d should be last word of window %d", i, i+1)
+		}
+	}
+}
+
+func TestDialogueRolesDiffer(t *testing.T) {
+	cfg := DefaultDialogueConfig()
+	cfg.Roles = 2
+	cfg.SamplesPerRole = 50
+	d, err := GenerateDialogue(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Word histograms of two roles should differ substantially.
+	hist := func(s *Set) []float64 {
+		h := make([]float64, cfg.Vocab)
+		for _, id := range s.X.Data {
+			h[int(id)]++
+		}
+		total := float64(len(s.X.Data))
+		for i := range h {
+			h[i] /= total
+		}
+		return h
+	}
+	h0, h1 := hist(d.Clients[0]), hist(d.Clients[1])
+	var l1 float64
+	for i := range h0 {
+		diff := h0[i] - h1[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		l1 += diff
+	}
+	if l1 < 0.3 {
+		t.Fatalf("role word distributions too similar (L1=%v); non-IIDness lost", l1)
+	}
+}
+
+func TestGenerateHARStructure(t *testing.T) {
+	cfg := DefaultHARConfig()
+	cfg.Clients = 20
+	cfg.Outliers = 5
+	cfg.Features = 30
+	h, err := GenerateHAR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Clients) != 20 || len(h.OutlierIdx) != 5 {
+		t.Fatalf("clients/outliers = %d/%d, want 20/5", len(h.Clients), len(h.OutlierIdx))
+	}
+	for c, set := range h.Clients {
+		if set.Len() < cfg.MinSamples || set.Len() > cfg.MaxSamples {
+			t.Fatalf("client %d has %d samples outside [%d,%d]", c, set.Len(), cfg.MinSamples, cfg.MaxSamples)
+		}
+	}
+}
+
+func TestGenerateHARInvalid(t *testing.T) {
+	cfg := DefaultHARConfig()
+	cfg.Outliers = cfg.Clients + 1
+	if _, err := GenerateHAR(cfg); err == nil {
+		t.Fatal("expected error for outliers > clients")
+	}
+	cfg = DefaultHARConfig()
+	cfg.MaxSamples = cfg.MinSamples - 1
+	if _, err := GenerateHAR(cfg); err == nil {
+		t.Fatal("expected error for inverted sample bounds")
+	}
+}
+
+func TestSplitClientsRespectsBounds(t *testing.T) {
+	s, _ := Semeion(SemeionConfig{Samples: 1593, Seed: 7})
+	clients, err := SplitClients(s, 15, 10, 200, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for c, cs := range clients {
+		if cs.Len() < 10 {
+			t.Fatalf("client %d has %d < 10 samples", c, cs.Len())
+		}
+		total += cs.Len()
+	}
+	if total > s.Len() {
+		t.Fatalf("split produced %d samples from %d", total, s.Len())
+	}
+}
+
+func TestSplitClientsErrors(t *testing.T) {
+	s, _ := Semeion(SemeionConfig{Samples: 50, Seed: 8})
+	if _, err := SplitClients(s, 10, 10, 20, xrand.New(1)); err == nil {
+		t.Fatal("expected error when samples cannot cover minimums")
+	}
+}
+
+func TestShuffledIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		s, err := Digits(DigitsConfig{Samples: 30, ImageSize: 8, Seed: 1})
+		if err != nil {
+			return false
+		}
+		sh := s.Shuffled(xrand.New(seed))
+		counts := map[int]int{}
+		for _, y := range s.Y {
+			counts[y]++
+		}
+		for _, y := range sh.Y {
+			counts[y]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterDigitsStructure(t *testing.T) {
+	cfg := DefaultWriterDigitsConfig()
+	clients, extreme, err := WriterDigits(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clients) != cfg.Clients || len(extreme) != cfg.ExtremeWriters {
+		t.Fatalf("clients/extreme = %d/%d", len(clients), len(extreme))
+	}
+	for c, set := range clients {
+		if set.Len() != cfg.SamplesPerClient {
+			t.Fatalf("writer %d has %d samples", c, set.Len())
+		}
+		labels := map[int]bool{}
+		for _, y := range set.Y {
+			labels[y] = true
+		}
+		if len(labels) > cfg.ClassesPerClient {
+			t.Fatalf("writer %d sees %d classes, want <= %d", c, len(labels), cfg.ClassesPerClient)
+		}
+	}
+}
+
+func TestWriterDigitsExtremeStylesDiffer(t *testing.T) {
+	cfg := DefaultWriterDigitsConfig()
+	clients, extreme, err := WriterDigits(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isExtreme := map[int]bool{}
+	for _, c := range extreme {
+		isExtreme[c] = true
+	}
+	// Extreme writers are feature-space outliers: their mean image must sit
+	// farther from the population mean image than normal writers'.
+	size := clients[0].X.Len() / clients[0].Len()
+	meanImage := func(set *Set) []float64 {
+		m := make([]float64, size)
+		for i := 0; i < set.Len(); i++ {
+			for j, v := range set.X.Data[i*size : (i+1)*size] {
+				m[j] += v
+			}
+		}
+		for j := range m {
+			m[j] /= float64(set.Len())
+		}
+		return m
+	}
+	means := make([][]float64, len(clients))
+	global := make([]float64, size)
+	for c, set := range clients {
+		means[c] = meanImage(set)
+		for j, v := range means[c] {
+			global[j] += v / float64(len(clients))
+		}
+	}
+	dist := func(m []float64) float64 {
+		var s float64
+		for j := range m {
+			d := m[j] - global[j]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	var ext, norm float64
+	var ne, nn2 int
+	for c := range clients {
+		if isExtreme[c] {
+			ext += dist(means[c])
+			ne++
+		} else {
+			norm += dist(means[c])
+			nn2++
+		}
+	}
+	if ext/float64(ne) <= norm/float64(nn2) {
+		t.Fatalf("extreme writers' mean-image distance %.3f should exceed normal %.3f",
+			ext/float64(ne), norm/float64(nn2))
+	}
+}
+
+func TestWriterDigitsInvalid(t *testing.T) {
+	cfg := DefaultWriterDigitsConfig()
+	cfg.ExtremeWriters = cfg.Clients + 1
+	if _, _, err := WriterDigits(cfg); err == nil {
+		t.Fatal("expected error for too many extreme writers")
+	}
+	cfg = DefaultWriterDigitsConfig()
+	cfg.Clients = 0
+	if _, _, err := WriterDigits(cfg); err == nil {
+		t.Fatal("expected error for zero clients")
+	}
+}

@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"fmt"
+
+	"cmfl/internal/tensor"
+	"cmfl/internal/xrand"
+)
+
+// DialogueConfig controls the synthetic multi-role dialogue corpus that
+// stands in for the Shakespeare next-word-prediction workload. Each client
+// is one speaking role; roles share a vocabulary and a global bigram
+// language model but strongly prefer their own favoured words, which makes
+// the per-client next-word gradients non-IID exactly as in the paper.
+type DialogueConfig struct {
+	Roles           int     // number of speaking roles (= clients)
+	Vocab           int     // vocabulary size (paper: 1675)
+	Window          int     // input length in words (paper: 10)
+	SamplesPerRole  int     // next-word samples generated per role
+	FavoredPerRole  int     // how many words each role favours
+	FavoredBoost    float64 // multiplicative preference for favoured words
+	BranchesPerWord int     // candidate successors per word in the global bigram
+	Seed            int64
+}
+
+// DefaultDialogueConfig is the scaled-down Shakespeare stand-in.
+func DefaultDialogueConfig() DialogueConfig {
+	return DialogueConfig{
+		Roles:           30,
+		Vocab:           150,
+		Window:          10,
+		SamplesPerRole:  40,
+		FavoredPerRole:  20,
+		FavoredBoost:    6,
+		BranchesPerWord: 8,
+		Seed:            3,
+	}
+}
+
+// Dialogue holds the generated corpus: one Set per role plus the shared
+// vocabulary size.
+type Dialogue struct {
+	Clients []*Set
+	Vocab   int
+	Window  int
+}
+
+// All merges every role's samples into one Set (used for server-side
+// evaluation of the global model).
+func (d *Dialogue) All() *Set { return Merge(d.Clients) }
+
+// GenerateDialogue builds the synthetic next-word corpus. Each sample is a
+// Window-length sequence of word ids (X row, stored as float64 ids) and the
+// id of the following word (label).
+func GenerateDialogue(cfg DialogueConfig) (*Dialogue, error) {
+	if cfg.Roles <= 0 || cfg.Vocab < 10 || cfg.Window < 2 || cfg.SamplesPerRole <= 0 {
+		return nil, fmt.Errorf("dataset: invalid dialogue config %+v", cfg)
+	}
+	gRng := xrand.Derive(cfg.Seed, "dialogue-global", 0)
+
+	// Global bigram model: each word has BranchesPerWord candidate
+	// successors with random positive weights. All roles share it.
+	succ := make([][]int, cfg.Vocab)
+	succW := make([][]float64, cfg.Vocab)
+	for w := 0; w < cfg.Vocab; w++ {
+		succ[w] = make([]int, cfg.BranchesPerWord)
+		succW[w] = make([]float64, cfg.BranchesPerWord)
+		for b := 0; b < cfg.BranchesPerWord; b++ {
+			succ[w][b] = gRng.Intn(cfg.Vocab)
+			succW[w][b] = 0.2 + gRng.Float64()
+		}
+	}
+
+	d := &Dialogue{Clients: make([]*Set, cfg.Roles), Vocab: cfg.Vocab, Window: cfg.Window}
+	for r := 0; r < cfg.Roles; r++ {
+		rRng := xrand.Derive(cfg.Seed, "dialogue-role", r)
+		favored := make(map[int]bool, cfg.FavoredPerRole)
+		for len(favored) < cfg.FavoredPerRole {
+			favored[rRng.Intn(cfg.Vocab)] = true
+		}
+		n := cfg.SamplesPerRole
+		set := &Set{X: tensor.New(n, cfg.Window), Y: make([]int, n)}
+		// Generate one long role-specific stream and slice windows from it.
+		streamLen := n + cfg.Window
+		words := make([]int, streamLen)
+		words[0] = rRng.Intn(cfg.Vocab)
+		weights := make([]float64, cfg.BranchesPerWord)
+		for i := 1; i < streamLen; i++ {
+			prev := words[i-1]
+			for b, cand := range succ[prev] {
+				w := succW[prev][b]
+				if favored[cand] {
+					w *= cfg.FavoredBoost
+				}
+				weights[b] = w
+			}
+			words[i] = succ[prev][rRng.Categorical(weights)]
+		}
+		for i := 0; i < n; i++ {
+			row := set.X.Data[i*cfg.Window : (i+1)*cfg.Window]
+			for j := 0; j < cfg.Window; j++ {
+				row[j] = float64(words[i+j])
+			}
+			set.Y[i] = words[i+cfg.Window]
+		}
+		d.Clients[r] = set
+	}
+	return d, nil
+}

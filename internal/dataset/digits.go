@@ -1,0 +1,166 @@
+package dataset
+
+import (
+	"fmt"
+
+	"cmfl/internal/tensor"
+	"cmfl/internal/xrand"
+)
+
+// DigitsConfig controls the synthetic handwritten-digit generator that
+// stands in for MNIST (and, binarised at 16×16, for Semeion).
+type DigitsConfig struct {
+	Samples   int     // total samples
+	ImageSize int     // square image side
+	Noise     float64 // stddev of additive pixel noise
+	MaxShift  int     // max |translation| jitter in pixels
+	Seed      int64
+}
+
+// DefaultDigitsConfig is the scaled-down MNIST stand-in.
+func DefaultDigitsConfig() DigitsConfig {
+	return DigitsConfig{Samples: 2000, ImageSize: 14, Noise: 0.15, MaxShift: 1, Seed: 1}
+}
+
+// segment encodes one stroke of a seven-segment digit glyph in unit
+// coordinates (0..1 across the glyph's bounding box).
+type segment struct{ x0, y0, x1, y1 float64 }
+
+// Seven-segment layout: A top, B upper-right, C lower-right, D bottom,
+// E lower-left, F upper-left, G middle.
+var segments = map[byte]segment{
+	'A': {0.15, 0.1, 0.85, 0.1},
+	'B': {0.85, 0.1, 0.85, 0.5},
+	'C': {0.85, 0.5, 0.85, 0.9},
+	'D': {0.15, 0.9, 0.85, 0.9},
+	'E': {0.15, 0.5, 0.15, 0.9},
+	'F': {0.15, 0.1, 0.15, 0.5},
+	'G': {0.15, 0.5, 0.85, 0.5},
+}
+
+// digitSegments maps each digit to its lit segments (standard 7-segment).
+var digitSegments = [10]string{
+	0: "ABCDEF",
+	1: "BC",
+	2: "ABGED",
+	3: "ABGCD",
+	4: "FGBC",
+	5: "AFGCD",
+	6: "AFGECD",
+	7: "ABC",
+	8: "ABCDEFG",
+	9: "ABCDFG",
+}
+
+// Digits generates a synthetic digit-classification dataset with labels 0-9.
+// Each sample is a jittered, noisy seven-segment rendering of its digit, so
+// class structure is learnable but samples within a class vary.
+func Digits(cfg DigitsConfig) (*Set, error) {
+	if cfg.Samples <= 0 || cfg.ImageSize < 8 {
+		return nil, fmt.Errorf("dataset: invalid digits config %+v", cfg)
+	}
+	rng := xrand.Derive(cfg.Seed, "digits", 0)
+	s := cfg.ImageSize
+	set := &Set{X: tensor.New(cfg.Samples, 1, s, s), Y: make([]int, cfg.Samples)}
+	for i := 0; i < cfg.Samples; i++ {
+		d := i % 10
+		set.Y[i] = d
+		img := set.X.Data[i*s*s : (i+1)*s*s]
+		renderDigit(img, s, d, cfg, rng)
+	}
+	return set, nil
+}
+
+func renderDigit(img []float64, s, digit int, cfg DigitsConfig, rng *xrand.Stream) {
+	dx, dy := 0, 0
+	if cfg.MaxShift > 0 {
+		dx = rng.Intn(2*cfg.MaxShift+1) - cfg.MaxShift
+		dy = rng.Intn(2*cfg.MaxShift+1) - cfg.MaxShift
+	}
+	intensity := 0.8 + 0.2*rng.Float64()
+	// Per-sample slight skew of the glyph box.
+	scale := 0.85 + 0.1*rng.Float64()
+	for _, name := range []byte(digitSegments[digit]) {
+		seg := segments[name]
+		drawLine(img, s, seg, dx, dy, scale, intensity)
+	}
+	if cfg.Noise > 0 {
+		for j := range img {
+			img[j] += cfg.Noise * rng.Norm()
+			if img[j] < 0 {
+				img[j] = 0
+			}
+			if img[j] > 1.5 {
+				img[j] = 1.5
+			}
+		}
+	}
+}
+
+// drawLine rasterises a unit-coordinate segment onto the image with simple
+// supersampling along the stroke.
+func drawLine(img []float64, s int, seg segment, dx, dy int, scale, intensity float64) {
+	steps := 2 * s
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / float64(steps)
+		x := seg.x0 + t*(seg.x1-seg.x0)
+		y := seg.y0 + t*(seg.y1-seg.y0)
+		px := int(x*scale*float64(s-1)) + dx
+		py := int(y*scale*float64(s-1)) + dy
+		if px < 0 || px >= s || py < 0 || py >= s {
+			continue
+		}
+		idx := py*s + px
+		if img[idx] < intensity {
+			img[idx] = intensity
+		}
+	}
+}
+
+// SemeionConfig controls the Semeion stand-in: 16×16 binarised digit images
+// flattened to 256 features, with a binary label (digit 0 vs. the rest), as
+// in the paper's one-vs-rest task.
+type SemeionConfig struct {
+	Samples int
+	// FlipProb flips each binary pixel with this probability after
+	// binarisation, controlling task difficulty (0 = clean).
+	FlipProb float64
+	Seed     int64
+}
+
+// DefaultSemeionConfig mirrors the paper's dataset size (1593 samples).
+func DefaultSemeionConfig() SemeionConfig { return SemeionConfig{Samples: 1593, Seed: 2} }
+
+// Semeion generates the binarised 256-feature digit dataset. Labels are
+// 1 for digit zero, 0 otherwise.
+func Semeion(cfg SemeionConfig) (*Set, error) {
+	digits, err := Digits(DigitsConfig{
+		Samples:   cfg.Samples,
+		ImageSize: 16,
+		Noise:     0.25,
+		MaxShift:  1,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	const dim = 256
+	flip := xrand.Derive(cfg.Seed, "semeion-flip", 0)
+	out := &Set{X: tensor.New(cfg.Samples, dim), Y: make([]int, cfg.Samples)}
+	for i := 0; i < cfg.Samples; i++ {
+		src := digits.X.Data[i*dim : (i+1)*dim]
+		dst := out.X.Data[i*dim : (i+1)*dim]
+		for j, v := range src {
+			if v > 0.5 {
+				dst[j] = 1
+			}
+			if cfg.FlipProb > 0 && flip.Float64() < cfg.FlipProb {
+				dst[j] = 1 - dst[j]
+			}
+		}
+		if digits.Y[i] == 0 {
+			out.Y[i] = 1
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+package emu
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"cmfl/internal/core"
+	"cmfl/internal/dataset"
+	"cmfl/internal/fl"
+	"cmfl/internal/nn"
+	"cmfl/internal/xrand"
+)
+
+// ClientConfig describes one slave of the emulation.
+type ClientConfig struct {
+	// Addr of the server to connect to.
+	Addr string
+	// ID identifies this client in [0, Clients).
+	ID int
+
+	// Model builds the local model architecture (must match the server's).
+	Model func() *nn.Network
+	// Data is this client's private shard.
+	Data *dataset.Set
+
+	// Epochs (E) and Batch (B) control the local solver.
+	Epochs int
+	Batch  int
+	// LR is the learning-rate schedule η_t.
+	LR core.Schedule
+	// Filter gates uploads; nil means vanilla (always upload).
+	Filter fl.UploadFilter
+	// Compressor lossily encodes uploads (must match the server's codec);
+	// nil sends raw float64 updates.
+	Compressor fl.UpdateCodec
+
+	// Seed drives the client's batch shuffling.
+	Seed int64
+	// DialTimeout bounds the initial connect (default 30s).
+	DialTimeout time.Duration
+	// RoundTimeout bounds any single read/write (default 120s).
+	RoundTimeout time.Duration
+}
+
+// ClientResult summarises one client's participation.
+type ClientResult struct {
+	Rounds   int
+	Uploads  int
+	Skips    int
+	SentWire int64 // bytes this client wrote on the wire (hello + updates/skips)
+}
+
+// RunClient connects to the server and participates until the server sends
+// the done message. It derives the feedback update locally from two
+// consecutive model broadcasts — no extra downlink traffic, as in the paper.
+func RunClient(cfg ClientConfig) (*ClientResult, error) {
+	if err := validateClient(&cfg); err != nil {
+		return nil, err
+	}
+	filter := cfg.Filter
+	if filter == nil {
+		filter = fl.Vanilla{}
+	}
+	conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("emu: dial %s: %w", cfg.Addr, err)
+	}
+	defer conn.Close()
+
+	res := &ClientResult{}
+	if err := conn.SetWriteDeadline(time.Now().Add(cfg.RoundTimeout)); err != nil {
+		return nil, err
+	}
+	n, err := writeFrame(conn, msgHello, encodeHello(cfg.ID))
+	if err != nil {
+		return nil, err
+	}
+	res.SentWire += n
+
+	network := cfg.Model()
+	rng := xrand.Derive(cfg.Seed, "fl-client", cfg.ID)
+
+	var prevParams, feedback []float64
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(cfg.RoundTimeout)); err != nil {
+			return nil, err
+		}
+		f, err := readFrame(conn)
+		if err != nil {
+			return nil, fmt.Errorf("emu: client %d receive: %w", cfg.ID, err)
+		}
+		switch f.kind {
+		case msgDone:
+			return res, nil
+		case msgModel:
+			round, params, err := decodeModel(f.payload)
+			if err != nil {
+				return nil, err
+			}
+			// Feedback is the previous global update, reconstructed as the
+			// difference between consecutive broadcasts (Sec. IV-A). Keep
+			// the last non-zero difference: a fully skipped round leaves
+			// the model unchanged and carries no new direction information.
+			if prevParams != nil {
+				diff := make([]float64, len(params))
+				nonzero := false
+				for j := range params {
+					diff[j] = params[j] - prevParams[j]
+					if diff[j] != 0 {
+						nonzero = true
+					}
+				}
+				if nonzero {
+					feedback = diff
+				}
+			}
+			if feedback == nil {
+				feedback = make([]float64, len(params))
+			}
+			prevParams = params
+
+			delta, _, err := fl.LocalTrain(network, cfg.Data, params, cfg.LR.At(round), cfg.Epochs, cfg.Batch, rng)
+			if err != nil {
+				return nil, fmt.Errorf("emu: client %d local training: %w", cfg.ID, err)
+			}
+			dec, err := filter.Check(delta, params, feedback, round)
+			if err != nil {
+				return nil, fmt.Errorf("emu: client %d filter: %w", cfg.ID, err)
+			}
+			if err := conn.SetWriteDeadline(time.Now().Add(cfg.RoundTimeout)); err != nil {
+				return nil, err
+			}
+			var sent int64
+			if dec.Upload {
+				if cfg.Compressor != nil {
+					var payload []byte
+					payload, err = cfg.Compressor.Encode(delta)
+					if err != nil {
+						return nil, fmt.Errorf("emu: client %d encode: %w", cfg.ID, err)
+					}
+					sent, err = writeFrame(conn, msgUpdateC,
+						encodeCompressedUpdate(cfg.ID, round, dec.Metric, len(delta), cfg.Compressor.Name(), payload))
+				} else {
+					sent, err = writeFrame(conn, msgUpdate, encodeUpdate(cfg.ID, round, dec.Metric, delta))
+				}
+				res.Uploads++
+			} else {
+				sent, err = writeFrame(conn, msgSkip, encodeSkip(cfg.ID, round, dec.Metric))
+				res.Skips++
+			}
+			if err != nil {
+				return nil, fmt.Errorf("emu: client %d send round %d: %w", cfg.ID, round, err)
+			}
+			res.SentWire += sent
+			res.Rounds++
+		default:
+			return nil, fmt.Errorf("emu: client %d: unexpected frame kind %d", cfg.ID, f.kind)
+		}
+	}
+}
+
+func validateClient(cfg *ClientConfig) error {
+	switch {
+	case cfg.Addr == "":
+		return errors.New("emu: client Addr is required")
+	case cfg.ID < 0:
+		return errors.New("emu: client ID must be non-negative")
+	case cfg.Model == nil:
+		return errors.New("emu: client Model factory is required")
+	case cfg.Data == nil || cfg.Data.Len() == 0:
+		return errors.New("emu: client Data is required")
+	case cfg.Epochs <= 0:
+		return errors.New("emu: client Epochs must be positive")
+	case cfg.Batch <= 0:
+		return errors.New("emu: client Batch must be positive")
+	case cfg.LR == nil:
+		return errors.New("emu: client LR schedule is required")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 30 * time.Second
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = 120 * time.Second
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package emu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cmfl/internal/core"
+	"cmfl/internal/dataset"
+	"cmfl/internal/fl"
+	"cmfl/internal/nn"
+)
+
+// ClusterConfig runs a complete master+slaves emulation in one process over
+// localhost TCP — the shape of the paper's 30-node EC2 benchmark, with the
+// network stack real and the machines collapsed onto one host.
+type ClusterConfig struct {
+	Model      func() *nn.Network
+	ClientData []*dataset.Set
+	TestData   *dataset.Set
+
+	Epochs     int
+	Batch      int
+	LR         core.Schedule
+	Filter     fl.UploadFilter
+	Compressor fl.UpdateCodec
+
+	Rounds         int
+	TargetAccuracy float64
+	EvalEvery      int
+
+	Seed    int64
+	Timeout time.Duration // per-message bound for the whole cluster (default 120s)
+}
+
+// ClusterResult combines the server view and the per-client views.
+type ClusterResult struct {
+	Server  *ServerResult
+	Clients []*ClientResult
+}
+
+// RunCluster starts a server on an ephemeral localhost port, launches one
+// goroutine per client, and returns when training completes.
+func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
+	if len(cfg.ClientData) == 0 {
+		return nil, errors.New("emu: cluster needs at least one client shard")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 120 * time.Second
+	}
+	srv, err := NewServer(ServerConfig{
+		Addr:           "127.0.0.1:0",
+		Clients:        len(cfg.ClientData),
+		Model:          cfg.Model,
+		TestData:       cfg.TestData,
+		EvalEvery:      cfg.EvalEvery,
+		Rounds:         cfg.Rounds,
+		TargetAccuracy: cfg.TargetAccuracy,
+		Compressor:     cfg.Compressor,
+		RoundTimeout:   cfg.Timeout,
+		AcceptTimeout:  cfg.Timeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type serverOut struct {
+		res *ServerResult
+		err error
+	}
+	srvCh := make(chan serverOut, 1)
+	go func() {
+		res, err := srv.Run()
+		srvCh <- serverOut{res: res, err: err}
+	}()
+
+	clients := make([]*ClientResult, len(cfg.ClientData))
+	clientErrs := make([]error, len(cfg.ClientData))
+	var wg sync.WaitGroup
+	for i, data := range cfg.ClientData {
+		wg.Add(1)
+		go func(i int, data *dataset.Set) {
+			defer wg.Done()
+			res, err := RunClient(ClientConfig{
+				Addr:         srv.Addr(),
+				ID:           i,
+				Model:        cfg.Model,
+				Data:         data,
+				Epochs:       cfg.Epochs,
+				Batch:        cfg.Batch,
+				LR:           cfg.LR,
+				Filter:       cfg.Filter,
+				Compressor:   cfg.Compressor,
+				Seed:         cfg.Seed,
+				RoundTimeout: cfg.Timeout,
+				DialTimeout:  cfg.Timeout,
+			})
+			clients[i], clientErrs[i] = res, err
+		}(i, data)
+	}
+	wg.Wait()
+	out := <-srvCh
+	if out.err != nil {
+		return nil, fmt.Errorf("emu: server: %w", out.err)
+	}
+	if err := errors.Join(clientErrs...); err != nil {
+		return nil, fmt.Errorf("emu: clients: %w", err)
+	}
+	return &ClusterResult{Server: out.res, Clients: clients}, nil
+}

@@ -1,0 +1,525 @@
+package emu
+
+import (
+	"bytes"
+	"math"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"cmfl/internal/compress"
+	"cmfl/internal/core"
+	"cmfl/internal/dataset"
+	"cmfl/internal/fl"
+	"cmfl/internal/nn"
+	"cmfl/internal/xrand"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := writeFrame(&buf, msgModel, []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(frameOverhead+3) {
+		t.Fatalf("wire size = %d, want %d", n, frameOverhead+3)
+	}
+	f, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.kind != msgModel || !bytes.Equal(f.payload, []byte{1, 2, 3}) {
+		t.Fatalf("frame round trip = %+v", f)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := writeFrame(&buf, msgDone, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.kind != msgDone || len(f.payload) != 0 {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, msgModel})
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("expected ErrFrameTooLarge")
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 10, msgModel, 1, 2}) // claims 10 bytes, has 2
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestModelCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		params := rng.NormVec(1+rng.Intn(50), 0, 3)
+		round := rng.Intn(10000)
+		got, gotParams, err := decodeModel(encodeModel(round, params))
+		if err != nil || got != round || len(gotParams) != len(params) {
+			return false
+		}
+		for i := range params {
+			if params[i] != gotParams[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		delta := rng.NormVec(1+rng.Intn(50), 0, 3)
+		id, round, metric := rng.Intn(100), rng.Intn(1000), rng.Float64()
+		gid, gr, gm, gd, err := decodeUpdate(encodeUpdate(id, round, metric, delta))
+		if err != nil || gid != id || gr != round || gm != metric || len(gd) != len(delta) {
+			return false
+		}
+		for i := range delta {
+			if delta[i] != gd[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipCodecRoundTrip(t *testing.T) {
+	id, round, metric, err := decodeSkip(encodeSkip(7, 42, 0.375))
+	if err != nil || id != 7 || round != 42 || metric != 0.375 {
+		t.Fatalf("skip round trip = %d %d %v %v", id, round, metric, err)
+	}
+}
+
+func TestHelloCodec(t *testing.T) {
+	id, err := decodeHello(encodeHello(29))
+	if err != nil || id != 29 {
+		t.Fatalf("hello round trip = %d, %v", id, err)
+	}
+	if _, err := decodeHello([]byte{1, 2}); err == nil {
+		t.Fatal("expected error for short hello")
+	}
+}
+
+func TestDecodeErrorsOnShortPayloads(t *testing.T) {
+	if _, _, err := decodeModel([]byte{1}); err == nil {
+		t.Fatal("decodeModel should reject short payload")
+	}
+	if _, _, _, _, err := decodeUpdate([]byte{1, 2, 3}); err == nil {
+		t.Fatal("decodeUpdate should reject short payload")
+	}
+	if _, _, _, err := decodeSkip([]byte{1}); err == nil {
+		t.Fatal("decodeSkip should reject short payload")
+	}
+	// Declared dim larger than payload.
+	p := encodeModel(1, []float64{1, 2})
+	if _, _, err := decodeModel(p[:len(p)-8]); err == nil {
+		t.Fatal("decodeModel should reject inconsistent dim")
+	}
+}
+
+// clusterConfig builds a small linear-model cluster over synthetic digits.
+func clusterConfig(t *testing.T, clients, rounds int, filter fl.UploadFilter) ClusterConfig {
+	t.Helper()
+	all, err := dataset.Digits(dataset.DigitsConfig{Samples: 300, ImageSize: 10, Noise: 0.2, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := dataset.SortedShards(all, clients, 2, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := dataset.Digits(dataset.DigitsConfig{Samples: 100, ImageSize: 10, Noise: 0.2, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ClusterConfig{
+		Model: func() *nn.Network {
+			return nn.NewNetwork(nn.NewFlatten(), nn.NewDense(100, 10, xrand.Derive(44, "init", 0)))
+		},
+		ClientData: shards,
+		TestData:   test,
+		Epochs:     2,
+		Batch:      4,
+		LR:         core.Constant(0.15),
+		Filter:     filter,
+		Rounds:     rounds,
+		Seed:       45,
+		Timeout:    30 * time.Second,
+	}
+}
+
+func TestClusterVanillaTrains(t *testing.T) {
+	res, err := RunCluster(clusterConfig(t, 4, 10, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Server.History) != 10 {
+		t.Fatalf("server history = %d rounds, want 10", len(res.Server.History))
+	}
+	last := res.Server.History[9]
+	if last.CumUploads != 40 {
+		t.Fatalf("vanilla uploads = %d, want 40", last.CumUploads)
+	}
+	if acc := res.Server.FinalAccuracy(); acc < 0.5 {
+		t.Fatalf("cluster accuracy = %v, want >= 0.5", acc)
+	}
+	for i, c := range res.Clients {
+		if c.Rounds != 10 || c.Uploads != 10 || c.Skips != 0 {
+			t.Fatalf("client %d participation = %+v", i, c)
+		}
+	}
+}
+
+func TestClusterCMFLSkips(t *testing.T) {
+	res, err := RunCluster(clusterConfig(t, 6, 12, core.NewFilter(core.Constant(0.5))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Server.History[len(res.Server.History)-1]
+	if last.CumUploads >= 6*len(res.Server.History) {
+		t.Fatal("CMFL cluster never skipped an upload")
+	}
+	totalSkips := 0
+	for _, c := range res.Clients {
+		totalSkips += c.Skips
+	}
+	serverSkips := 0
+	for _, s := range res.Server.SkipCounts {
+		serverSkips += s
+	}
+	if totalSkips != serverSkips {
+		t.Fatalf("client-side skips %d != server-side skips %d", totalSkips, serverSkips)
+	}
+}
+
+func TestClusterByteAccountingConsistency(t *testing.T) {
+	res, err := RunCluster(clusterConfig(t, 3, 5, core.NewFilter(core.Constant(0.4))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server-observed uplink wire bytes must equal the sum of what clients
+	// sent, minus their hello frames.
+	var clientSent int64
+	for _, c := range res.Clients {
+		clientSent += c.SentWire
+	}
+	helloBytes := int64(len(res.Clients)) * int64(frameOverhead+4)
+	if res.Server.UplinkWireBytes != clientSent-helloBytes {
+		t.Fatalf("uplink accounting: server saw %d, clients sent %d (incl. %d hello)",
+			res.Server.UplinkWireBytes, clientSent, helloBytes)
+	}
+	// Application-level bytes (paper metric) must be below wire bytes.
+	last := res.Server.History[len(res.Server.History)-1]
+	if last.CumUplinkBytes >= res.Server.UplinkWireBytes {
+		t.Fatalf("app bytes %d should be < wire bytes %d", last.CumUplinkBytes, res.Server.UplinkWireBytes)
+	}
+}
+
+func TestClusterEarlyStop(t *testing.T) {
+	cfg := clusterConfig(t, 4, 50, nil)
+	cfg.TargetAccuracy = 0.4
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Server.History) == 50 {
+		t.Fatal("cluster did not stop early")
+	}
+}
+
+// TestClusterMatchesSimulation verifies the TCP path and the in-process
+// simulation compute identical models under vanilla FL (same seeds, same
+// aggregation, no filtering).
+func TestClusterMatchesSimulation(t *testing.T) {
+	ccfg := clusterConfig(t, 4, 6, nil)
+	cres, err := RunCluster(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := fl.Run(fl.Config{
+		Model:      ccfg.Model,
+		ClientData: ccfg.ClientData,
+		TestData:   ccfg.TestData,
+		Epochs:     ccfg.Epochs,
+		Batch:      ccfg.Batch,
+		LR:         ccfg.LR,
+		Rounds:     6,
+		Seed:       ccfg.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cres.Server.FinalParams) != len(sres.FinalParams) {
+		t.Fatal("dimension mismatch")
+	}
+	for i := range sres.FinalParams {
+		if math.Abs(cres.Server.FinalParams[i]-sres.FinalParams[i]) > 1e-12 {
+			t.Fatalf("param %d: cluster %v vs simulation %v", i, cres.Server.FinalParams[i], sres.FinalParams[i])
+		}
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{Clients: 0, Model: nil, Rounds: 1}); err == nil {
+		t.Fatal("expected error for zero clients")
+	}
+	model := func() *nn.Network { return nn.NewLogistic(2, 2, xrand.New(1)) }
+	if _, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", Clients: 1, Model: model, Rounds: 0}); err == nil {
+		t.Fatal("expected error for zero rounds")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	model := func() *nn.Network { return nn.NewLogistic(2, 2, xrand.New(1)) }
+	data, _ := dataset.Digits(dataset.DigitsConfig{Samples: 10, ImageSize: 8, Seed: 1})
+	base := ClientConfig{Addr: "x", ID: 0, Model: model, Data: data, Epochs: 1, Batch: 1, LR: core.Constant(0.1)}
+	cases := []struct {
+		name   string
+		mutate func(*ClientConfig)
+	}{
+		{"no addr", func(c *ClientConfig) { c.Addr = "" }},
+		{"negative id", func(c *ClientConfig) { c.ID = -1 }},
+		{"nil model", func(c *ClientConfig) { c.Model = nil }},
+		{"nil data", func(c *ClientConfig) { c.Data = nil }},
+		{"zero epochs", func(c *ClientConfig) { c.Epochs = 0 }},
+		{"zero batch", func(c *ClientConfig) { c.Batch = 0 }},
+		{"nil lr", func(c *ClientConfig) { c.LR = nil }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if err := validateClient(&cfg); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestFaultToleranceSurvivesDeadClient(t *testing.T) {
+	cfg := clusterConfig(t, 3, 6, nil)
+	srv, err := NewServer(ServerConfig{
+		Addr:          "127.0.0.1:0",
+		Clients:       3,
+		Model:         cfg.Model,
+		TestData:      cfg.TestData,
+		Rounds:        6,
+		RoundTimeout:  5 * time.Second,
+		AcceptTimeout: 10 * time.Second,
+		FaultTolerant: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type out struct {
+		res *ServerResult
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := srv.Run()
+		done <- out{res, err}
+	}()
+
+	// Two healthy clients.
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, err := RunClient(ClientConfig{
+				Addr:   srv.Addr(),
+				ID:     i,
+				Model:  cfg.Model,
+				Data:   cfg.ClientData[i],
+				Epochs: cfg.Epochs,
+				Batch:  cfg.Batch,
+				LR:     cfg.LR,
+				Seed:   cfg.Seed,
+			})
+			// The healthy clients finish normally; a late error here would
+			// surface through the server result below anyway.
+			_ = err
+		}(i)
+	}
+	// One client that says hello and immediately dies.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeFrame(conn, msgHello, encodeHello(2)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("fault-tolerant server failed: %v", o.err)
+	}
+	if len(o.res.DroppedClients) != 1 {
+		t.Fatalf("dropped clients = %v, want exactly client 2", o.res.DroppedClients)
+	}
+	if _, ok := o.res.DroppedClients[2]; !ok {
+		t.Fatalf("dropped clients = %v, want client 2", o.res.DroppedClients)
+	}
+	if len(o.res.History) != 6 {
+		t.Fatalf("training stopped after %d rounds, want 6", len(o.res.History))
+	}
+	// Later rounds should proceed with the two survivors.
+	last := o.res.History[5]
+	if last.Uploaded != 2 {
+		t.Fatalf("final round uploads = %d, want 2 survivors", last.Uploaded)
+	}
+}
+
+func TestStrictModeAbortsOnDeadClient(t *testing.T) {
+	cfg := clusterConfig(t, 2, 4, nil)
+	srv, err := NewServer(ServerConfig{
+		Addr:          "127.0.0.1:0",
+		Clients:       2,
+		Model:         cfg.Model,
+		TestData:      cfg.TestData,
+		Rounds:        4,
+		RoundTimeout:  3 * time.Second,
+		AcceptTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Run()
+		done <- err
+	}()
+	go func() {
+		_, err := RunClient(ClientConfig{
+			Addr:   srv.Addr(),
+			ID:     0,
+			Model:  cfg.Model,
+			Data:   cfg.ClientData[0],
+			Epochs: cfg.Epochs,
+			Batch:  cfg.Batch,
+			LR:     cfg.LR,
+			Seed:   cfg.Seed,
+		})
+		_ = err // the server aborts mid-run; the client error is expected
+	}()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeFrame(conn, msgHello, encodeHello(1)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if err := <-done; err == nil {
+		t.Fatal("strict server should abort when a client dies")
+	}
+}
+
+func TestCompressedUpdateCodecRoundTrip(t *testing.T) {
+	payload := []byte{9, 8, 7}
+	p := encodeCompressedUpdate(3, 14, 0.25, 100, "quantize8", payload)
+	id, round, metric, dim, codec, got, err := decodeCompressedUpdate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 3 || round != 14 || metric != 0.25 || dim != 100 || codec != "quantize8" {
+		t.Fatalf("header round trip: %d %d %v %d %q", id, round, metric, dim, codec)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %v", got)
+	}
+	if _, _, _, _, _, _, err := decodeCompressedUpdate([]byte{1, 2}); err == nil {
+		t.Fatal("expected error for short payload")
+	}
+}
+
+func TestClusterWithCompression(t *testing.T) {
+	cfg := clusterConfig(t, 4, 8, nil)
+	cfg.Compressor = compress.Uniform8{}
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The app-level bytes must reflect the 8-bit encoding (~dim bytes per
+	// update instead of dim*8).
+	last := res.Server.History[len(res.Server.History)-1]
+	dim := len(res.Server.FinalParams)
+	raw := int64(last.CumUploads) * int64(dim) * 8
+	if last.CumUplinkBytes >= raw/4 {
+		t.Fatalf("compressed app bytes %d should be well under raw %d", last.CumUplinkBytes, raw)
+	}
+	// And the quantised training must still learn.
+	if acc := res.Server.FinalAccuracy(); acc < 0.4 {
+		t.Fatalf("compressed cluster accuracy = %v, want >= 0.4", acc)
+	}
+	// Wire bytes shrink too (the real footprint win).
+	plain, err := RunCluster(clusterConfig(t, 4, 8, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Server.UplinkWireBytes >= plain.Server.UplinkWireBytes/2 {
+		t.Fatalf("compressed wire bytes %d should be far below plain %d",
+			res.Server.UplinkWireBytes, plain.Server.UplinkWireBytes)
+	}
+}
+
+func TestServerRejectsCodecMismatch(t *testing.T) {
+	cfg := clusterConfig(t, 2, 3, nil)
+	srv, err := NewServer(ServerConfig{
+		Addr:          "127.0.0.1:0",
+		Clients:       2,
+		Model:         cfg.Model,
+		TestData:      cfg.TestData,
+		Rounds:        3,
+		RoundTimeout:  5 * time.Second,
+		AcceptTimeout: 10 * time.Second,
+		// Server expects raw updates.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Run()
+		done <- err
+	}()
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, err := RunClient(ClientConfig{
+				Addr:       srv.Addr(),
+				ID:         i,
+				Model:      cfg.Model,
+				Data:       cfg.ClientData[i],
+				Epochs:     1,
+				Batch:      4,
+				LR:         cfg.LR,
+				Compressor: compress.Uniform8{}, // mismatch
+				Seed:       cfg.Seed,
+			})
+			_ = err // server aborts; client error expected
+		}(i)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("server should reject mismatched codec")
+	}
+}

@@ -1,0 +1,66 @@
+package emu
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"cmfl/internal/xrand"
+)
+
+// TestDecodersNeverPanicOnGarbage feeds random byte soup into every decoder
+// (the data arrives from the network, so robustness is mandatory) and
+// checks that they return errors instead of panicking or fabricating data.
+func TestDecodersNeverPanicOnGarbage(t *testing.T) {
+	f := func(seed int64, lenRaw uint16) bool {
+		rng := xrand.New(seed)
+		n := int(lenRaw % 512)
+		garbage := make([]byte, n)
+		for i := range garbage {
+			garbage[i] = byte(rng.Intn(256))
+		}
+		// None of these may panic. Errors are fine; a "successful" decode is
+		// also fine when the garbage happens to be structurally valid.
+		decodeHello(garbage)
+		decodeModel(garbage)
+		decodeUpdate(garbage)
+		decodeSkip(garbage)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadFrameNeverPanicsOnGarbageStream pushes random bytes through the
+// framing layer.
+func TestReadFrameNeverPanicsOnGarbageStream(t *testing.T) {
+	f := func(seed int64, lenRaw uint16) bool {
+		rng := xrand.New(seed)
+		n := int(lenRaw % 1024)
+		garbage := make([]byte, n)
+		for i := range garbage {
+			garbage[i] = byte(rng.Intn(256))
+		}
+		r := bytes.NewReader(garbage)
+		for {
+			if _, err := readFrame(r); err != nil {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpdateDecodeRejectsLyingDim guards against a malicious client
+// declaring a huge dim with a short payload.
+func TestUpdateDecodeRejectsLyingDim(t *testing.T) {
+	p := encodeUpdate(1, 2, 0.5, []float64{1, 2, 3})
+	// Truncate the values but keep the declared dim.
+	if _, _, _, _, err := decodeUpdate(p[:len(p)-8]); err == nil {
+		t.Fatal("expected error for short update payload")
+	}
+}

@@ -1,0 +1,507 @@
+package emu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"cmfl/internal/dataset"
+	"cmfl/internal/fl"
+	"cmfl/internal/nn"
+)
+
+// ServerConfig describes the master side of the emulation.
+type ServerConfig struct {
+	// Addr to listen on, e.g. "127.0.0.1:0".
+	Addr string
+	// Clients is D, the number of slaves that must connect before training.
+	Clients int
+
+	// Model builds the global model architecture.
+	Model func() *nn.Network
+	// TestData evaluates global accuracy after each round.
+	TestData *dataset.Set
+	// EvalEvery evaluates accuracy every k rounds (default 1).
+	EvalEvery int
+	// EvalBatch bounds evaluation forward batches (default 64).
+	EvalBatch int
+
+	// Rounds is the number of synchronous iterations.
+	Rounds int
+	// TargetAccuracy stops early when reached (0 disables).
+	TargetAccuracy float64
+
+	// Compressor decodes compressed client uploads; must match the codec
+	// the clients were configured with. Nil accepts only raw updates.
+	Compressor fl.UpdateCodec
+
+	// RoundTimeout bounds waiting for any single client message
+	// (default 60s).
+	RoundTimeout time.Duration
+	// AcceptTimeout bounds waiting for all clients to connect
+	// (default 60s).
+	AcceptTimeout time.Duration
+
+	// FaultTolerant makes the server survive client failures: a client
+	// whose connection errors or times out is dropped for the rest of the
+	// run and its missing updates count as skips. Training aborts only
+	// when every client is gone. Without it (the default) any failure
+	// aborts the run, which keeps tests strict.
+	FaultTolerant bool
+}
+
+// ServerResult extends the simulation history with wire-level byte counts.
+type ServerResult struct {
+	History []fl.RoundStats
+	// FinalParams is the global model after the last round.
+	FinalParams []float64
+	// UplinkWireBytes / DownlinkWireBytes are the actual bytes observed on
+	// the TCP payload stream (frames incl. framing overhead).
+	UplinkWireBytes   int64
+	DownlinkWireBytes int64
+	// SkipCounts per client over the run.
+	SkipCounts []int
+	// DroppedClients lists clients removed by fault tolerance, with the
+	// round in which they failed.
+	DroppedClients map[int]int
+}
+
+// FinalAccuracy returns the last evaluated accuracy, or NaN.
+func (r *ServerResult) FinalAccuracy() float64 {
+	for i := len(r.History) - 1; i >= 0; i-- {
+		if !math.IsNaN(r.History[i].Accuracy) {
+			return r.History[i].Accuracy
+		}
+	}
+	return math.NaN()
+}
+
+// Server is the master of Algorithm 1's GlobalOptimization, run over TCP.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn
+	alive []bool
+}
+
+// NewServer validates the configuration and binds the listen socket, so the
+// effective address (with a resolved port) is known before Run.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Clients <= 0 {
+		return nil, errors.New("emu: Clients must be positive")
+	}
+	if cfg.Model == nil {
+		return nil, errors.New("emu: Model factory is required")
+	}
+	if cfg.Rounds <= 0 {
+		return nil, errors.New("emu: Rounds must be positive")
+	}
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 1
+	}
+	if cfg.EvalBatch <= 0 {
+		cfg.EvalBatch = 64
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = 60 * time.Second
+	}
+	if cfg.AcceptTimeout <= 0 {
+		cfg.AcceptTimeout = 60 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("emu: listen %s: %w", cfg.Addr, err)
+	}
+	return &Server{cfg: cfg, ln: ln}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close releases the listener and any client connections.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.conns {
+		c.Close()
+	}
+	s.conns = nil
+	return err
+}
+
+// Run accepts the configured number of clients, drives the synchronous
+// training rounds and returns the collected result. It closes all client
+// connections before returning.
+func (s *Server) Run() (*ServerResult, error) {
+	defer s.Close()
+	if err := s.acceptClients(); err != nil {
+		return nil, err
+	}
+
+	global := s.cfg.Model()
+	params := global.ParamVector()
+	res := &ServerResult{SkipCounts: make([]int, s.cfg.Clients)}
+
+	cumUploads := 0
+	var cumAppBytes int64 // paper-metric bytes: payload sizes only
+
+	for t := 1; t <= s.cfg.Rounds; t++ {
+		// Broadcast the model (Algorithm 1: distribute x_{t-1}; clients
+		// derive the feedback update from consecutive broadcasts).
+		payload := encodeModel(t, params)
+		if err := s.broadcast(msgModel, payload, t, res); err != nil {
+			return nil, fmt.Errorf("emu: round %d broadcast: %w", t, err)
+		}
+
+		// Gather one update or skip from every live client.
+		updates, skips, wire, err := s.gather(t, res)
+		if err != nil {
+			return nil, fmt.Errorf("emu: round %d gather: %w", t, err)
+		}
+		res.UplinkWireBytes += wire
+
+		globalUpdate := make([]float64, len(params))
+		for _, u := range updates {
+			if len(u.delta) != len(params) {
+				return nil, fmt.Errorf("emu: round %d client %d sent %d params, want %d", t, u.clientID, len(u.delta), len(params))
+			}
+			for j, v := range u.delta {
+				globalUpdate[j] += v
+			}
+			cumAppBytes += u.appBytes
+		}
+		for _, sk := range skips {
+			res.SkipCounts[sk.clientID]++
+			cumAppBytes += fl.SkipNotificationBytes
+		}
+		if len(updates) > 0 {
+			inv := 1.0 / float64(len(updates))
+			for j := range globalUpdate {
+				globalUpdate[j] *= inv
+				params[j] += globalUpdate[j]
+			}
+		}
+		cumUploads += len(updates)
+
+		stats := fl.RoundStats{
+			Round:          t,
+			Uploaded:       len(updates),
+			Skipped:        len(skips),
+			CumUploads:     cumUploads,
+			CumUplinkBytes: cumAppBytes,
+			Accuracy:       math.NaN(),
+			MeanRelevance:  math.NaN(),
+			DeltaUpdate:    math.NaN(),
+		}
+		if n := len(updates) + len(skips); n > 0 {
+			var msum float64
+			for _, u := range updates {
+				msum += u.metric
+			}
+			for _, sk := range skips {
+				msum += sk.metric
+			}
+			stats.MeanRelevance = msum / float64(n)
+		}
+		if t%s.cfg.EvalEvery == 0 || t == s.cfg.Rounds {
+			if err := global.SetParamVector(params); err != nil {
+				return nil, fmt.Errorf("emu: evaluator broadcast: %w", err)
+			}
+			stats.Accuracy = accuracyOf(global, s.cfg.TestData, s.cfg.EvalBatch)
+		}
+		res.History = append(res.History, stats)
+		if s.cfg.TargetAccuracy > 0 && !math.IsNaN(stats.Accuracy) && stats.Accuracy >= s.cfg.TargetAccuracy {
+			break
+		}
+	}
+
+	// Tell the surviving clients training is over.
+	if err := s.broadcast(msgDone, nil, s.cfg.Rounds+1, res); err != nil {
+		return nil, fmt.Errorf("emu: final done broadcast: %w", err)
+	}
+	res.FinalParams = params
+	return res, nil
+}
+
+func (s *Server) acceptClients() error {
+	deadline := time.Now().Add(s.cfg.AcceptTimeout)
+	byID := make(map[int]net.Conn, s.cfg.Clients)
+	for len(byID) < s.cfg.Clients {
+		if dl, ok := s.ln.(*net.TCPListener); ok {
+			if err := dl.SetDeadline(deadline); err != nil {
+				return fmt.Errorf("emu: set accept deadline: %w", err)
+			}
+		}
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("emu: accept (have %d of %d clients): %w", len(byID), s.cfg.Clients, err)
+		}
+		if err := conn.SetReadDeadline(deadline); err != nil {
+			conn.Close()
+			return fmt.Errorf("emu: set hello deadline: %w", err)
+		}
+		f, err := readFrame(conn)
+		if err != nil || f.kind != msgHello {
+			conn.Close()
+			return fmt.Errorf("emu: bad hello (kind %d): %w", f.kindOrZero(), err)
+		}
+		id, err := decodeHello(f.payload)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		if id < 0 || id >= s.cfg.Clients {
+			conn.Close()
+			return fmt.Errorf("emu: client id %d outside [0, %d)", id, s.cfg.Clients)
+		}
+		if prev, dup := byID[id]; dup {
+			prev.Close()
+			conn.Close()
+			return fmt.Errorf("emu: duplicate client id %d", id)
+		}
+		byID[id] = conn
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conns = make([]net.Conn, s.cfg.Clients)
+	s.alive = make([]bool, s.cfg.Clients)
+	for id, conn := range byID {
+		s.conns[id] = conn
+		s.alive[id] = true
+	}
+	return nil
+}
+
+// dropClient removes a failed client under fault tolerance. It returns the
+// original error when fault tolerance is off or no live client remains.
+func (s *Server) dropClient(i, round int, res *ServerResult, err error) error {
+	if !s.cfg.FaultTolerant {
+		return err
+	}
+	s.mu.Lock()
+	if s.alive[i] {
+		s.alive[i] = false
+		s.conns[i].Close()
+		if res.DroppedClients == nil {
+			res.DroppedClients = make(map[int]int)
+		}
+		res.DroppedClients[i] = round
+	}
+	anyAlive := false
+	for _, a := range s.alive {
+		if a {
+			anyAlive = true
+			break
+		}
+	}
+	s.mu.Unlock()
+	if !anyAlive {
+		return fmt.Errorf("emu: all clients failed (last: %w)", err)
+	}
+	return nil
+}
+
+// liveClients snapshots the indices of clients still participating.
+func (s *Server) liveClients() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.conns))
+	for i, a := range s.alive {
+		if a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// kindOrZero lets error paths print a frame kind even when f is nil.
+func (f *frame) kindOrZero() byte {
+	if f == nil {
+		return 0
+	}
+	return f.kind
+}
+
+// broadcast writes the same frame to every live client in parallel.
+func (s *Server) broadcast(kind byte, payload []byte, round int, res *ServerResult) error {
+	live := s.liveClients()
+	var wg sync.WaitGroup
+	errs := make([]error, len(live))
+	var sent int64
+	var mu sync.Mutex
+	for li, i := range live {
+		conn := s.conns[i]
+		wg.Add(1)
+		go func(li, i int, conn net.Conn) {
+			defer wg.Done()
+			if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.RoundTimeout)); err != nil {
+				errs[li] = clientError{client: i, err: err}
+				return
+			}
+			n, err := writeFrame(conn, kind, payload)
+			if err != nil {
+				errs[li] = clientError{client: i, err: err}
+				return
+			}
+			mu.Lock()
+			sent += n
+			mu.Unlock()
+		}(li, i, conn)
+	}
+	wg.Wait()
+	res.DownlinkWireBytes += sent
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		ce := err.(clientError)
+		if derr := s.dropClient(ce.client, round, res, ce.err); derr != nil {
+			return derr
+		}
+	}
+	return nil
+}
+
+// clientError tags a transport error with the client it came from.
+type clientError struct {
+	client int
+	err    error
+}
+
+func (e clientError) Error() string { return fmt.Sprintf("client %d: %v", e.client, e.err) }
+
+func (e clientError) Unwrap() error { return e.err }
+
+type updateMsg struct {
+	clientID int
+	metric   float64
+	delta    []float64
+	// appBytes is the paper-metric payload size: codec bytes for
+	// compressed uploads, dim×8 for raw ones.
+	appBytes int64
+}
+
+type skipMsg struct {
+	clientID int
+	metric   float64
+}
+
+// gather reads exactly one update or skip frame from every live client.
+func (s *Server) gather(round int, res *ServerResult) (updates []updateMsg, skips []skipMsg, wireBytes int64, err error) {
+	live := s.liveClients()
+	var wg sync.WaitGroup
+	type reply struct {
+		upd  *updateMsg
+		skip *skipMsg
+		wire int64
+		err  error
+	}
+	replies := make([]reply, len(s.conns))
+	for _, i := range live {
+		conn := s.conns[i]
+		wg.Add(1)
+		go func(i int, conn net.Conn) {
+			defer wg.Done()
+			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.RoundTimeout)); err != nil {
+				replies[i] = reply{err: err}
+				return
+			}
+			f, err := readFrame(conn)
+			if err != nil {
+				replies[i] = reply{err: err}
+				return
+			}
+			switch f.kind {
+			case msgUpdate:
+				id, r, metric, delta, err := decodeUpdate(f.payload)
+				if err != nil {
+					replies[i] = reply{err: err}
+					return
+				}
+				if r != round {
+					replies[i] = reply{err: fmt.Errorf("emu: client %d answered round %d during round %d", id, r, round)}
+					return
+				}
+				replies[i] = reply{upd: &updateMsg{clientID: id, metric: metric, delta: delta, appBytes: int64(len(delta)) * 8}, wire: f.wireSize()}
+			case msgUpdateC:
+				id, r, metric, dim, codec, payload, err := decodeCompressedUpdate(f.payload)
+				if err != nil {
+					replies[i] = reply{err: err}
+					return
+				}
+				if r != round {
+					replies[i] = reply{err: fmt.Errorf("emu: client %d answered round %d during round %d", id, r, round)}
+					return
+				}
+				if s.cfg.Compressor == nil || codec != s.cfg.Compressor.Name() {
+					replies[i] = reply{err: fmt.Errorf("emu: client %d used codec %q, server expects %v", id, codec, s.cfg.Compressor)}
+					return
+				}
+				delta, err := s.cfg.Compressor.Decode(payload, dim)
+				if err != nil {
+					replies[i] = reply{err: fmt.Errorf("emu: client %d payload: %w", id, err)}
+					return
+				}
+				replies[i] = reply{upd: &updateMsg{clientID: id, metric: metric, delta: delta, appBytes: int64(len(payload))}, wire: f.wireSize()}
+			case msgSkip:
+				id, r, metric, err := decodeSkip(f.payload)
+				if err != nil {
+					replies[i] = reply{err: err}
+					return
+				}
+				if r != round {
+					replies[i] = reply{err: fmt.Errorf("emu: client %d answered round %d during round %d", id, r, round)}
+					return
+				}
+				replies[i] = reply{skip: &skipMsg{clientID: id, metric: metric}, wire: f.wireSize()}
+			default:
+				replies[i] = reply{err: fmt.Errorf("emu: unexpected frame kind %d in round %d", f.kind, round)}
+			}
+		}(i, conn)
+	}
+	wg.Wait()
+	for i, r := range replies {
+		if r.err != nil {
+			if derr := s.dropClient(i, round, res, r.err); derr != nil {
+				return nil, nil, 0, derr
+			}
+			continue
+		}
+		wireBytes += r.wire
+		if r.upd != nil {
+			updates = append(updates, *r.upd)
+		}
+		if r.skip != nil {
+			skips = append(skips, *r.skip)
+		}
+	}
+	return updates, skips, wireBytes, nil
+}
+
+// accuracyOf evaluates classification accuracy in bounded batches.
+func accuracyOf(net *nn.Network, test *dataset.Set, evalBatch int) float64 {
+	if test == nil || test.Len() == 0 {
+		return math.NaN()
+	}
+	correct := 0
+	for lo := 0; lo < test.Len(); lo += evalBatch {
+		hi := lo + evalBatch
+		if hi > test.Len() {
+			hi = test.Len()
+		}
+		x, y := test.Batch(lo, hi)
+		pred := nn.Argmax(net.Forward(x))
+		for i, p := range pred {
+			if p == y[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(test.Len())
+}

@@ -1,0 +1,356 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cmfl/internal/core"
+	"cmfl/internal/fl"
+	"cmfl/internal/gaia"
+	"cmfl/internal/report"
+	"cmfl/internal/stats"
+)
+
+// Fig1Result holds the Normalized Model Divergence CDFs of Fig. 1.
+type Fig1Result struct {
+	MNIST *stats.CDF
+	NWP   *stats.CDF
+}
+
+// Fig1 trains both workloads with vanilla FL and measures the per-parameter
+// divergence (Eq. 7) between the final local models and the global model.
+func Fig1(mn MNISTSetup, nw NWPSetup) (*Fig1Result, error) {
+	out := &Fig1Result{}
+
+	fed, err := mn.Build()
+	if err != nil {
+		return nil, err
+	}
+	res, err := fl.Run(mn.FLConfig(fed, nil))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 mnist run: %w", err)
+	}
+	div, err := stats.NormalizedModelDivergence(res.ClientParams, res.FinalParams)
+	if err != nil {
+		return nil, err
+	}
+	out.MNIST = stats.NewCDF(div)
+
+	nfed, err := nw.Build()
+	if err != nil {
+		return nil, err
+	}
+	res, err = fl.Run(nw.FLConfig(nfed, nil))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig1 nwp run: %w", err)
+	}
+	div, err = stats.NormalizedModelDivergence(res.ClientParams, res.FinalParams)
+	if err != nil {
+		return nil, err
+	}
+	out.NWP = stats.NewCDF(div)
+	return out, nil
+}
+
+// Render prints the CDFs and the headline statistics the paper quotes
+// (fraction of parameters with divergence > 100%, maximum divergence).
+func (r *Fig1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 1 — CDF of Normalized Model Divergence d_j (Eq. 7)\n")
+	rows := [][]string{
+		{"MNIST CNN", fmt.Sprintf("%.1f%%", 100*(1-r.MNIST.At(1.0))), fmt.Sprintf("%.2f", r.MNIST.Quantile(0.5)), fmt.Sprintf("%.1f", r.MNIST.Max())},
+		{"NWP LSTM", fmt.Sprintf("%.1f%%", 100*(1-r.NWP.At(1.0))), fmt.Sprintf("%.2f", r.NWP.Quantile(0.5)), fmt.Sprintf("%.1f", r.NWP.Max())},
+	}
+	b.WriteString(report.Table([]string{"model", "params with d_j > 100%", "median d_j", "max d_j"}, rows))
+	mx, mp := r.MNIST.Points(40)
+	nx, np := r.NWP.Points(40)
+	b.WriteString(report.Plot("CDF(d_j)", 60, 14,
+		report.Series{Name: "MNIST CNN", X: mx, Y: mp},
+		report.Series{Name: "NWP LSTM", X: nx, Y: np},
+	))
+	return b.String()
+}
+
+// Fig2Result holds the per-round mean measures of Fig. 2.
+type Fig2Result struct {
+	Rounds       []float64
+	Significance []float64 // Gaia's ‖u‖/‖x‖, expected to decay
+	Relevance    []float64 // CMFL's Eq. 9, expected to stay stable
+}
+
+// Fig2 trains the MNIST CNN with vanilla FL and records both candidate
+// measures every round (paper: 168 clients; scaled presets use fewer).
+func Fig2(mn MNISTSetup) (*Fig2Result, error) {
+	fed, err := mn.Build()
+	if err != nil {
+		return nil, err
+	}
+	res, err := fl.Run(mn.FLConfig(fed, nil))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig2 run: %w", err)
+	}
+	out := &Fig2Result{}
+	for _, h := range res.History {
+		out.Rounds = append(out.Rounds, float64(h.Round))
+		out.Significance = append(out.Significance, h.MeanSignificance)
+		out.Relevance = append(out.Relevance, h.MeanRelevance)
+	}
+	return out, nil
+}
+
+// StabilityRatios summarises the traces: each measure's late-phase mean
+// divided by its early-phase mean. Gaia's ratio should be far below 1
+// (decay); CMFL's should stay near 1 (stable).
+func (r *Fig2Result) StabilityRatios() (gaiaRatio, cmflRatio float64) {
+	third := len(r.Rounds) / 3
+	if third == 0 {
+		return math.NaN(), math.NaN()
+	}
+	early := func(v []float64) float64 { return stats.Mean(dropNaN(v[:third])) }
+	late := func(v []float64) float64 { return stats.Mean(dropNaN(v[len(v)-third:])) }
+	return late(r.Significance) / early(r.Significance), late(r.Relevance) / early(r.Relevance)
+}
+
+// Render prints both traces and the stability ratios.
+func (r *Fig2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 2 — significance (Gaia) vs relevance (CMFL) over iterations\n")
+	gr, cr := r.StabilityRatios()
+	fmt.Fprintf(&b, "late/early ratio: significance %.3f (decays), relevance %.3f (stable)\n", gr, cr)
+	logSig := make([]float64, len(r.Significance))
+	for i, v := range r.Significance {
+		logSig[i] = math.Log10(math.Max(v, 1e-12))
+	}
+	b.WriteString(report.Plot("(a) log10 mean ‖u‖/‖x‖ per round", 60, 10,
+		report.Series{Name: "significance", X: r.Rounds, Y: logSig}))
+	b.WriteString(report.Plot("(b) mean relevance e(u,ū) per round", 60, 10,
+		report.Series{Name: "relevance", X: r.Rounds, Y: r.Relevance}))
+	return b.String()
+}
+
+// Fig3Result holds the ΔUpdate CDFs of Fig. 3.
+type Fig3Result struct {
+	MNIST *stats.CDF
+	NWP   *stats.CDF
+}
+
+// Fig3 trains both workloads with vanilla FL and collects the normalized
+// difference between sequential global updates (Eq. 8).
+func Fig3(mn MNISTSetup, nw NWPSetup) (*Fig3Result, error) {
+	collect := func(history []fl.RoundStats) *stats.CDF {
+		var ds []float64
+		for _, h := range history {
+			if !math.IsNaN(h.DeltaUpdate) && !math.IsInf(h.DeltaUpdate, 0) {
+				ds = append(ds, h.DeltaUpdate)
+			}
+		}
+		return stats.NewCDF(ds)
+	}
+	mfed, err := mn.Build()
+	if err != nil {
+		return nil, err
+	}
+	mres, err := fl.Run(mn.FLConfig(mfed, nil))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig3 mnist run: %w", err)
+	}
+	nfed, err := nw.Build()
+	if err != nil {
+		return nil, err
+	}
+	nres, err := fl.Run(nw.FLConfig(nfed, nil))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig3 nwp run: %w", err)
+	}
+	return &Fig3Result{MNIST: collect(mres.History), NWP: collect(nres.History)}, nil
+}
+
+// Render prints the ΔUpdate CDFs and the small-difference fractions the
+// paper quotes.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 3 — CDF of ΔUpdate between sequential global updates (Eq. 8)\n")
+	rows := [][]string{
+		{"MNIST CNN", fmt.Sprintf("%.1f%%", 100*r.MNIST.At(0.5)), fmt.Sprintf("%.3f", r.MNIST.Max())},
+		{"NWP LSTM", fmt.Sprintf("%.1f%%", 100*r.NWP.At(0.5)), fmt.Sprintf("%.3f", r.NWP.Max())},
+	}
+	b.WriteString(report.Table([]string{"model", "ΔUpdate <= 0.5", "max ΔUpdate"}, rows))
+	mx, mp := r.MNIST.Points(40)
+	nx, np := r.NWP.Points(40)
+	b.WriteString(report.Plot("CDF(ΔUpdate)", 60, 14,
+		report.Series{Name: "MNIST CNN", X: mx, Y: mp},
+		report.Series{Name: "NWP LSTM", X: nx, Y: np},
+	))
+	return b.String()
+}
+
+// AlgorithmTrace labels one algorithm's accuracy-vs-uploads curve.
+type AlgorithmTrace struct {
+	Name  string
+	Trace *stats.AccuracyTrace
+}
+
+// Fig4Result holds the three-algorithm comparison for one workload.
+type Fig4Result struct {
+	Workload string
+	Vanilla  AlgorithmTrace
+	Gaia     AlgorithmTrace
+	CMFL     AlgorithmTrace
+	// Targets are the accuracies summarised in Table I.
+	Targets []float64
+}
+
+// Fig4MNIST runs vanilla, Gaia and CMFL on the digit CNN.
+func Fig4MNIST(mn MNISTSetup) (*Fig4Result, error) {
+	fed, err := mn.Build()
+	if err != nil {
+		return nil, err
+	}
+	run := func(f fl.UploadFilter) (*stats.AccuracyTrace, error) {
+		res, err := fl.Run(mn.FLConfig(fed, f))
+		if err != nil {
+			return nil, err
+		}
+		return TraceOf(res.History), nil
+	}
+	v, err := run(nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig4a vanilla: %w", err)
+	}
+	g, err := run(gaia.NewFilter(core.Constant(mn.GaiaThreshold)))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig4a gaia: %w", err)
+	}
+	c, err := run(core.NewFilter(scheduleFor(mn.CMFLThreshold, mn.CMFLDecay)))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig4a cmfl: %w", err)
+	}
+	return &Fig4Result{
+		Workload: "MNIST CNN",
+		Vanilla:  AlgorithmTrace{Name: "vanilla", Trace: v},
+		Gaia:     AlgorithmTrace{Name: "gaia", Trace: g},
+		CMFL:     AlgorithmTrace{Name: "cmfl", Trace: c},
+		Targets:  mn.AccuracyTargets,
+	}, nil
+}
+
+// Fig4NWP runs vanilla, Gaia and CMFL on the next-word LSTM.
+func Fig4NWP(nw NWPSetup) (*Fig4Result, error) {
+	fed, err := nw.Build()
+	if err != nil {
+		return nil, err
+	}
+	run := func(f fl.UploadFilter) (*stats.AccuracyTrace, error) {
+		res, err := fl.Run(nw.FLConfig(fed, f))
+		if err != nil {
+			return nil, err
+		}
+		return TraceOf(res.History), nil
+	}
+	v, err := run(nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig4b vanilla: %w", err)
+	}
+	g, err := run(gaia.NewFilter(core.Constant(nw.GaiaThreshold)))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig4b gaia: %w", err)
+	}
+	c, err := run(core.NewFilter(scheduleFor(nw.CMFLThreshold, nw.CMFLDecay)))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig4b cmfl: %w", err)
+	}
+	return &Fig4Result{
+		Workload: "NWP LSTM",
+		Vanilla:  AlgorithmTrace{Name: "vanilla", Trace: v},
+		Gaia:     AlgorithmTrace{Name: "gaia", Trace: g},
+		CMFL:     AlgorithmTrace{Name: "cmfl", Trace: c},
+		Targets:  nw.AccuracyTargets,
+	}, nil
+}
+
+// Render plots accuracy against accumulated communication rounds.
+func (r *Fig4Result) Render() string {
+	toSeries := func(at AlgorithmTrace) report.Series {
+		xs := make([]float64, len(at.Trace.CumUploads))
+		for i, c := range at.Trace.CumUploads {
+			xs[i] = float64(c)
+		}
+		return report.Series{Name: at.Name, X: xs, Y: at.Trace.Accuracy}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4 — %s: accuracy vs accumulated communication rounds\n", r.Workload)
+	b.WriteString(report.Plot("accuracy vs uploads", 64, 16,
+		toSeries(r.Vanilla), toSeries(r.Gaia), toSeries(r.CMFL)))
+	b.WriteString(r.SavingsTable())
+	return b.String()
+}
+
+// SavingsTable renders the Table I rows derived from this workload.
+func (r *Fig4Result) SavingsTable() string {
+	rows := make([][]string, 0, len(r.Targets))
+	for _, target := range r.Targets {
+		gs, gok := stats.Saving(r.Vanilla.Trace, r.Gaia.Trace, target)
+		cs, cok := stats.Saving(r.Vanilla.Trace, r.CMFL.Trace, target)
+		rows = append(rows, []string{
+			fmt.Sprintf("%s %.0f%% accuracy", r.Workload, 100*target),
+			fmtSaving(gs, gok),
+			fmtSaving(cs, cok),
+		})
+	}
+	return report.Table([]string{"target", "Gaia saving", "CMFL saving"}, rows)
+}
+
+// Savings returns (gaia, cmfl) savings for each target; NaN when a trace
+// never reaches the target.
+func (r *Fig4Result) Savings() (gaiaS, cmflS []float64) {
+	for _, target := range r.Targets {
+		gs, gok := stats.Saving(r.Vanilla.Trace, r.Gaia.Trace, target)
+		cs, cok := stats.Saving(r.Vanilla.Trace, r.CMFL.Trace, target)
+		if !gok {
+			gs = math.NaN()
+		}
+		if !cok {
+			cs = math.NaN()
+		}
+		gaiaS = append(gaiaS, gs)
+		cmflS = append(cmflS, cs)
+	}
+	return gaiaS, cmflS
+}
+
+// Table1Render combines both workloads into the paper's Table I.
+func Table1Render(mnist, nwp *Fig4Result) string {
+	var rows [][]string
+	add := func(r *Fig4Result) {
+		gs, cs := r.Savings()
+		for i, target := range r.Targets {
+			rows = append(rows, []string{
+				fmt.Sprintf("%s %.0f%% accuracy", r.Workload, 100*target),
+				fmtSaving(gs[i], !math.IsNaN(gs[i])),
+				fmtSaving(cs[i], !math.IsNaN(cs[i])),
+			})
+		}
+	}
+	add(mnist)
+	add(nwp)
+	return "Table I — communication saving vs vanilla FL\n" +
+		report.Table([]string{"target", "Gaia", "CMFL"}, rows)
+}
+
+func fmtSaving(s float64, ok bool) string {
+	if !ok || math.IsNaN(s) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", s)
+}
+
+func dropNaN(v []float64) []float64 {
+	out := make([]float64, 0, len(v))
+	for _, x := range v {
+		if !math.IsNaN(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cmfl/internal/report"
+	"cmfl/internal/stats"
+)
+
+// MultiSeedResult aggregates a figure's headline savings across independent
+// seeds, giving the mean ± std robustness view a single deterministic run
+// cannot.
+type MultiSeedResult struct {
+	Workload string
+	Targets  []float64
+	Seeds    []int64
+	// Gaia and CMFL hold one summary per target accuracy.
+	Gaia []stats.Summary
+	CMFL []stats.Summary
+}
+
+// MultiSeedFig4MNIST repeats the Fig. 4a comparison across seeds.
+func MultiSeedFig4MNIST(base MNISTSetup, seeds []int64) (*MultiSeedResult, error) {
+	out := &MultiSeedResult{
+		Workload: "MNIST CNN",
+		Targets:  base.AccuracyTargets,
+		Seeds:    seeds,
+		Gaia:     make([]stats.Summary, len(base.AccuracyTargets)),
+		CMFL:     make([]stats.Summary, len(base.AccuracyTargets)),
+	}
+	for _, seed := range seeds {
+		s := base
+		s.Seed = seed
+		r, err := Fig4MNIST(s)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: multiseed fig4a seed %d: %w", seed, err)
+		}
+		gs, cs := r.Savings()
+		for i := range base.AccuracyTargets {
+			out.Gaia[i].Add(gs[i])
+			out.CMFL[i].Add(cs[i])
+		}
+	}
+	return out, nil
+}
+
+// MultiSeedFig4NWP repeats the Fig. 4b comparison across seeds.
+func MultiSeedFig4NWP(base NWPSetup, seeds []int64) (*MultiSeedResult, error) {
+	out := &MultiSeedResult{
+		Workload: "NWP LSTM",
+		Targets:  base.AccuracyTargets,
+		Seeds:    seeds,
+		Gaia:     make([]stats.Summary, len(base.AccuracyTargets)),
+		CMFL:     make([]stats.Summary, len(base.AccuracyTargets)),
+	}
+	for _, seed := range seeds {
+		s := base
+		s.Seed = seed
+		s.Dialogue.Seed = seed + 1
+		r, err := Fig4NWP(s)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: multiseed fig4b seed %d: %w", seed, err)
+		}
+		gs, cs := r.Savings()
+		for i := range base.AccuracyTargets {
+			out.Gaia[i].Add(gs[i])
+			out.CMFL[i].Add(cs[i])
+		}
+	}
+	return out, nil
+}
+
+// Render prints the aggregated savings table. Summaries whose N is below
+// the seed count flag how often a target was unreachable.
+func (r *MultiSeedResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4 (%s) across %d seeds — saving vs vanilla FL\n", r.Workload, len(r.Seeds))
+	rows := make([][]string, 0, len(r.Targets))
+	for i, target := range r.Targets {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%% accuracy", 100*target),
+			r.Gaia[i].String(),
+			r.CMFL[i].String(),
+		})
+	}
+	b.WriteString(report.Table([]string{"target", "Gaia saving", "CMFL saving"}, rows))
+	return b.String()
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cmfl/internal/core"
+	"cmfl/internal/fl"
+	"cmfl/internal/gaia"
+	"cmfl/internal/report"
+	"cmfl/internal/stats"
+)
+
+// SweepPoint is one threshold's outcome in a tuning sweep.
+type SweepPoint struct {
+	Threshold float64
+	// Saving at each accuracy target (NaN when unreached).
+	Savings []float64
+	// UploadFraction is uploads / (clients × rounds).
+	UploadFraction float64
+	BestAccuracy   float64
+}
+
+// SweepResult is the paper's threshold-tuning procedure (Sec. V-A: "we
+// tested a set of 10 threshold values ... and chose the threshold values
+// with the best performance").
+type SweepResult struct {
+	Algorithm string
+	Targets   []float64
+	Points    []SweepPoint
+}
+
+// Best returns the threshold with the highest saving at the last (hardest)
+// target, falling back to earlier targets and then best accuracy.
+func (r *SweepResult) Best() SweepPoint {
+	best := r.Points[0]
+	score := func(p SweepPoint) float64 {
+		for i := len(p.Savings) - 1; i >= 0; i-- {
+			if !math.IsNaN(p.Savings[i]) {
+				return float64(i+1)*1000 + p.Savings[i]
+			}
+		}
+		return p.BestAccuracy
+	}
+	for _, p := range r.Points[1:] {
+		if score(p) > score(best) {
+			best = p
+		}
+	}
+	return best
+}
+
+// Render prints the sweep as a table.
+func (r *SweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Threshold sweep — %s\n", r.Algorithm)
+	headers := []string{"threshold", "upload frac", "best acc"}
+	for _, t := range r.Targets {
+		headers = append(headers, fmt.Sprintf("saving@%.0f%%", 100*t))
+	}
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		row := []string{
+			fmt.Sprintf("%.2f", p.Threshold),
+			fmt.Sprintf("%.2f", p.UploadFraction),
+			fmt.Sprintf("%.3f", p.BestAccuracy),
+		}
+		for _, s := range p.Savings {
+			row = append(row, fmtSaving(s, !math.IsNaN(s)))
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(report.Table(headers, rows))
+	return b.String()
+}
+
+// sweepRunner abstracts "run the workload once with this filter" so MNIST
+// and NWP sweeps share the code.
+type sweepRunner struct {
+	run     func(filter fl.UploadFilter) (*stats.AccuracyTrace, float64, error) // trace, uploadFraction
+	targets []float64
+	vanilla *stats.AccuracyTrace
+}
+
+// SweepCMFLMNIST sweeps CMFL relevance thresholds on the digit workload.
+func SweepCMFLMNIST(mn MNISTSetup, thresholds []float64, decay bool) (*SweepResult, error) {
+	r, err := mnistRunner(mn)
+	if err != nil {
+		return nil, err
+	}
+	return sweep(r, "cmfl on MNIST CNN", thresholds, func(v float64) fl.UploadFilter {
+		return core.NewFilter(scheduleFor(v, decay))
+	})
+}
+
+// SweepGaiaMNIST sweeps Gaia significance thresholds on the digit workload.
+func SweepGaiaMNIST(mn MNISTSetup, thresholds []float64) (*SweepResult, error) {
+	r, err := mnistRunner(mn)
+	if err != nil {
+		return nil, err
+	}
+	return sweep(r, "gaia on MNIST CNN", thresholds, func(v float64) fl.UploadFilter {
+		return gaia.NewFilter(core.Constant(v))
+	})
+}
+
+// SweepCMFLNWP sweeps CMFL relevance thresholds on the next-word workload.
+func SweepCMFLNWP(nw NWPSetup, thresholds []float64, decay bool) (*SweepResult, error) {
+	r, err := nwpRunner(nw)
+	if err != nil {
+		return nil, err
+	}
+	return sweep(r, "cmfl on NWP LSTM", thresholds, func(v float64) fl.UploadFilter {
+		return core.NewFilter(scheduleFor(v, decay))
+	})
+}
+
+// SweepGaiaNWP sweeps Gaia significance thresholds on the next-word
+// workload.
+func SweepGaiaNWP(nw NWPSetup, thresholds []float64) (*SweepResult, error) {
+	r, err := nwpRunner(nw)
+	if err != nil {
+		return nil, err
+	}
+	return sweep(r, "gaia on NWP LSTM", thresholds, func(v float64) fl.UploadFilter {
+		return gaia.NewFilter(core.Constant(v))
+	})
+}
+
+func scheduleFor(v float64, decay bool) core.Schedule {
+	if decay {
+		return core.InvSqrt{V0: v}
+	}
+	return core.Constant(v)
+}
+
+func mnistRunner(mn MNISTSetup) (*sweepRunner, error) {
+	fed, err := mn.Build()
+	if err != nil {
+		return nil, err
+	}
+	run := func(filter fl.UploadFilter) (*stats.AccuracyTrace, float64, error) {
+		res, err := fl.Run(mn.FLConfig(fed, filter))
+		if err != nil {
+			return nil, 0, err
+		}
+		last := res.History[len(res.History)-1]
+		frac := float64(last.CumUploads) / float64(len(fed.Shards)*len(res.History))
+		return TraceOf(res.History), frac, nil
+	}
+	vanilla, _, err := run(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &sweepRunner{run: run, targets: mn.AccuracyTargets, vanilla: vanilla}, nil
+}
+
+func nwpRunner(nw NWPSetup) (*sweepRunner, error) {
+	fed, err := nw.Build()
+	if err != nil {
+		return nil, err
+	}
+	run := func(filter fl.UploadFilter) (*stats.AccuracyTrace, float64, error) {
+		res, err := fl.Run(nw.FLConfig(fed, filter))
+		if err != nil {
+			return nil, 0, err
+		}
+		last := res.History[len(res.History)-1]
+		frac := float64(last.CumUploads) / float64(len(fed.Shards)*len(res.History))
+		return TraceOf(res.History), frac, nil
+	}
+	vanilla, _, err := run(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &sweepRunner{run: run, targets: nw.AccuracyTargets, vanilla: vanilla}, nil
+}
+
+func sweep(r *sweepRunner, name string, thresholds []float64, mk func(v float64) fl.UploadFilter) (*SweepResult, error) {
+	out := &SweepResult{Algorithm: name, Targets: r.targets}
+	for _, v := range thresholds {
+		trace, frac, err := r.run(mk(v))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep %s at %v: %w", name, v, err)
+		}
+		p := SweepPoint{Threshold: v, UploadFraction: frac, BestAccuracy: trace.BestAccuracy()}
+		for _, target := range r.targets {
+			s, ok := stats.Saving(r.vanilla, trace, target)
+			if !ok {
+				s = math.NaN()
+			}
+			p.Savings = append(p.Savings, s)
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}

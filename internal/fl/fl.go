@@ -1,0 +1,212 @@
+// Package fl implements the synchronous federated-learning engine of the
+// paper (Sec. II-A): a central server broadcasts the global model, every
+// client runs E epochs of local minibatch SGD on its private shard, and the
+// server averages the uploaded deltas into a global update.
+//
+// Communication mitigation plugs in through UploadFilter: vanilla FL always
+// uploads, Gaia gates on update magnitude, CMFL gates on sign-alignment
+// relevance against the previous global update. The engine accounts for the
+// paper's two cost metrics — accumulated communication rounds (Eq. 4) and
+// uplink bytes — and records the traces needed for every figure.
+package fl
+
+import (
+	"cmfl/internal/core"
+	"cmfl/internal/dataset"
+	"cmfl/internal/nn"
+	"cmfl/internal/xrand"
+)
+
+// UploadFilter is the client-side gate deciding whether a local update is
+// transferred to the server. Implementations must be safe for concurrent
+// use; the engine calls Check from one goroutine per client.
+//
+// local is the client's update (delta of the flat parameter vector), model
+// is the global parameter vector the round started from, prevGlobal is the
+// most recent non-empty global update (the feedback of Sec. IV-A), and t is
+// the 1-based round number.
+type UploadFilter interface {
+	Name() string
+	Check(local, model, prevGlobal []float64, t int) (core.Decision, error)
+}
+
+// Vanilla is the no-filter baseline: every client uploads every round.
+type Vanilla struct{}
+
+// Name implements UploadFilter.
+func (Vanilla) Name() string { return "vanilla" }
+
+// Check implements UploadFilter.
+func (Vanilla) Check(local, model, prevGlobal []float64, t int) (core.Decision, error) {
+	return core.Decision{Upload: true, Metric: 1}, nil
+}
+
+// RoundObserver is an optional extension of UploadFilter: after every
+// synchronous round the engine reports how many of the participants
+// uploaded, letting stateful filters (e.g. core.AdaptiveFilter) adjust
+// their thresholds.
+type RoundObserver interface {
+	ObserveRound(round, uploaded, participants int)
+}
+
+// UpdateCodec lossily compresses uploaded updates; implemented by the
+// codecs in internal/compress. Must be safe for concurrent use.
+type UpdateCodec interface {
+	Name() string
+	Encode(update []float64) ([]byte, error)
+	Decode(payload []byte, dim int) ([]float64, error)
+}
+
+// SkipNotificationBytes is the size of the status message a client sends in
+// place of a full update when its update is filtered out (client id + round
+// + metric), mirroring the paper's EC2 implementation note that this cost is
+// negligible next to a full weight vector.
+const SkipNotificationBytes = 16
+
+// Config describes one federated training run.
+type Config struct {
+	// Model builds a fresh network with the experiment's architecture.
+	// Called once for the server and once per client; all instances are
+	// immediately overwritten with the broadcast global parameters, so the
+	// factory's weight initialisation only matters for the server's copy.
+	Model func() *nn.Network
+
+	// ClientData holds one private shard per client.
+	ClientData []*dataset.Set
+	// TestData is the held-out set for global accuracy evaluation.
+	TestData *dataset.Set
+
+	// Epochs is E, local passes over the shard per round (paper: 4).
+	Epochs int
+	// Batch is B, the local minibatch size (paper: 2).
+	Batch int
+	// LR is the learning-rate schedule η_t (paper: η0/√t for CMFL/Gaia).
+	LR core.Schedule
+	// Filter gates uploads; nil means Vanilla.
+	Filter UploadFilter
+
+	// Compressor lossily encodes every uploaded update (the bit-reduction
+	// approach of the paper's related work); nil uploads raw float64
+	// vectors. When set, uplink bytes count the encoded payload size and
+	// the server aggregates the decoded (lossy) updates. Composes freely
+	// with Filter — filtering decides *whether* to upload, compression
+	// decides *how many bits* the upload costs.
+	Compressor UpdateCodec
+
+	// ClientFraction is C from FedAvg: the fraction of clients sampled to
+	// participate each round (0 or 1 = full participation). Sampled
+	// clients are chosen uniformly per round from the engine seed.
+	ClientFraction float64
+
+	// ProxMu adds FedProx's proximal term μ/2·‖w − w_global‖² to every
+	// local step, pulling client optima toward the broadcast model. It
+	// tames client drift under heavy non-IIDness and composes with CMFL
+	// (drift-limited updates align better with the global trend). Zero
+	// disables it (plain FedAvg local solver, as in the paper).
+	ProxMu float64
+
+	// WeightedAggregation averages uploaded updates weighted by each
+	// client's sample count (FedAvg's n_k/n weighting) instead of the
+	// paper's plain mean. Off by default to match Algorithm 1 line 8.
+	WeightedAggregation bool
+
+	// DPClip bounds each update's L2 norm before upload (client-level
+	// differential privacy, Geyer et al. — the privacy line of work the
+	// paper builds on). Zero disables clipping.
+	DPClip float64
+	// DPNoiseSigma adds N(0, σ²) noise to every coordinate of the clipped
+	// update before the relevance check and upload. Zero disables noise.
+	// Noise is drawn from the client's deterministic stream.
+	DPNoiseSigma float64
+
+	// ServerMomentum applies FedAvgM-style momentum to the aggregated
+	// global update: v ← μv + ū; x ← x + v. Zero disables it (the paper's
+	// plain averaging). Momentum smooths the round-to-round global update,
+	// which also stabilises CMFL's Eq. 8 feedback estimate.
+	ServerMomentum float64
+
+	// Rounds is the maximum number of synchronous iterations.
+	Rounds int
+	// TargetAccuracy stops the run early once reached (0 disables).
+	TargetAccuracy float64
+	// EvalEvery evaluates global accuracy every k rounds (default 1).
+	EvalEvery int
+	// EvalBatch is the forward-pass batch size during evaluation (default 64).
+	EvalBatch int
+
+	// Parallelism bounds concurrent client training goroutines
+	// (default: number of clients).
+	Parallelism int
+	// Seed drives all engine randomness (shuffles), derived per client.
+	Seed int64
+
+	// FeedbackStaleness makes clients compare against the global update
+	// from k rounds ago instead of the previous round (ablation of the
+	// Eq. 8 smoothness assumption). Default 1.
+	FeedbackStaleness int
+
+	// Progress, when set, is invoked synchronously with each round's
+	// statistics as soon as the round completes — for live logging and
+	// dashboards. It must not retain the RoundStats pointer's slices.
+	Progress func(RoundStats)
+}
+
+// RoundStats records one synchronous round.
+type RoundStats struct {
+	Round int
+	// Participants is the number of clients sampled this round (all of
+	// them unless Config.ClientFraction < 1).
+	Participants int
+	Uploaded     int
+	Skipped      int
+
+	// CumUploads is Φ, the accumulated communication rounds (Eq. 4).
+	CumUploads int
+	// CumUplinkBytes counts update payloads plus skip notifications.
+	CumUplinkBytes int64
+
+	// Accuracy is the global model's test accuracy after this round's
+	// aggregation; NaN on rounds without evaluation.
+	Accuracy float64
+	// TrainLoss is the mean local training loss across clients.
+	TrainLoss float64
+
+	// MeanSignificance is the client-mean of Gaia's ‖u‖/‖x‖ (Fig. 2a).
+	MeanSignificance float64
+	// MeanRelevance is the client-mean of CMFL's Eq. 9 against the
+	// feedback update (Fig. 2b); NaN while no feedback exists.
+	MeanRelevance float64
+	// DeltaUpdate is Eq. 8 between this round's and the previous round's
+	// global updates (Fig. 3); NaN when undefined.
+	DeltaUpdate float64
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	History []RoundStats
+	// FinalParams is the global parameter vector after the last round.
+	FinalParams []float64
+	// ClientParams holds each client's locally trained parameter vector
+	// from the final round, for the Fig. 1 / Fig. 6 divergence analysis.
+	ClientParams [][]float64
+	// SkipCounts is the number of filtered (not uploaded) updates per
+	// client over the whole run.
+	SkipCounts []int
+	// FilterName echoes the filter used.
+	FilterName string
+}
+
+// FinalAccuracy returns the last evaluated accuracy, or NaN if none.
+func (r *Result) FinalAccuracy() float64 {
+	for i := len(r.History) - 1; i >= 0; i-- {
+		if !isNaN(r.History[i].Accuracy) {
+			return r.History[i].Accuracy
+		}
+	}
+	return nan()
+}
+
+// newClientStream derives the engine's per-client randomness.
+func newClientStream(seed int64, client int) *xrand.Stream {
+	return xrand.Derive(seed, "fl-client", client)
+}

@@ -1,0 +1,637 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"cmfl/internal/compress"
+	"cmfl/internal/core"
+	"cmfl/internal/dataset"
+	"cmfl/internal/gaia"
+	"cmfl/internal/nn"
+	"cmfl/internal/tensor"
+	"cmfl/internal/xrand"
+)
+
+// digitLogisticConfig builds a small, fast federated setup: a linear
+// classifier on 10×10 synthetic digits split across clients.
+func digitLogisticConfig(t *testing.T, clients int, nonIID bool) Config {
+	t.Helper()
+	all, err := dataset.Digits(dataset.DigitsConfig{
+		Samples: 600, ImageSize: 10, Noise: 0.2, MaxShift: 0, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shards []*dataset.Set
+	if nonIID {
+		shards, err = dataset.SortedShards(all, clients, 2, xrand.New(22))
+	} else {
+		shards, err = dataset.IIDSplit(all, clients, xrand.New(22))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := dataset.Digits(dataset.DigitsConfig{
+		Samples: 200, ImageSize: 10, Noise: 0.2, MaxShift: 0, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := func() *nn.Network {
+		return nn.NewNetwork(nn.NewFlatten(), nn.NewDense(100, 10, xrand.Derive(24, "init", 0)))
+	}
+	return Config{
+		Model:      model,
+		ClientData: shards,
+		TestData:   test,
+		Epochs:     3,
+		Batch:      4,
+		LR:         core.Constant(0.15),
+		Rounds:     30,
+		Seed:       25,
+	}
+}
+
+func TestVanillaConverges(t *testing.T) {
+	cfg := digitLogisticConfig(t, 5, false)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.FinalAccuracy(); acc < 0.8 {
+		t.Fatalf("vanilla FL accuracy = %v, want >= 0.8", acc)
+	}
+	last := res.History[len(res.History)-1]
+	if last.CumUploads != 5*len(res.History) {
+		t.Fatalf("vanilla uploads = %d, want %d (all clients every round)", last.CumUploads, 5*len(res.History))
+	}
+	if last.Skipped != 0 {
+		t.Fatalf("vanilla skipped %d updates", last.Skipped)
+	}
+}
+
+func TestCMFLSkipsAndStillLearns(t *testing.T) {
+	cfg := digitLogisticConfig(t, 10, true)
+	cfg.Rounds = 30
+	cfg.Filter = core.NewFilter(core.Constant(0.5))
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.History[len(res.History)-1]
+	total := 10 * len(res.History)
+	if last.CumUploads >= total {
+		t.Fatalf("CMFL uploaded everything (%d of %d); filter had no effect", last.CumUploads, total)
+	}
+	if acc := res.FinalAccuracy(); acc < 0.6 {
+		t.Fatalf("CMFL accuracy = %v, want >= 0.6", acc)
+	}
+	skips := 0
+	for _, s := range res.SkipCounts {
+		skips += s
+	}
+	if skips != total-last.CumUploads {
+		t.Fatalf("skip counts %d inconsistent with uploads %d/%d", skips, last.CumUploads, total)
+	}
+}
+
+func TestFirstRoundNoFeedbackAllUpload(t *testing.T) {
+	cfg := digitLogisticConfig(t, 6, true)
+	cfg.Rounds = 1
+	cfg.Filter = core.NewFilter(core.Constant(0.99))
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History[0].Uploaded != 6 {
+		t.Fatalf("round 1 uploads = %d, want all 6 (no feedback yet)", res.History[0].Uploaded)
+	}
+	if !math.IsNaN(res.History[0].MeanRelevance) {
+		t.Fatalf("round 1 relevance should be NaN, got %v", res.History[0].MeanRelevance)
+	}
+}
+
+func TestGaiaFilterRuns(t *testing.T) {
+	cfg := digitLogisticConfig(t, 5, true)
+	cfg.Filter = gaia.NewFilter(core.Constant(1e9)) // absurd threshold: skip all after round semantics
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.History[len(res.History)-1]
+	if last.CumUploads != 0 {
+		t.Fatalf("with an enormous Gaia threshold nothing should upload, got %d", last.CumUploads)
+	}
+	// Model never moved: accuracy equals the untrained model's.
+	if res.FilterName != "gaia" {
+		t.Fatalf("FilterName = %q, want gaia", res.FilterName)
+	}
+}
+
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	cfg1 := digitLogisticConfig(t, 6, true)
+	cfg1.Rounds = 5
+	cfg1.Parallelism = 1
+	cfg2 := digitLogisticConfig(t, 6, true)
+	cfg2.Rounds = 5
+	cfg2.Parallelism = 6
+	r1, err := Run(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.FinalParams {
+		if r1.FinalParams[i] != r2.FinalParams[i] {
+			t.Fatalf("parallelism changed results at param %d: %v vs %v", i, r1.FinalParams[i], r2.FinalParams[i])
+		}
+	}
+}
+
+func TestEarlyStopOnTargetAccuracy(t *testing.T) {
+	cfg := digitLogisticConfig(t, 5, false)
+	cfg.Rounds = 50
+	cfg.TargetAccuracy = 0.5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 50 {
+		t.Fatalf("run did not stop early despite target accuracy")
+	}
+	if res.FinalAccuracy() < 0.5 {
+		t.Fatalf("stopped at accuracy %v below target", res.FinalAccuracy())
+	}
+}
+
+func TestUplinkByteAccounting(t *testing.T) {
+	cfg := digitLogisticConfig(t, 4, true)
+	cfg.Rounds = 3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := len(res.FinalParams)
+	want := int64(res.History[len(res.History)-1].CumUploads) * int64(dim) * 8
+	if got := res.History[len(res.History)-1].CumUplinkBytes; got != want {
+		t.Fatalf("vanilla uplink bytes = %d, want %d", got, want)
+	}
+
+	// With a filter, skipped clients cost SkipNotificationBytes each.
+	cfg = digitLogisticConfig(t, 4, true)
+	cfg.Rounds = 5
+	cfg.Filter = core.NewFilter(core.Constant(0.7))
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.History[len(res.History)-1]
+	skipped := 4*len(res.History) - last.CumUploads
+	want = int64(last.CumUploads)*int64(dim)*8 + int64(skipped)*SkipNotificationBytes
+	if last.CumUplinkBytes != want {
+		t.Fatalf("filtered uplink bytes = %d, want %d", last.CumUplinkBytes, want)
+	}
+}
+
+func TestHistoryTracesPopulated(t *testing.T) {
+	cfg := digitLogisticConfig(t, 5, true)
+	cfg.Rounds = 6
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range res.History {
+		if h.Round != i+1 {
+			t.Fatalf("round numbering broken at %d", i)
+		}
+		if h.MeanSignificance <= 0 {
+			t.Fatalf("round %d significance = %v, want > 0", h.Round, h.MeanSignificance)
+		}
+		if h.TrainLoss <= 0 {
+			t.Fatalf("round %d train loss = %v, want > 0", h.Round, h.TrainLoss)
+		}
+		if i >= 1 && math.IsNaN(h.MeanRelevance) {
+			t.Fatalf("round %d relevance missing", h.Round)
+		}
+		if i >= 1 && math.IsNaN(h.DeltaUpdate) {
+			t.Fatalf("round %d delta-update missing", h.Round)
+		}
+	}
+}
+
+func TestClientParamsRecorded(t *testing.T) {
+	cfg := digitLogisticConfig(t, 4, true)
+	cfg.Rounds = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ClientParams) != 4 {
+		t.Fatalf("ClientParams holds %d clients, want 4", len(res.ClientParams))
+	}
+	for c, p := range res.ClientParams {
+		if len(p) != len(res.FinalParams) {
+			t.Fatalf("client %d params dim %d != global %d", c, len(p), len(res.FinalParams))
+		}
+	}
+}
+
+func TestFeedbackStalenessAblationRuns(t *testing.T) {
+	cfg := digitLogisticConfig(t, 5, true)
+	cfg.Rounds = 8
+	cfg.Filter = core.NewFilter(core.Constant(0.4))
+	cfg.FeedbackStaleness = 3
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := digitLogisticConfig(t, 3, false)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"nil model", func(c *Config) { c.Model = nil }},
+		{"no clients", func(c *Config) { c.ClientData = nil }},
+		{"zero epochs", func(c *Config) { c.Epochs = 0 }},
+		{"zero batch", func(c *Config) { c.Batch = 0 }},
+		{"nil lr", func(c *Config) { c.LR = nil }},
+		{"zero rounds", func(c *Config) { c.Rounds = 0 }},
+		{"empty shard", func(c *Config) { c.ClientData[0] = &dataset.Set{} }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		cfg.ClientData = append([]*dataset.Set(nil), base.ClientData...)
+		tc.mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestVanillaCheckAlwaysUploads(t *testing.T) {
+	var v Vanilla
+	d, err := v.Check(nil, nil, nil, 1)
+	if err != nil || !d.Upload {
+		t.Fatalf("Vanilla.Check = %+v, %v; want upload", d, err)
+	}
+	if v.Name() != "vanilla" {
+		t.Fatalf("Name = %q", v.Name())
+	}
+}
+
+// TestNonIIDRelevanceLowerThanIID checks the paper's premise: label-sorted
+// shards produce less aligned client updates than IID shards.
+func TestNonIIDRelevanceLowerThanIID(t *testing.T) {
+	run := func(nonIID bool) float64 {
+		cfg := digitLogisticConfig(t, 10, nonIID)
+		cfg.Rounds = 10
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		n := 0
+		for _, h := range res.History[1:] {
+			if !math.IsNaN(h.MeanRelevance) {
+				sum += h.MeanRelevance
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	iid := run(false)
+	noniid := run(true)
+	if noniid >= iid {
+		t.Fatalf("non-IID mean relevance %v should be below IID %v", noniid, iid)
+	}
+}
+
+func TestClientSampling(t *testing.T) {
+	cfg := digitLogisticConfig(t, 10, false)
+	cfg.Rounds = 8
+	cfg.ClientFraction = 0.3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range res.History {
+		if h.Participants != 3 {
+			t.Fatalf("round %d participants = %d, want 3", h.Round, h.Participants)
+		}
+		if h.Uploaded != 3 {
+			t.Fatalf("vanilla sampled round should upload all participants, got %d", h.Uploaded)
+		}
+	}
+	if acc := res.FinalAccuracy(); acc < 0.5 {
+		t.Fatalf("sampled training accuracy = %v, want >= 0.5", acc)
+	}
+}
+
+func TestClientSamplingMinimumOne(t *testing.T) {
+	cfg := digitLogisticConfig(t, 5, false)
+	cfg.Rounds = 2
+	cfg.ClientFraction = 0.01
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History[0].Participants != 1 {
+		t.Fatalf("participants = %d, want 1", res.History[0].Participants)
+	}
+}
+
+func TestCompressorReducesBytesAndStillLearns(t *testing.T) {
+	cfg := digitLogisticConfig(t, 5, false)
+	cfg.Rounds = 15
+	cfg.Compressor = compress.Uniform8{}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := len(res.FinalParams)
+	last := res.History[len(res.History)-1]
+	raw := int64(last.CumUploads) * int64(dim) * 8
+	if last.CumUplinkBytes >= raw/4 {
+		t.Fatalf("quantized bytes %d should be well under raw %d", last.CumUplinkBytes, raw)
+	}
+	if acc := res.FinalAccuracy(); acc < 0.7 {
+		t.Fatalf("quantized training accuracy = %v, want >= 0.7", acc)
+	}
+}
+
+func TestCompressorComposesWithCMFL(t *testing.T) {
+	cfg := digitLogisticConfig(t, 6, true)
+	cfg.Rounds = 10
+	cfg.Filter = core.NewFilter(core.Constant(0.5))
+	cfg.Compressor = compress.TopK{K: 50}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.History[len(res.History)-1]
+	// Each upload costs K*12 bytes; skips cost the notification.
+	want := int64(last.CumUploads)*50*12 +
+		int64(6*len(res.History)-last.CumUploads)*SkipNotificationBytes
+	if last.CumUplinkBytes != want {
+		t.Fatalf("bytes = %d, want %d", last.CumUplinkBytes, want)
+	}
+}
+
+func TestAdaptiveFilterConvergesToTargetFraction(t *testing.T) {
+	cfg := digitLogisticConfig(t, 10, true)
+	cfg.Rounds = 40
+	af := core.NewAdaptiveFilter(0.5, 0.6)
+	af.Gain = 0.02
+	cfg.Filter = af
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average upload fraction over the last half of training should be in
+	// the neighbourhood of the 0.6 target.
+	var sum float64
+	n := 0
+	for _, h := range res.History[len(res.History)/2:] {
+		sum += float64(h.Uploaded) / float64(h.Participants)
+		n++
+	}
+	frac := sum / float64(n)
+	if frac < 0.4 || frac > 0.8 {
+		t.Fatalf("adaptive upload fraction = %.2f, want near 0.6", frac)
+	}
+	if res.FilterName != "cmfl-adaptive" {
+		t.Fatalf("FilterName = %q", res.FilterName)
+	}
+}
+
+func TestServerMomentumChangesTrajectoryAndLearns(t *testing.T) {
+	base := digitLogisticConfig(t, 5, false)
+	base.Rounds = 15
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withM := digitLogisticConfig(t, 5, false)
+	withM.Rounds = 15
+	withM.ServerMomentum = 0.7
+	mres, err := Run(withM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for j := range plain.FinalParams {
+		if plain.FinalParams[j] != mres.FinalParams[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("server momentum had no effect on the trajectory")
+	}
+	if acc := mres.FinalAccuracy(); acc < 0.7 {
+		t.Fatalf("momentum run accuracy = %v, want >= 0.7", acc)
+	}
+}
+
+func TestServerMomentumSmoothsDeltaUpdate(t *testing.T) {
+	mean := func(momentum float64) float64 {
+		cfg := digitLogisticConfig(t, 8, true)
+		cfg.Rounds = 20
+		cfg.ServerMomentum = momentum
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		n := 0
+		for _, h := range res.History {
+			if !math.IsNaN(h.DeltaUpdate) && !math.IsInf(h.DeltaUpdate, 0) {
+				s += h.DeltaUpdate
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	plain := mean(0)
+	smoothed := mean(0.8)
+	if smoothed >= plain {
+		t.Fatalf("momentum should smooth sequential global updates: ΔUpdate %v vs %v", smoothed, plain)
+	}
+}
+
+func TestPrivatizeClipsAndNoises(t *testing.T) {
+	rng := xrand.New(81)
+	delta := []float64{3, 4} // norm 5
+	privatize(delta, 1.0, 0, rng)
+	if norm := tensor.Norm2(delta); math.Abs(norm-1) > 1e-12 {
+		t.Fatalf("clipped norm = %v, want 1", norm)
+	}
+	// Direction preserved by clipping.
+	if math.Abs(delta[0]/delta[1]-3.0/4.0) > 1e-12 {
+		t.Fatalf("clipping changed direction: %v", delta)
+	}
+	small := []float64{0.1, 0.1}
+	orig := append([]float64(nil), small...)
+	privatize(small, 1.0, 0, rng)
+	if small[0] != orig[0] || small[1] != orig[1] {
+		t.Fatal("clipping must not touch updates inside the bound")
+	}
+	privatize(small, 0, 0.5, rng)
+	if small[0] == orig[0] && small[1] == orig[1] {
+		t.Fatal("noise did not perturb the update")
+	}
+}
+
+func TestDPTrainingStillLearnsWithModestNoise(t *testing.T) {
+	cfg := digitLogisticConfig(t, 5, false)
+	cfg.Rounds = 25
+	cfg.DPClip = 5
+	cfg.DPNoiseSigma = 0.001
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.FinalAccuracy(); acc < 0.7 {
+		t.Fatalf("DP accuracy = %v, want >= 0.7", acc)
+	}
+}
+
+func TestDPNoiseDegradesRelevance(t *testing.T) {
+	mean := func(sigma float64) float64 {
+		cfg := digitLogisticConfig(t, 8, true)
+		cfg.Rounds = 10
+		cfg.DPNoiseSigma = sigma
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		n := 0
+		for _, h := range res.History[1:] {
+			if !math.IsNaN(h.MeanRelevance) {
+				s += h.MeanRelevance
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	clean := mean(0)
+	noisy := mean(1.0) // enormous noise: sign alignment collapses to chance
+	if noisy >= clean {
+		t.Fatalf("heavy DP noise should reduce relevance: %v vs %v", noisy, clean)
+	}
+	if math.Abs(noisy-0.5) > 0.05 {
+		t.Fatalf("pure-noise relevance should be near 0.5, got %v", noisy)
+	}
+}
+
+func TestProxTermLimitsClientDrift(t *testing.T) {
+	cfg := digitLogisticConfig(t, 6, true)
+	cfg.Rounds = 1
+	model := cfg.Model()
+	start := model.ParamVector()
+	norm := func(mu float64) float64 {
+		net := cfg.Model()
+		delta, _, err := LocalTrainProx(net, cfg.ClientData[0], start, 0.15, 4, 4, mu, newClientStream(1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tensor.Norm2(delta)
+	}
+	free := norm(0)
+	proxed := norm(5.0)
+	if proxed >= free {
+		t.Fatalf("proximal term should shrink local drift: %v vs %v", proxed, free)
+	}
+}
+
+func TestProxTrainingStillLearns(t *testing.T) {
+	cfg := digitLogisticConfig(t, 5, true)
+	cfg.Rounds = 25
+	cfg.ProxMu = 0.5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.FinalAccuracy(); acc < 0.6 {
+		t.Fatalf("FedProx accuracy = %v, want >= 0.6", acc)
+	}
+}
+
+func TestWeightedAggregation(t *testing.T) {
+	// Two clients with very different sizes: weighting must move the
+	// aggregate toward the larger client's update.
+	all, err := dataset.Digits(dataset.DigitsConfig{Samples: 300, ImageSize: 10, Noise: 0.2, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := all.Subset(seqIdx(0, 200))
+	small := all.Subset(seqIdx(200, 210))
+	cfg := Config{
+		Model: func() *nn.Network {
+			return nn.NewNetwork(nn.NewFlatten(), nn.NewDense(100, 10, xrand.Derive(92, "init", 0)))
+		},
+		ClientData: []*dataset.Set{big, small},
+		TestData:   all,
+		Epochs:     1,
+		Batch:      8,
+		LR:         core.Constant(0.1),
+		Rounds:     1,
+		Seed:       93,
+	}
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WeightedAggregation = true
+	weighted, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct each client's raw delta and check the weighted aggregate.
+	start := cfg.Model().ParamVector()
+	d0, _, err := LocalTrain(cfg.Model(), big, start, 0.1, 1, 8, newClientStream(93, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, _, err := LocalTrain(cfg.Model(), small, start, 0.1, 1, 8, newClientStream(93, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range start {
+		wantPlain := start[j] + (d0[j]+d1[j])/2
+		wantWeighted := start[j] + (200*d0[j]+10*d1[j])/210
+		if math.Abs(plain.FinalParams[j]-wantPlain) > 1e-12 {
+			t.Fatalf("plain aggregation wrong at %d", j)
+		}
+		if math.Abs(weighted.FinalParams[j]-wantWeighted) > 1e-12 {
+			t.Fatalf("weighted aggregation wrong at %d", j)
+		}
+	}
+}
+
+func seqIdx(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func TestProgressCallback(t *testing.T) {
+	cfg := digitLogisticConfig(t, 3, false)
+	cfg.Rounds = 4
+	var rounds []int
+	cfg.Progress = func(h RoundStats) { rounds = append(rounds, h.Round) }
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 4 || rounds[0] != 1 || rounds[3] != 4 {
+		t.Fatalf("progress callback rounds = %v", rounds)
+	}
+}

@@ -1,0 +1,226 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"cmfl/internal/core"
+	"cmfl/internal/tensor"
+)
+
+// PartialConfig extends the synchronous engine with *layerwise* CMFL: the
+// relevance check (Eq. 9) runs per parameter segment (one segment per
+// parameter tensor, from Network.ParamSegments), and a client uploads only
+// the segments that align with the global trend. This is a finer-grained
+// variant of the paper's all-or-nothing gate — a single tangential layer no
+// longer forces a client to withhold its relevant layers.
+type PartialConfig struct {
+	// Config supplies the workload; its Filter and Compressor are ignored
+	// (the partial gate replaces them).
+	Config
+	// Threshold is the per-segment relevance threshold schedule.
+	Threshold core.Schedule
+	// MinSegment exempts segments with fewer parameters from gating (they
+	// are always uploaded): the sign-agreement percentage of an 8-element
+	// bias vector is too quantised to be a meaningful relevance signal,
+	// and such segments are negligible in bytes anyway. Default 32.
+	MinSegment int
+}
+
+// segmentUploadBytes is the framing cost of announcing one uploaded
+// segment (segment index + length), on top of its float64 payload.
+const segmentUploadBytes = 8
+
+// PartialRoundStats extends the round record with segment-level counts.
+type PartialRoundStats struct {
+	Round int
+	// SegmentsUploaded / SegmentsTotal count segment uploads across all
+	// clients this round.
+	SegmentsUploaded int
+	SegmentsTotal    int
+	CumUplinkBytes   int64
+	Accuracy         float64
+}
+
+// PartialResult is the outcome of RunPartial.
+type PartialResult struct {
+	History     []PartialRoundStats
+	FinalParams []float64
+	// SegmentUploadFraction is the overall fraction of segments uploaded.
+	SegmentUploadFraction float64
+}
+
+// FinalAccuracy returns the last evaluated accuracy, or NaN.
+func (r *PartialResult) FinalAccuracy() float64 {
+	for i := len(r.History) - 1; i >= 0; i-- {
+		if !math.IsNaN(r.History[i].Accuracy) {
+			return r.History[i].Accuracy
+		}
+	}
+	return math.NaN()
+}
+
+// RunPartial executes synchronous training with layerwise relevance gating.
+func RunPartial(cfg PartialConfig) (*PartialResult, error) {
+	if err := validate(&cfg.Config); err != nil {
+		return nil, err
+	}
+	if cfg.Threshold == nil {
+		return nil, errors.New("fl: partial Threshold schedule is required")
+	}
+	if cfg.MinSegment <= 0 {
+		cfg.MinSegment = 32
+	}
+
+	global := cfg.Model()
+	params := global.ParamVector()
+	dim := len(params)
+	segLens := global.ParamSegments()
+	segOff := make([]int, len(segLens)+1)
+	for i, l := range segLens {
+		segOff[i+1] = segOff[i] + l
+	}
+	if segOff[len(segLens)] != dim {
+		return nil, fmt.Errorf("fl: segments cover %d of %d params", segOff[len(segLens)], dim)
+	}
+
+	clients := make([]*client, len(cfg.ClientData))
+	for i, data := range cfg.ClientData {
+		clients[i] = &client{
+			id:   i,
+			net:  cfg.Model(),
+			data: data,
+			rng:  newClientStream(cfg.Seed, i),
+		}
+	}
+
+	feedback := make([]float64, dim)
+	res := &PartialResult{}
+	var cumBytes int64
+	totalSegs, uploadedSegs := 0, 0
+
+	results := make([]partialResult, len(clients))
+	sem := make(chan struct{}, cfg.Parallelism)
+
+	for t := 1; t <= cfg.Rounds; t++ {
+		lr := cfg.LR.At(t)
+		thr := cfg.Threshold.At(t)
+		var wg sync.WaitGroup
+		for i := range clients {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				results[i] = partialTrain(clients[i], params, feedback, segOff, lr, thr, cfg.Epochs, cfg.Batch, cfg.MinSegment)
+			}(i)
+		}
+		wg.Wait()
+
+		// Per-segment averaging over the clients that uploaded the segment.
+		globalUpdate := make([]float64, dim)
+		segUp, segTot := 0, 0
+		var roundBytes int64
+		for s := 0; s < len(segLens); s++ {
+			lo, hi := segOff[s], segOff[s+1]
+			count := 0
+			for i := range results {
+				r := &results[i]
+				if r.err != nil {
+					return nil, fmt.Errorf("fl: partial round %d client %d: %w", t, i, r.err)
+				}
+				segTot++
+				if !r.upload[s] {
+					continue
+				}
+				segUp++
+				count++
+				for j := lo; j < hi; j++ {
+					globalUpdate[j] += r.delta[j]
+				}
+				roundBytes += int64(hi-lo)*8 + segmentUploadBytes
+			}
+			if count > 0 {
+				inv := 1.0 / float64(count)
+				for j := lo; j < hi; j++ {
+					globalUpdate[j] *= inv
+				}
+			}
+		}
+		// Clients that uploaded nothing still send a skip notification.
+		for i := range results {
+			any := false
+			for _, u := range results[i].upload {
+				any = any || u
+			}
+			if !any {
+				roundBytes += SkipNotificationBytes
+			}
+		}
+		tensor.Axpy(1, globalUpdate, params)
+		if !allZero(globalUpdate) {
+			feedback = globalUpdate
+		}
+
+		cumBytes += roundBytes
+		uploadedSegs += segUp
+		totalSegs += segTot
+		st := PartialRoundStats{
+			Round:            t,
+			SegmentsUploaded: segUp,
+			SegmentsTotal:    segTot,
+			CumUplinkBytes:   cumBytes,
+			Accuracy:         math.NaN(),
+		}
+		if cfg.EvalEvery > 0 && (t%cfg.EvalEvery == 0 || t == cfg.Rounds) {
+			if err := global.SetParamVector(params); err != nil {
+				return nil, err
+			}
+			st.Accuracy = evaluate(global, cfg.TestData, cfg.EvalBatch)
+		}
+		res.History = append(res.History, st)
+		if cfg.TargetAccuracy > 0 && !math.IsNaN(st.Accuracy) && st.Accuracy >= cfg.TargetAccuracy {
+			break
+		}
+	}
+	res.FinalParams = params
+	if totalSegs > 0 {
+		res.SegmentUploadFraction = float64(uploadedSegs) / float64(totalSegs)
+	}
+	return res, nil
+}
+
+// partialResult is one client's gated update: the full delta plus a
+// per-segment upload decision.
+type partialResult struct {
+	delta  []float64
+	upload []bool
+	err    error
+}
+
+// partialTrain runs one client's local round and gates each parameter
+// segment independently. The first round (zero feedback) uploads all.
+func partialTrain(c *client, global, feedback []float64, segOff []int, lr, thr float64, epochs, batch, minSegment int) partialResult {
+	delta, _, err := LocalTrain(c.net, c.data, global, lr, epochs, batch, c.rng)
+	if err != nil {
+		return partialResult{err: err}
+	}
+	nSeg := len(segOff) - 1
+	upload := make([]bool, nSeg)
+	bootstrap := allZero(feedback)
+	for s := 0; s < nSeg; s++ {
+		lo, hi := segOff[s], segOff[s+1]
+		if bootstrap || hi-lo < minSegment {
+			upload[s] = true
+			continue
+		}
+		rel, err := core.Relevance(delta[lo:hi], feedback[lo:hi])
+		if err != nil {
+			return partialResult{err: err}
+		}
+		upload[s] = rel >= thr
+	}
+	return partialResult{delta: delta, upload: upload}
+}

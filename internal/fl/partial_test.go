@@ -1,0 +1,116 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"cmfl/internal/core"
+)
+
+func partialConfig(t *testing.T) PartialConfig {
+	return PartialConfig{
+		Config:    digitLogisticConfig(t, 8, true),
+		Threshold: core.Constant(0.5),
+	}
+}
+
+func TestPartialUploadLearnsAndFilters(t *testing.T) {
+	cfg := partialConfig(t)
+	cfg.Rounds = 25
+	res, err := RunPartial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.FinalAccuracy(); acc < 0.6 {
+		t.Fatalf("partial-upload accuracy = %v, want >= 0.6", acc)
+	}
+	if res.SegmentUploadFraction >= 1 {
+		t.Fatal("partial gate never filtered a segment")
+	}
+	if res.SegmentUploadFraction <= 0 {
+		t.Fatal("partial gate filtered everything")
+	}
+}
+
+func TestPartialFirstRoundUploadsAll(t *testing.T) {
+	cfg := partialConfig(t)
+	cfg.Rounds = 1
+	res, err := RunPartial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.History[0]
+	if h.SegmentsUploaded != h.SegmentsTotal {
+		t.Fatalf("round 1 uploaded %d of %d segments; bootstrap must upload all",
+			h.SegmentsUploaded, h.SegmentsTotal)
+	}
+}
+
+func TestPartialBytesBelowFullUploads(t *testing.T) {
+	cfg := partialConfig(t)
+	cfg.Rounds = 15
+	res, err := RunPartial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := len(res.FinalParams)
+	// Full uploads would cost clients × rounds × dim × 8 bytes.
+	full := int64(len(cfg.ClientData)) * int64(len(res.History)) * int64(dim) * 8
+	last := res.History[len(res.History)-1]
+	if last.CumUplinkBytes >= full {
+		t.Fatalf("partial bytes %d should be below full-upload bytes %d", last.CumUplinkBytes, full)
+	}
+}
+
+func TestPartialSegmentsMatchHighThreshold(t *testing.T) {
+	// With an impossible threshold nothing uploads after round 1 and the
+	// model freezes.
+	cfg := partialConfig(t)
+	cfg.Rounds = 4
+	cfg.Threshold = core.Constant(1.1)
+	cfg.MinSegment = 1 // gate everything, including bias segments
+	res, err := RunPartial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range res.History[1:] {
+		if h.SegmentsUploaded != 0 {
+			t.Fatalf("round %d uploaded %d segments despite threshold > 1", h.Round, h.SegmentsUploaded)
+		}
+	}
+	if math.IsNaN(res.FinalAccuracy()) {
+		t.Fatal("accuracy missing")
+	}
+}
+
+func TestPartialValidation(t *testing.T) {
+	cfg := partialConfig(t)
+	cfg.Threshold = nil
+	if _, err := RunPartial(cfg); err == nil {
+		t.Fatal("expected error for nil threshold")
+	}
+	cfg = partialConfig(t)
+	cfg.Rounds = 0
+	if _, err := RunPartial(cfg); err == nil {
+		t.Fatal("expected validation error from embedded config")
+	}
+}
+
+func TestPartialMinSegmentBypassesSmallTensors(t *testing.T) {
+	cfg := partialConfig(t)
+	cfg.Rounds = 3
+	cfg.Threshold = core.Constant(1.1) // gate blocks every gated segment
+	// Default MinSegment (32) exempts the 10-element bias: exactly one
+	// segment per client per round still uploads after bootstrap.
+	res, err := RunPartial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := len(cfg.ClientData)
+	for _, h := range res.History[1:] {
+		if h.SegmentsUploaded != clients {
+			t.Fatalf("round %d uploaded %d segments, want %d (bias bypass only)",
+				h.Round, h.SegmentsUploaded, clients)
+		}
+	}
+}

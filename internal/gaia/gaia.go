@@ -1,0 +1,62 @@
+// Package gaia implements the magnitude-based significance filter of
+// Gaia (Hsieh et al., NSDI'17), the baseline the paper compares against.
+//
+// Gaia uploads a local update iff its magnitude relative to the current
+// model, ‖update‖/‖model‖, reaches a threshold. The filter is open-loop: it
+// never consults the global optimization direction, which is exactly the
+// deficiency CMFL addresses (paper Sec. III-B).
+package gaia
+
+import (
+	"errors"
+	"math"
+
+	"cmfl/internal/core"
+)
+
+// ErrLengthMismatch reports mismatched update/model vector lengths.
+var ErrLengthMismatch = errors.New("gaia: update and model vectors have different lengths")
+
+// Significance computes ‖update‖ / ‖model‖ (Euclidean norms). A zero model
+// (untrained network with zero init) yields +Inf so early updates are always
+// significant, matching Gaia's behaviour at cold start.
+func Significance(update, model []float64) (float64, error) {
+	if len(update) != len(model) {
+		return 0, ErrLengthMismatch
+	}
+	var nu, nm float64
+	for i, u := range update {
+		nu += u * u
+		nm += model[i] * model[i]
+	}
+	if nm == 0 {
+		return math.Inf(1), nil
+	}
+	return math.Sqrt(nu / nm), nil
+}
+
+// Filter gates uploads by update significance. Stateless and safe for
+// concurrent use.
+type Filter struct {
+	threshold core.Schedule
+}
+
+// NewFilter builds a Gaia filter with the given significance-threshold
+// schedule. The paper tunes a fixed threshold per workload; a decaying
+// schedule can be supplied for ablations.
+func NewFilter(threshold core.Schedule) *Filter {
+	return &Filter{threshold: threshold}
+}
+
+// Name implements the fl.UploadFilter interface.
+func (f *Filter) Name() string { return "gaia" }
+
+// Check decides whether a local update should be uploaded in round t.
+// Gaia ignores the global-update feedback entirely.
+func (f *Filter) Check(local, model, prevGlobal []float64, t int) (core.Decision, error) {
+	sig, err := Significance(local, model)
+	if err != nil {
+		return core.Decision{}, err
+	}
+	return core.Decision{Upload: sig >= f.threshold.At(t), Metric: sig}, nil
+}

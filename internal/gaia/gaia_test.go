@@ -1,0 +1,123 @@
+package gaia
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cmfl/internal/core"
+	"cmfl/internal/xrand"
+)
+
+func TestSignificanceKnown(t *testing.T) {
+	got, err := Significance([]float64{3, 4}, []float64{5, 0})
+	if err != nil || math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Significance = %v, %v; want 1", got, err)
+	}
+}
+
+func TestSignificanceZeroModel(t *testing.T) {
+	got, err := Significance([]float64{1}, []float64{0})
+	if err != nil || !math.IsInf(got, 1) {
+		t.Fatalf("Significance with zero model = %v; want +Inf", got)
+	}
+}
+
+func TestSignificanceLengthMismatch(t *testing.T) {
+	if _, err := Significance([]float64{1}, []float64{1, 2}); err != ErrLengthMismatch {
+		t.Fatalf("err = %v, want ErrLengthMismatch", err)
+	}
+}
+
+// TestSignificanceScaleSensitive documents the paper's critique: unlike CMFL
+// relevance, Gaia's significance scales linearly with the learning rate.
+func TestSignificanceScaleSensitive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(30)
+		u := rng.NormVec(n, 0, 1)
+		m := rng.NormVec(n, 1, 1)
+		su := make([]float64, n)
+		for i := range u {
+			su[i] = 2 * u[i]
+		}
+		s1, err1 := Significance(u, m)
+		s2, err2 := Significance(su, m)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(s2-2*s1) < 1e-9*math.Max(1, s1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSignificanceDirectionBlind shows Gaia cannot distinguish an update
+// aligned with the global trend from its exact negation — CMFL's core
+// argument for the relevance measure.
+func TestSignificanceDirectionBlind(t *testing.T) {
+	rng := xrand.New(3)
+	n := 20
+	u := rng.NormVec(n, 0, 1)
+	m := rng.NormVec(n, 1, 0.5)
+	neg := make([]float64, n)
+	for i := range u {
+		neg[i] = -u[i]
+	}
+	a, err := Significance(u, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Significance(neg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("Significance(u)=%v vs Significance(-u)=%v; Gaia should be direction-blind", a, b)
+	}
+	ra, _ := core.Relevance(u, u)
+	rb, _ := core.Relevance(neg, u)
+	if ra != 1 || rb != 0 {
+		t.Fatalf("Relevance distinguishes direction: got %v and %v, want 1 and 0", ra, rb)
+	}
+}
+
+func TestFilterThresholding(t *testing.T) {
+	f := NewFilter(core.Constant(0.5))
+	if f.Name() != "gaia" {
+		t.Fatalf("Name = %q, want gaia", f.Name())
+	}
+	// ||u||/||m|| = 1 >= 0.5 -> upload.
+	d, err := f.Check([]float64{3, 4}, []float64{5, 0}, nil, 1)
+	if err != nil || !d.Upload {
+		t.Fatalf("significant update skipped: %+v, %v", d, err)
+	}
+	// ||u||/||m|| = 0.1 < 0.5 -> skip.
+	d, err = f.Check([]float64{0.3, 0.4}, []float64{5, 0}, nil, 1)
+	if err != nil || d.Upload {
+		t.Fatalf("insignificant update uploaded: %+v, %v", d, err)
+	}
+}
+
+func TestFilterIgnoresFeedback(t *testing.T) {
+	f := NewFilter(core.Constant(0.5))
+	aligned, err := f.Check([]float64{1, 1}, []float64{1, 1}, []float64{1, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opposed, err := f.Check([]float64{1, 1}, []float64{1, 1}, []float64{-1, -1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aligned.Upload != opposed.Upload || aligned.Metric != opposed.Metric {
+		t.Fatal("Gaia must ignore the global-update feedback")
+	}
+}
+
+func TestFilterErrorPropagation(t *testing.T) {
+	f := NewFilter(core.Constant(0.5))
+	if _, err := f.Check([]float64{1}, []float64{1, 2}, nil, 1); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}

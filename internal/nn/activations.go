@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"math"
+
+	"cmfl/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise. Shape-preserving, parameter-free.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Clone()
+	if cap(r.mask) < x.Len() {
+		r.mask = make([]bool, x.Len())
+	}
+	r.mask = r.mask[:x.Len()]
+	for i, v := range out.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	grad := gradOut.Clone()
+	for i := range grad.Data {
+		if !r.mask[i] {
+			grad.Data[i] = 0
+		}
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// Tanh applies tanh elementwise.
+type Tanh struct {
+	out *tensor.Tensor
+}
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	t.out = out
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	grad := gradOut.Clone()
+	for i, y := range t.out.Data {
+		grad.Data[i] *= 1 - y*y
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (t *Tanh) Grads() []*tensor.Tensor { return nil }
+
+// Sigmoid applies the logistic function elementwise.
+type Sigmoid struct {
+	out *tensor.Tensor
+}
+
+// NewSigmoid returns a Sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = sigmoid(v)
+	}
+	s.out = out
+	return out
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	grad := gradOut.Clone()
+	for i, y := range s.out.Data {
+		grad.Data[i] *= y * (1 - y)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (s *Sigmoid) Grads() []*tensor.Tensor { return nil }
+
+func sigmoid(v float64) float64 {
+	if v >= 0 {
+		return 1 / (1 + math.Exp(-v))
+	}
+	e := math.Exp(v)
+	return e / (1 + e)
+}
+
+// Flatten reshapes [batch, ...] to [batch, rest].
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
+	f.inShape = append(f.inShape[:0], x.Shape...)
+	batch := x.Dim(0)
+	return x.Reshape(batch, x.Len()/batch)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return gradOut.Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (f *Flatten) Grads() []*tensor.Tensor { return nil }

@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Checkpoint format: magic, version, parameter count, big-endian float64s.
+// Only parameters are stored — the architecture is code, reconstructed by
+// the same factory on load (matching the federated deployments, where
+// server and clients already share the model definition).
+const (
+	checkpointMagic   uint32 = 0xC3F1C0DE
+	checkpointVersion uint32 = 1
+)
+
+// ErrBadCheckpoint reports an unreadable or mismatched checkpoint.
+var ErrBadCheckpoint = errors.New("nn: bad checkpoint")
+
+// MarshalParams serialises the network's parameter vector.
+func (n *Network) MarshalParams() []byte {
+	params := n.ParamVector()
+	out := make([]byte, 12+8*len(params))
+	binary.BigEndian.PutUint32(out[:4], checkpointMagic)
+	binary.BigEndian.PutUint32(out[4:8], checkpointVersion)
+	binary.BigEndian.PutUint32(out[8:12], uint32(len(params)))
+	for i, v := range params {
+		binary.BigEndian.PutUint64(out[12+i*8:12+(i+1)*8], math.Float64bits(v))
+	}
+	return out
+}
+
+// UnmarshalParams restores a parameter vector serialised by MarshalParams.
+// The network's architecture (and thus parameter count) must match.
+func (n *Network) UnmarshalParams(data []byte) error {
+	if len(data) < 12 {
+		return fmt.Errorf("%w: %d bytes, want >= 12", ErrBadCheckpoint, len(data))
+	}
+	if binary.BigEndian.Uint32(data[:4]) != checkpointMagic {
+		return fmt.Errorf("%w: wrong magic", ErrBadCheckpoint)
+	}
+	if v := binary.BigEndian.Uint32(data[4:8]); v != checkpointVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, v)
+	}
+	count := int(binary.BigEndian.Uint32(data[8:12]))
+	if len(data) != 12+8*count {
+		return fmt.Errorf("%w: %d bytes for %d params", ErrBadCheckpoint, len(data), count)
+	}
+	if count != n.NumParams() {
+		return fmt.Errorf("%w: checkpoint has %d params, network has %d", ErrBadCheckpoint, count, n.NumParams())
+	}
+	params := make([]float64, count)
+	for i := range params {
+		params[i] = math.Float64frombits(binary.BigEndian.Uint64(data[12+i*8 : 12+(i+1)*8]))
+	}
+	return n.SetParamVector(params)
+}
+
+// SaveCheckpoint writes the network's parameters to path.
+func (n *Network) SaveCheckpoint(path string) error {
+	if err := os.WriteFile(path, n.MarshalParams(), 0o644); err != nil {
+		return fmt.Errorf("nn: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores the network's parameters from path.
+func (n *Network) LoadCheckpoint(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("nn: load checkpoint: %w", err)
+	}
+	return n.UnmarshalParams(data)
+}

@@ -1,0 +1,174 @@
+package nn
+
+import (
+	"math"
+
+	"cmfl/internal/tensor"
+	"cmfl/internal/xrand"
+)
+
+// Conv2D is a 2-D convolution with stride 1 and no padding ("valid").
+//
+// Input shape [batch, inC, H, W]; output shape [batch, outC, H-K+1, W-K+1].
+// The paper's MNIST model uses two 5×5 convolutions; the kernel size is a
+// parameter so scaled-down experiments can use 3×3.
+type Conv2D struct {
+	InC, OutC, K int
+
+	w, b   *tensor.Tensor // w: [outC, inC, K, K], b: [outC]
+	gw, gb *tensor.Tensor
+
+	x *tensor.Tensor
+}
+
+// NewConv2D creates a convolution layer with Glorot-uniform initialisation.
+func NewConv2D(inC, outC, k int, rng *xrand.Stream) *Conv2D {
+	fanIn := inC * k * k
+	fanOut := outC * k * k
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return &Conv2D{
+		InC:  inC,
+		OutC: outC,
+		K:    k,
+		w:    tensor.FromSlice(rng.UniformVec(outC*inC*k*k, -limit, limit), outC, inC, k, k),
+		b:    tensor.New(outC),
+		gw:   tensor.New(outC, inC, k, k),
+		gb:   tensor.New(outC),
+	}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c.x = x
+	batch, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := h-c.K+1, w-c.K+1
+	out := tensor.New(batch, c.OutC, oh, ow)
+	for n := 0; n < batch; n++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := c.b.Data[oc]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					sum := bias
+					for ic := 0; ic < c.InC; ic++ {
+						xBase := ((n*c.InC+ic)*h + oy) * w
+						wBase := ((oc*c.InC + ic) * c.K) * c.K
+						for ky := 0; ky < c.K; ky++ {
+							xRow := x.Data[xBase+ky*w+ox : xBase+ky*w+ox+c.K]
+							wRow := c.w.Data[wBase+ky*c.K : wBase+(ky+1)*c.K]
+							for kx, wv := range wRow {
+								sum += xRow[kx] * wv
+							}
+						}
+					}
+					out.Data[((n*c.OutC+oc)*oh+oy)*ow+ox] = sum
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	x := c.x
+	batch, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := h-c.K+1, w-c.K+1
+	gradIn := tensor.New(batch, c.InC, h, w)
+	for n := 0; n < batch; n++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := gradOut.Data[((n*c.OutC+oc)*oh+oy)*ow+ox]
+					if g == 0 {
+						continue
+					}
+					c.gb.Data[oc] += g
+					for ic := 0; ic < c.InC; ic++ {
+						xBase := ((n*c.InC+ic)*h + oy) * w
+						wBase := ((oc*c.InC + ic) * c.K) * c.K
+						giBase := ((n*c.InC+ic)*h + oy) * w
+						for ky := 0; ky < c.K; ky++ {
+							xRow := x.Data[xBase+ky*w+ox : xBase+ky*w+ox+c.K]
+							wRow := c.w.Data[wBase+ky*c.K : wBase+(ky+1)*c.K]
+							gwRow := c.gw.Data[wBase+ky*c.K : wBase+(ky+1)*c.K]
+							giRow := gradIn.Data[giBase+ky*w+ox : giBase+ky*w+ox+c.K]
+							for kx := 0; kx < c.K; kx++ {
+								gwRow[kx] += g * xRow[kx]
+								giRow[kx] += g * wRow[kx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.w, c.b} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.gw, c.gb} }
+
+// MaxPool2 is a 2×2 max pooling layer with stride 2.
+//
+// Input shape [batch, C, H, W] with even H and W; output [batch, C, H/2, W/2].
+type MaxPool2 struct {
+	argmax  []int
+	inShape []int
+}
+
+// NewMaxPool2 returns a 2×2 max-pooling layer.
+func NewMaxPool2() *MaxPool2 { return &MaxPool2{} }
+
+// Forward implements Layer.
+func (p *MaxPool2) Forward(x *tensor.Tensor) *tensor.Tensor {
+	batch, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := h/2, w/2
+	p.inShape = append(p.inShape[:0], x.Shape...)
+	out := tensor.New(batch, ch, oh, ow)
+	if cap(p.argmax) < out.Len() {
+		p.argmax = make([]int, out.Len())
+	}
+	p.argmax = p.argmax[:out.Len()]
+	for n := 0; n < batch; n++ {
+		for c := 0; c < ch; c++ {
+			base := (n*ch + c) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := math.Inf(-1)
+					bestIdx := 0
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							idx := base + (2*oy+dy)*w + 2*ox + dx
+							if v := x.Data[idx]; v > best {
+								best = v
+								bestIdx = idx
+							}
+						}
+					}
+					oIdx := ((n*ch+c)*oh+oy)*ow + ox
+					out.Data[oIdx] = best
+					p.argmax[oIdx] = bestIdx
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(p.inShape...)
+	for oIdx, iIdx := range p.argmax {
+		gradIn.Data[iIdx] += gradOut.Data[oIdx]
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (p *MaxPool2) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (p *MaxPool2) Grads() []*tensor.Tensor { return nil }

@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"math"
+
+	"cmfl/internal/tensor"
+	"cmfl/internal/xrand"
+)
+
+// Dense is a fully connected layer: y = x·W + b.
+//
+// Input shape [batch, in]; output shape [batch, out].
+type Dense struct {
+	In, Out int
+
+	w, b   *tensor.Tensor // w: [in, out], b: [out]
+	gw, gb *tensor.Tensor
+
+	x *tensor.Tensor // cached forward input
+}
+
+// NewDense creates a dense layer with Glorot-uniform weight initialisation
+// drawn from rng, and zero biases.
+func NewDense(in, out int, rng *xrand.Stream) *Dense {
+	limit := math.Sqrt(6.0 / float64(in+out))
+	return &Dense{
+		In:  in,
+		Out: out,
+		w:   tensor.FromSlice(rng.UniformVec(in*out, -limit, limit), in, out),
+		b:   tensor.New(out),
+		gw:  tensor.New(in, out),
+		gb:  tensor.New(out),
+	}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
+	d.x = x
+	batch := x.Dim(0)
+	out := tensor.MatMul(x, d.w)
+	for i := 0; i < batch; i++ {
+		row := out.Data[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			row[j] += d.b.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	// dW += xᵀ · gradOut ; db += column sums ; dX = gradOut · Wᵀ
+	d.gw.AddInPlace(tensor.MatMulTransA(d.x, gradOut))
+	batch := gradOut.Dim(0)
+	for i := 0; i < batch; i++ {
+		row := gradOut.Data[i*d.Out : (i+1)*d.Out]
+		for j, v := range row {
+			d.gb.Data[j] += v
+		}
+	}
+	return tensor.MatMulTransB(gradOut, d.w)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.w, d.b} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.gw, d.gb} }

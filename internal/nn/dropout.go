@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"cmfl/internal/tensor"
+	"cmfl/internal/xrand"
+)
+
+// TrainingMode is implemented by layers whose behaviour differs between
+// training and inference (e.g. Dropout). Network.SetTraining toggles all of
+// them.
+type TrainingMode interface {
+	SetTraining(training bool)
+}
+
+// SetTraining switches every mode-aware layer between training and
+// inference behaviour.
+func (n *Network) SetTraining(training bool) {
+	for _, l := range n.layers {
+		if tm, ok := l.(TrainingMode); ok {
+			tm.SetTraining(training)
+		}
+	}
+}
+
+// Dropout zeroes each activation with probability Rate during training and
+// scales the survivors by 1/(1−Rate) (inverted dropout), so inference is the
+// identity. It starts in training mode.
+type Dropout struct {
+	Rate float64
+
+	rng      *xrand.Stream
+	training bool
+	mask     []bool
+}
+
+// NewDropout creates a dropout layer driven by rng.
+func NewDropout(rate float64, rng *xrand.Stream) *Dropout {
+	return &Dropout{Rate: rate, rng: rng, training: true}
+}
+
+// SetTraining implements TrainingMode.
+func (d *Dropout) SetTraining(training bool) { d.training = training }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if !d.training || d.Rate <= 0 {
+		return x
+	}
+	out := x.Clone()
+	if cap(d.mask) < x.Len() {
+		d.mask = make([]bool, x.Len())
+	}
+	d.mask = d.mask[:x.Len()]
+	scale := 1 / (1 - d.Rate)
+	for i := range out.Data {
+		if d.rng.Float64() < d.Rate {
+			d.mask[i] = false
+			out.Data[i] = 0
+		} else {
+			d.mask[i] = true
+			out.Data[i] *= scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if !d.training || d.Rate <= 0 {
+		return gradOut
+	}
+	grad := gradOut.Clone()
+	scale := 1 / (1 - d.Rate)
+	for i := range grad.Data {
+		if d.mask[i] {
+			grad.Data[i] *= scale
+		} else {
+			grad.Data[i] = 0
+		}
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (d *Dropout) Grads() []*tensor.Tensor { return nil }

@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"math"
+
+	"cmfl/internal/tensor"
+	"cmfl/internal/xrand"
+)
+
+// GRU is a gated recurrent unit unrolled over a fixed-length sequence with
+// full backpropagation through time — a lighter alternative to LSTM for the
+// next-word workload.
+//
+// Input shape [batch, time, in]; output [batch, time, hidden] when
+// ReturnSequences, else the final hidden state [batch, hidden].
+//
+// Gate order in the fused matrices is (reset, update, candidate):
+//
+//	r = σ(x·Wr + h·Ur + br)
+//	z = σ(x·Wz + h·Uz + bz)
+//	ĥ = tanh(x·Wh + (r∘h)·Uh + bh)
+//	h' = (1−z)∘h + z∘ĥ
+type GRU struct {
+	In, Hidden      int
+	ReturnSequences bool
+
+	wx, wh, b    *tensor.Tensor // wx: [in, 3h], wh: [h, 3h], b: [3h]
+	gwx, gwh, gb *tensor.Tensor
+
+	x     *tensor.Tensor
+	hs    []*tensor.Tensor // h_t for t = 0..T
+	rs    []*tensor.Tensor // reset gates
+	zs    []*tensor.Tensor // update gates
+	cands []*tensor.Tensor // candidate activations ĥ
+}
+
+// NewGRU creates a GRU layer with Glorot-uniform input weights.
+func NewGRU(in, hidden int, returnSequences bool, rng *xrand.Stream) *GRU {
+	limit := math.Sqrt(6.0 / float64(in+3*hidden))
+	return &GRU{
+		In:              in,
+		Hidden:          hidden,
+		ReturnSequences: returnSequences,
+		wx:              tensor.FromSlice(rng.UniformVec(in*3*hidden, -limit, limit), in, 3*hidden),
+		wh:              tensor.FromSlice(rng.NormVec(hidden*3*hidden, 0, 1/math.Sqrt(float64(hidden))), hidden, 3*hidden),
+		b:               tensor.New(3 * hidden),
+		gwx:             tensor.New(in, 3*hidden),
+		gwh:             tensor.New(hidden, 3*hidden),
+		gb:              tensor.New(3 * hidden),
+	}
+}
+
+// Forward implements Layer.
+func (g *GRU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	batch, T := x.Dim(0), x.Dim(1)
+	h := g.Hidden
+	g.x = x
+	g.hs = append(g.hs[:0], tensor.New(batch, h))
+	g.rs = g.rs[:0]
+	g.zs = g.zs[:0]
+	g.cands = g.cands[:0]
+
+	var seqOut *tensor.Tensor
+	if g.ReturnSequences {
+		seqOut = tensor.New(batch, T, h)
+	}
+	for t := 0; t < T; t++ {
+		xt := timeSlice(x, t)
+		hPrev := g.hs[t]
+		preX := tensor.MatMul(xt, g.wx)    // [batch, 3h]
+		preH := tensor.MatMul(hPrev, g.wh) // [batch, 3h]
+		rt := tensor.New(batch, h)
+		zt := tensor.New(batch, h)
+		cand := tensor.New(batch, h)
+		ht := tensor.New(batch, h)
+		for n := 0; n < batch; n++ {
+			for j := 0; j < h; j++ {
+				r := sigmoid(preX.Data[n*3*h+j] + preH.Data[n*3*h+j] + g.b.Data[j])
+				z := sigmoid(preX.Data[n*3*h+h+j] + preH.Data[n*3*h+h+j] + g.b.Data[h+j])
+				c := math.Tanh(preX.Data[n*3*h+2*h+j] + r*preH.Data[n*3*h+2*h+j] + g.b.Data[2*h+j])
+				hp := hPrev.Data[n*h+j]
+				rt.Data[n*h+j] = r
+				zt.Data[n*h+j] = z
+				cand.Data[n*h+j] = c
+				ht.Data[n*h+j] = (1-z)*hp + z*c
+			}
+		}
+		g.rs = append(g.rs, rt)
+		g.zs = append(g.zs, zt)
+		g.cands = append(g.cands, cand)
+		g.hs = append(g.hs, ht)
+		if g.ReturnSequences {
+			for n := 0; n < batch; n++ {
+				copy(seqOut.Data[(n*T+t)*h:(n*T+t+1)*h], ht.Data[n*h:(n+1)*h])
+			}
+		}
+	}
+	if g.ReturnSequences {
+		return seqOut
+	}
+	return g.hs[T]
+}
+
+// Backward implements Layer.
+func (g *GRU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	batch, T := g.x.Dim(0), g.x.Dim(1)
+	h := g.Hidden
+	gradIn := tensor.New(batch, T, g.In)
+	dh := tensor.New(batch, h)
+	if !g.ReturnSequences {
+		dh.AddInPlace(gradOut)
+	}
+
+	for t := T - 1; t >= 0; t-- {
+		if g.ReturnSequences {
+			for n := 0; n < batch; n++ {
+				src := gradOut.Data[(n*T+t)*h : (n*T+t+1)*h]
+				dst := dh.Data[n*h : (n+1)*h]
+				for j, v := range src {
+					dst[j] += v
+				}
+			}
+		}
+		hPrev := g.hs[t]
+		rt, zt, cand := g.rs[t], g.zs[t], g.cands[t]
+		// preH is needed for the reset-gate path; recompute it (cheaper
+		// than caching T extra tensors for typical sizes).
+		preH := tensor.MatMul(hPrev, g.wh)
+
+		dGate := tensor.New(batch, 3*h)   // grads wrt fused pre-activations
+		dhPrev := tensor.New(batch, h)    // direct (1−z)∘dh path
+		dPreHCand := tensor.New(batch, h) // grad wrt preH candidate lane
+		for n := 0; n < batch; n++ {
+			for j := 0; j < h; j++ {
+				dhv := dh.Data[n*h+j]
+				r, z, c := rt.Data[n*h+j], zt.Data[n*h+j], cand.Data[n*h+j]
+				hp := hPrev.Data[n*h+j]
+				dz := dhv * (c - hp) * z * (1 - z)
+				dc := dhv * z * (1 - c*c)
+				dr := dc * preH.Data[n*3*h+2*h+j] * r * (1 - r)
+				dGate.Data[n*3*h+j] = dr
+				dGate.Data[n*3*h+h+j] = dz
+				dGate.Data[n*3*h+2*h+j] = dc
+				dhPrev.Data[n*h+j] = dhv * (1 - z)
+				dPreHCand.Data[n*h+j] = dc * r
+			}
+		}
+
+		xt := timeSlice(g.x, t)
+		g.gwx.AddInPlace(tensor.MatMulTransA(xt, dGate))
+		for n := 0; n < batch; n++ {
+			row := dGate.Data[n*3*h : (n+1)*3*h]
+			for j, v := range row {
+				g.gb.Data[j] += v
+			}
+		}
+		// For the recurrent weights the candidate lane flows through r∘h,
+		// the r/z lanes through h directly. Build the effective gate grad
+		// for preH.
+		dPreH := tensor.New(batch, 3*h)
+		for n := 0; n < batch; n++ {
+			for j := 0; j < h; j++ {
+				dPreH.Data[n*3*h+j] = dGate.Data[n*3*h+j]
+				dPreH.Data[n*3*h+h+j] = dGate.Data[n*3*h+h+j]
+				dPreH.Data[n*3*h+2*h+j] = dPreHCand.Data[n*h+j]
+			}
+		}
+		g.gwh.AddInPlace(tensor.MatMulTransA(hPrev, dPreH))
+
+		dxt := tensor.MatMulTransB(dGate, g.wx)
+		for n := 0; n < batch; n++ {
+			copy(gradIn.Data[(n*T+t)*g.In:(n*T+t+1)*g.In], dxt.Data[n*g.In:(n+1)*g.In])
+		}
+		dhFromGates := tensor.MatMulTransB(dPreH, g.wh)
+		dhFromGates.AddInPlace(dhPrev)
+		dh = dhFromGates
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (g *GRU) Params() []*tensor.Tensor { return []*tensor.Tensor{g.wx, g.wh, g.b} }
+
+// Grads implements Layer.
+func (g *GRU) Grads() []*tensor.Tensor { return []*tensor.Tensor{g.gwx, g.gwh, g.gb} }

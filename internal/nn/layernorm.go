@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"math"
+
+	"cmfl/internal/tensor"
+)
+
+// LayerNorm normalises each sample's feature vector to zero mean and unit
+// variance, then applies a learned affine transform (gain, bias).
+//
+// Input shape [batch, features]. Useful between dense layers when training
+// deeper heads than the paper's models.
+type LayerNorm struct {
+	Features int
+	Epsilon  float64
+
+	gain, bias   *tensor.Tensor
+	gGain, gBias *tensor.Tensor
+
+	x      *tensor.Tensor // forward input
+	normed *tensor.Tensor // (x - mean) / std
+	invStd []float64
+}
+
+// NewLayerNorm creates a layer-normalisation layer (gain 1, bias 0).
+func NewLayerNorm(features int) *LayerNorm {
+	l := &LayerNorm{
+		Features: features,
+		Epsilon:  1e-5,
+		gain:     tensor.New(features),
+		bias:     tensor.New(features),
+		gGain:    tensor.New(features),
+		gBias:    tensor.New(features),
+	}
+	for i := range l.gain.Data {
+		l.gain.Data[i] = 1
+	}
+	return l
+}
+
+// Forward implements Layer.
+func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	batch := x.Dim(0)
+	f := l.Features
+	l.x = x
+	l.normed = tensor.New(batch, f)
+	if cap(l.invStd) < batch {
+		l.invStd = make([]float64, batch)
+	}
+	l.invStd = l.invStd[:batch]
+	out := tensor.New(batch, f)
+	for n := 0; n < batch; n++ {
+		row := x.Data[n*f : (n+1)*f]
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(f)
+		var varSum float64
+		for _, v := range row {
+			d := v - mean
+			varSum += d * d
+		}
+		inv := 1 / math.Sqrt(varSum/float64(f)+l.Epsilon)
+		l.invStd[n] = inv
+		for j, v := range row {
+			nm := (v - mean) * inv
+			l.normed.Data[n*f+j] = nm
+			out.Data[n*f+j] = nm*l.gain.Data[j] + l.bias.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *LayerNorm) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	batch := l.x.Dim(0)
+	f := l.Features
+	gradIn := tensor.New(batch, f)
+	for n := 0; n < batch; n++ {
+		gRow := gradOut.Data[n*f : (n+1)*f]
+		nRow := l.normed.Data[n*f : (n+1)*f]
+		// Accumulate parameter gradients.
+		var sumG, sumGN float64 // Σ dy·gain, Σ dy·gain·normed
+		for j, g := range gRow {
+			l.gGain.Data[j] += g * nRow[j]
+			l.gBias.Data[j] += g
+			gg := g * l.gain.Data[j]
+			sumG += gg
+			sumGN += gg * nRow[j]
+		}
+		inv := l.invStd[n]
+		nf := float64(f)
+		for j, g := range gRow {
+			gg := g * l.gain.Data[j]
+			gradIn.Data[n*f+j] = inv * (gg - sumG/nf - nRow[j]*sumGN/nf)
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (l *LayerNorm) Params() []*tensor.Tensor { return []*tensor.Tensor{l.gain, l.bias} }
+
+// Grads implements Layer.
+func (l *LayerNorm) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.gGain, l.gBias} }

@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"math"
+
+	"cmfl/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss over a batch of
+// logits [batch, classes] against integer labels, and the gradient of the
+// loss with respect to the logits.
+//
+// The softmax is computed with the max-subtraction trick for numerical
+// stability. The returned gradient is already divided by the batch size, so
+// it can be fed directly into Network.Backward.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	batch, classes := logits.Dim(0), logits.Dim(1)
+	grad = tensor.New(batch, classes)
+	inv := 1.0 / float64(batch)
+	for n := 0; n < batch; n++ {
+		row := logits.Data[n*classes : (n+1)*classes]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		gRow := grad.Data[n*classes : (n+1)*classes]
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			gRow[j] = e
+			sum += e
+		}
+		y := labels[n]
+		loss += -math.Log(gRow[y]/sum + 1e-300)
+		for j := range gRow {
+			gRow[j] = gRow[j] / sum * inv
+		}
+		gRow[y] -= inv
+	}
+	return loss * inv, grad
+}
+
+// Argmax returns the index of the maximum value in each row of a
+// [batch, classes] tensor.
+func Argmax(logits *tensor.Tensor) []int {
+	batch, classes := logits.Dim(0), logits.Dim(1)
+	out := make([]int, batch)
+	for n := 0; n < batch; n++ {
+		row := logits.Data[n*classes : (n+1)*classes]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[n] = best
+	}
+	return out
+}

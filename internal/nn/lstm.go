@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"math"
+
+	"cmfl/internal/tensor"
+	"cmfl/internal/xrand"
+)
+
+// LSTM is a single-layer long short-term memory recurrence unrolled over a
+// fixed-length sequence, trained with full backpropagation through time.
+//
+// Input shape [batch, time, in]. If ReturnSequences is true the output is
+// [batch, time, hidden] (for stacking LSTM layers, as in the paper's 2-layer
+// next-word model); otherwise it is the final hidden state [batch, hidden].
+//
+// Gate order inside the fused weight matrices is (input, forget, cell,
+// output). The forget-gate bias is initialised to 1, the usual fix for
+// early-training gradient flow.
+type LSTM struct {
+	In, Hidden      int
+	ReturnSequences bool
+
+	wx, wh, b    *tensor.Tensor // wx: [in, 4h], wh: [h, 4h], b: [4h]
+	gwx, gwh, gb *tensor.Tensor
+
+	// Forward caches, one entry per timestep.
+	x          *tensor.Tensor
+	hs, cs     []*tensor.Tensor // h_t, c_t for t = 0..T (index 0 is the initial zero state)
+	gates      []*tensor.Tensor // post-nonlinearity gate activations [batch, 4h]
+	tanhCCache []*tensor.Tensor
+}
+
+// NewLSTM creates an LSTM layer with Glorot-uniform input weights and
+// orthogonal-ish (normalised Gaussian) recurrent weights.
+func NewLSTM(in, hidden int, returnSequences bool, rng *xrand.Stream) *LSTM {
+	limit := math.Sqrt(6.0 / float64(in+4*hidden))
+	l := &LSTM{
+		In:              in,
+		Hidden:          hidden,
+		ReturnSequences: returnSequences,
+		wx:              tensor.FromSlice(rng.UniformVec(in*4*hidden, -limit, limit), in, 4*hidden),
+		wh:              tensor.FromSlice(rng.NormVec(hidden*4*hidden, 0, 1/math.Sqrt(float64(hidden))), hidden, 4*hidden),
+		b:               tensor.New(4 * hidden),
+		gwx:             tensor.New(in, 4*hidden),
+		gwh:             tensor.New(hidden, 4*hidden),
+		gb:              tensor.New(4 * hidden),
+	}
+	for j := hidden; j < 2*hidden; j++ { // forget-gate bias
+		l.b.Data[j] = 1
+	}
+	return l
+}
+
+// Forward implements Layer.
+func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
+	batch, T := x.Dim(0), x.Dim(1)
+	h := l.Hidden
+	l.x = x
+	l.hs = l.hs[:0]
+	l.cs = l.cs[:0]
+	l.gates = l.gates[:0]
+	l.tanhCCache = l.tanhCCache[:0]
+	l.hs = append(l.hs, tensor.New(batch, h))
+	l.cs = append(l.cs, tensor.New(batch, h))
+
+	var seqOut *tensor.Tensor
+	if l.ReturnSequences {
+		seqOut = tensor.New(batch, T, h)
+	}
+	for t := 0; t < T; t++ {
+		xt := timeSlice(x, t)
+		pre := tensor.MatMul(xt, l.wx)
+		pre.AddInPlace(tensor.MatMul(l.hs[t], l.wh))
+		for n := 0; n < batch; n++ {
+			row := pre.Data[n*4*h : (n+1)*4*h]
+			for j, bv := range l.b.Data {
+				row[j] += bv
+			}
+		}
+		gate := pre // reuse storage: apply nonlinearities in place
+		ct := tensor.New(batch, h)
+		ht := tensor.New(batch, h)
+		tc := tensor.New(batch, h)
+		cPrev := l.cs[t]
+		for n := 0; n < batch; n++ {
+			row := gate.Data[n*4*h : (n+1)*4*h]
+			for j := 0; j < h; j++ {
+				i := sigmoid(row[j])
+				f := sigmoid(row[h+j])
+				g := math.Tanh(row[2*h+j])
+				o := sigmoid(row[3*h+j])
+				row[j], row[h+j], row[2*h+j], row[3*h+j] = i, f, g, o
+				c := f*cPrev.Data[n*h+j] + i*g
+				t2 := math.Tanh(c)
+				ct.Data[n*h+j] = c
+				tc.Data[n*h+j] = t2
+				ht.Data[n*h+j] = o * t2
+			}
+		}
+		l.gates = append(l.gates, gate)
+		l.cs = append(l.cs, ct)
+		l.hs = append(l.hs, ht)
+		l.tanhCCache = append(l.tanhCCache, tc)
+		if l.ReturnSequences {
+			for n := 0; n < batch; n++ {
+				copy(seqOut.Data[(n*T+t)*h:(n*T+t+1)*h], ht.Data[n*h:(n+1)*h])
+			}
+		}
+	}
+	if l.ReturnSequences {
+		return seqOut
+	}
+	return l.hs[T]
+}
+
+// Backward implements Layer.
+func (l *LSTM) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	batch, T := l.x.Dim(0), l.x.Dim(1)
+	h := l.Hidden
+	gradIn := tensor.New(batch, T, l.In)
+	dh := tensor.New(batch, h) // running dL/dh_t
+	dc := tensor.New(batch, h) // running dL/dc_t
+	if !l.ReturnSequences {
+		dh.AddInPlace(gradOut)
+	}
+
+	for t := T - 1; t >= 0; t-- {
+		if l.ReturnSequences {
+			for n := 0; n < batch; n++ {
+				src := gradOut.Data[(n*T+t)*h : (n*T+t+1)*h]
+				dst := dh.Data[n*h : (n+1)*h]
+				for j, v := range src {
+					dst[j] += v
+				}
+			}
+		}
+		gate := l.gates[t]
+		cPrev := l.cs[t]
+		tc := l.tanhCCache[t]
+		dGate := tensor.New(batch, 4*h) // grads wrt pre-activations
+		dcPrev := tensor.New(batch, h)
+		for n := 0; n < batch; n++ {
+			gRow := gate.Data[n*4*h : (n+1)*4*h]
+			for j := 0; j < h; j++ {
+				i, f, g, o := gRow[j], gRow[h+j], gRow[2*h+j], gRow[3*h+j]
+				t2 := tc.Data[n*h+j]
+				dhv := dh.Data[n*h+j]
+				dcv := dc.Data[n*h+j] + dhv*o*(1-t2*t2)
+				dGate.Data[n*4*h+j] = dcv * g * i * (1 - i)                   // input gate
+				dGate.Data[n*4*h+h+j] = dcv * cPrev.Data[n*h+j] * f * (1 - f) // forget gate
+				dGate.Data[n*4*h+2*h+j] = dcv * i * (1 - g*g)                 // candidate
+				dGate.Data[n*4*h+3*h+j] = dhv * t2 * o * (1 - o)              // output gate
+				dcPrev.Data[n*h+j] = dcv * f
+			}
+		}
+		xt := timeSlice(l.x, t)
+		l.gwx.AddInPlace(tensor.MatMulTransA(xt, dGate))
+		l.gwh.AddInPlace(tensor.MatMulTransA(l.hs[t], dGate))
+		for n := 0; n < batch; n++ {
+			row := dGate.Data[n*4*h : (n+1)*4*h]
+			for j, v := range row {
+				l.gb.Data[j] += v
+			}
+		}
+		dxt := tensor.MatMulTransB(dGate, l.wx)
+		for n := 0; n < batch; n++ {
+			copy(gradIn.Data[(n*T+t)*l.In:(n*T+t+1)*l.In], dxt.Data[n*l.In:(n+1)*l.In])
+		}
+		dh = tensor.MatMulTransB(dGate, l.wh) // dL/dh_{t-1}
+		dc = dcPrev
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (l *LSTM) Params() []*tensor.Tensor { return []*tensor.Tensor{l.wx, l.wh, l.b} }
+
+// Grads implements Layer.
+func (l *LSTM) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.gwx, l.gwh, l.gb} }
+
+// timeSlice extracts x[:, t, :] as a fresh [batch, dim] tensor.
+func timeSlice(x *tensor.Tensor, t int) *tensor.Tensor {
+	batch, T, dim := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := tensor.New(batch, dim)
+	for n := 0; n < batch; n++ {
+		copy(out.Data[n*dim:(n+1)*dim], x.Data[(n*T+t)*dim:(n*T+t+1)*dim])
+	}
+	return out
+}

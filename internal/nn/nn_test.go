@@ -1,0 +1,254 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cmfl/internal/tensor"
+	"cmfl/internal/xrand"
+)
+
+func TestParamVectorRoundTrip(t *testing.T) {
+	rng := xrand.New(10)
+	net := NewCNN(CNNConfig{ImageSize: 12, Kernel: 3, Conv1: 2, Conv2: 3, Hidden: 8, Classes: 4}, rng)
+	v := net.ParamVector()
+	if len(v) != net.NumParams() {
+		t.Fatalf("ParamVector length %d != NumParams %d", len(v), net.NumParams())
+	}
+	// Perturb and write back.
+	for i := range v {
+		v[i] += 0.5
+	}
+	if err := net.SetParamVector(v); err != nil {
+		t.Fatalf("SetParamVector: %v", err)
+	}
+	got := net.ParamVector()
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("param %d = %v, want %v", i, got[i], v[i])
+		}
+	}
+}
+
+func TestSetParamVectorLengthError(t *testing.T) {
+	rng := xrand.New(11)
+	net := NewLogistic(4, 2, rng)
+	if err := net.SetParamVector(make([]float64, 3)); err == nil {
+		t.Fatal("expected error for wrong vector length")
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	rng := xrand.New(12)
+	net := NewNetwork(NewDense(3, 2, rng))
+	x := tensor.FromSlice(rng.NormVec(2*3, 0, 1), 2, 3)
+	logits := net.Forward(x)
+	_, grad := SoftmaxCrossEntropy(logits, []int{0, 1})
+	net.Backward(grad)
+	nonzero := false
+	for _, g := range net.GradVector() {
+		if g != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("expected nonzero gradients after backward")
+	}
+	net.ZeroGrads()
+	for i, g := range net.GradVector() {
+		if g != 0 {
+			t.Fatalf("grad %d = %v after ZeroGrads", i, g)
+		}
+	}
+}
+
+func TestSGDStepMovesAgainstGradient(t *testing.T) {
+	rng := xrand.New(13)
+	net := NewLogistic(3, 2, rng)
+	x := tensor.FromSlice(rng.NormVec(4*3, 0, 1), 4, 3)
+	labels := []int{0, 1, 0, 1}
+	lossBefore, _ := SoftmaxCrossEntropy(net.Forward(x.Clone()), labels)
+	for i := 0; i < 50; i++ {
+		TrainBatch(net, x.Clone(), labels, 0.5)
+	}
+	lossAfter, _ := SoftmaxCrossEntropy(net.Forward(x.Clone()), labels)
+	if lossAfter >= lossBefore {
+		t.Fatalf("loss did not decrease: %v -> %v", lossBefore, lossAfter)
+	}
+}
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	logits := tensor.FromSlice([]float64{0, 0}, 1, 2)
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0})
+	if math.Abs(loss-math.Log(2)) > 1e-12 {
+		t.Fatalf("loss = %v, want ln2", loss)
+	}
+	if math.Abs(grad.Data[0]-(-0.5)) > 1e-12 || math.Abs(grad.Data[1]-0.5) > 1e-12 {
+		t.Fatalf("grad = %v, want [-0.5 0.5]", grad.Data)
+	}
+}
+
+func TestSoftmaxCrossEntropyStability(t *testing.T) {
+	logits := tensor.FromSlice([]float64{1000, -1000, 0}, 1, 3)
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0})
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("loss = %v, want finite", loss)
+	}
+	for i, g := range grad.Data {
+		if math.IsNaN(g) {
+			t.Fatalf("grad %d is NaN", i)
+		}
+	}
+}
+
+func TestSoftmaxGradSumsToZero(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		batch, classes := 1+rng.Intn(4), 2+rng.Intn(5)
+		logits := tensor.FromSlice(rng.NormVec(batch*classes, 0, 3), batch, classes)
+		labels := make([]int, batch)
+		for i := range labels {
+			labels[i] = rng.Intn(classes)
+		}
+		_, grad := SoftmaxCrossEntropy(logits, labels)
+		for n := 0; n < batch; n++ {
+			var sum float64
+			for j := 0; j < classes; j++ {
+				sum += grad.At(n, j)
+			}
+			if math.Abs(sum) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	logits := tensor.FromSlice([]float64{1, 3, 2, 9, 0, -1}, 2, 3)
+	got := Argmax(logits)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("Argmax = %v, want [1 0]", got)
+	}
+}
+
+func TestAccuracyPerfectAndZero(t *testing.T) {
+	rng := xrand.New(14)
+	net := NewLogistic(2, 2, rng)
+	// Force weights so that class = argmax picks feature sign.
+	if err := net.SetParamVector([]float64{1, -1, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromSlice([]float64{5, 0, -5, 0}, 2, 2)
+	if acc := Accuracy(net, x, []int{0, 1}); acc != 1 {
+		t.Fatalf("accuracy = %v, want 1", acc)
+	}
+	if acc := Accuracy(net, x, []int{1, 0}); acc != 0 {
+		t.Fatalf("accuracy = %v, want 0", acc)
+	}
+}
+
+func TestEmbeddingClampsOutOfRangeIDs(t *testing.T) {
+	rng := xrand.New(15)
+	e := NewEmbedding(4, 3, rng)
+	x := tensor.FromSlice([]float64{-2, 9}, 1, 2)
+	out := e.Forward(x)
+	w := e.Params()[0]
+	for j := 0; j < 3; j++ {
+		if out.Data[j] != w.At(0, j) {
+			t.Fatalf("negative id should clamp to row 0")
+		}
+		if out.Data[3+j] != w.At(3, j) {
+			t.Fatalf("overflow id should clamp to last row")
+		}
+	}
+}
+
+func TestLSTMReturnSequencesShape(t *testing.T) {
+	rng := xrand.New(16)
+	l := NewLSTM(3, 5, true, rng)
+	x := tensor.FromSlice(rng.NormVec(2*4*3, 0, 1), 2, 4, 3)
+	out := l.Forward(x)
+	if out.Dim(0) != 2 || out.Dim(1) != 4 || out.Dim(2) != 5 {
+		t.Fatalf("sequence output shape = %v, want [2 4 5]", out.Shape)
+	}
+	lastOnly := NewLSTM(3, 5, false, rng)
+	out2 := lastOnly.Forward(x)
+	if out2.Dim(0) != 2 || out2.Dim(1) != 5 {
+		t.Fatalf("last-state output shape = %v, want [2 5]", out2.Shape)
+	}
+}
+
+func TestLSTMSequenceLastStepMatchesLastOnly(t *testing.T) {
+	rng := xrand.New(17)
+	seq := NewLSTM(3, 4, true, rng)
+	// Copy parameters into a last-only twin.
+	last := NewLSTM(3, 4, false, xrand.New(99))
+	for i, p := range seq.Params() {
+		copy(last.Params()[i].Data, p.Data)
+	}
+	x := tensor.FromSlice(rng.NormVec(2*5*3, 0, 1), 2, 5, 3)
+	so := seq.Forward(x)
+	lo := last.Forward(x)
+	T, h := 5, 4
+	for n := 0; n < 2; n++ {
+		for j := 0; j < h; j++ {
+			a := so.Data[(n*T+T-1)*h+j]
+			b := lo.Data[n*h+j]
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("sequence[T-1] != last-state at (%d,%d): %v vs %v", n, j, a, b)
+			}
+		}
+	}
+}
+
+func TestCNNOutputShape(t *testing.T) {
+	rng := xrand.New(18)
+	cfg := DefaultCNNConfig()
+	net := NewCNN(cfg, rng)
+	x := tensor.New(3, 1, cfg.ImageSize, cfg.ImageSize)
+	out := net.Forward(x)
+	if out.Dim(0) != 3 || out.Dim(1) != cfg.Classes {
+		t.Fatalf("CNN output shape = %v, want [3 %d]", out.Shape, cfg.Classes)
+	}
+}
+
+func TestNextWordLSTMOutputShape(t *testing.T) {
+	rng := xrand.New(19)
+	cfg := DefaultLSTMConfig(50)
+	net := NewNextWordLSTM(cfg, rng)
+	x := tensor.New(2, 10)
+	out := net.Forward(x)
+	if out.Dim(0) != 2 || out.Dim(1) != 50 {
+		t.Fatalf("LSTM output shape = %v, want [2 50]", out.Shape)
+	}
+}
+
+func TestMLPLearnsXORish(t *testing.T) {
+	rng := xrand.New(20)
+	net := NewMLP(rng, 2, 8, 2)
+	xs := []float64{0, 0, 0, 1, 1, 0, 1, 1}
+	labels := []int{0, 1, 1, 0}
+	x := tensor.FromSlice(xs, 4, 2)
+	for i := 0; i < 2000; i++ {
+		TrainBatch(net, x.Clone(), labels, 0.3)
+	}
+	if acc := Accuracy(net, x, labels); acc < 1 {
+		t.Fatalf("MLP failed to fit XOR: accuracy %v", acc)
+	}
+}
+
+func TestDeterministicInitialisation(t *testing.T) {
+	a := NewCNN(DefaultCNNConfig(), xrand.Derive(7, "init", 0))
+	b := NewCNN(DefaultCNNConfig(), xrand.Derive(7, "init", 0))
+	av, bv := a.ParamVector(), b.ParamVector()
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("same-seed networks differ at param %d", i)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"math"
+
+	"cmfl/internal/tensor"
+)
+
+// Optimizer updates a network's parameters from its accumulated gradients.
+// Implementations keep per-parameter state (velocities, moments) keyed by
+// position, so an Optimizer must be used with a single Network.
+type Optimizer interface {
+	// Step consumes the current gradients and updates the parameters.
+	Step(net *Network)
+	// Reset clears optimizer state (e.g. between federated rounds when the
+	// starting point jumps to a freshly broadcast model).
+	Reset()
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight
+// decay: v ← μv − lr·(g + wd·p); p ← p + v.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity []*tensor.Tensor
+}
+
+// NewSGD creates a plain SGD optimizer (set Momentum/WeightDecay directly).
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step implements Optimizer.
+func (o *SGD) Step(net *Network) {
+	idx := 0
+	for _, l := range net.Layers() {
+		params, grads := l.Params(), l.Grads()
+		for i, p := range params {
+			g := grads[i]
+			if o.Momentum == 0 && o.WeightDecay == 0 {
+				p.AxpyInPlace(-o.LR, g)
+				idx++
+				continue
+			}
+			for len(o.velocity) <= idx {
+				o.velocity = append(o.velocity, tensor.New(p.Shape...))
+			}
+			v := o.velocity[idx]
+			for j := range p.Data {
+				grad := g.Data[j] + o.WeightDecay*p.Data[j]
+				v.Data[j] = o.Momentum*v.Data[j] - o.LR*grad
+				p.Data[j] += v.Data[j]
+			}
+			idx++
+		}
+	}
+}
+
+// Reset implements Optimizer.
+func (o *SGD) Reset() { o.velocity = nil }
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t    int
+	m, v []*tensor.Tensor
+}
+
+// NewAdam creates an Adam optimizer with the usual defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(net *Network) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	idx := 0
+	for _, l := range net.Layers() {
+		params, grads := l.Params(), l.Grads()
+		for i, p := range params {
+			g := grads[i]
+			for len(o.m) <= idx {
+				o.m = append(o.m, tensor.New(p.Shape...))
+				o.v = append(o.v, tensor.New(p.Shape...))
+			}
+			m, v := o.m[idx], o.v[idx]
+			for j := range p.Data {
+				gj := g.Data[j]
+				m.Data[j] = o.Beta1*m.Data[j] + (1-o.Beta1)*gj
+				v.Data[j] = o.Beta2*v.Data[j] + (1-o.Beta2)*gj*gj
+				mh := m.Data[j] / bc1
+				vh := v.Data[j] / bc2
+				p.Data[j] -= o.LR * mh / (math.Sqrt(vh) + o.Epsilon)
+			}
+			idx++
+		}
+	}
+}
+
+// Reset implements Optimizer.
+func (o *Adam) Reset() {
+	o.t = 0
+	o.m, o.v = nil, nil
+}
+
+// TrainBatchWith runs one optimisation step using the given optimizer and
+// returns the batch loss (the Optimizer analogue of TrainBatch).
+func TrainBatchWith(net *Network, x *tensor.Tensor, labels []int, opt Optimizer) float64 {
+	net.ZeroGrads()
+	logits := net.Forward(x)
+	loss, grad := SoftmaxCrossEntropy(logits, labels)
+	net.Backward(grad)
+	opt.Step(net)
+	return loss
+}

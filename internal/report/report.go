@@ -1,0 +1,147 @@
+// Package report renders experiment results as plain-text tables, ASCII
+// line plots and CSV, so every table and figure of the paper can be
+// regenerated on a terminal without plotting dependencies.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders rows under headers with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named line for Plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot renders the series on a width×height ASCII grid with min/max axis
+// labels. NaN points are skipped. Each series uses its own marker rune.
+func Plot(title string, width, height int, series ...Series) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 5 {
+		height = 5
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			any = true
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if !any {
+		return title + "\n(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	markers := []rune{'*', 'o', '+', 'x', '#', '@'}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			cx := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			cy := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			grid[cy][cx] = m
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	fmt.Fprintf(&b, "y: [%.4g, %.4g]  x: [%.4g, %.4g]\n", minY, maxY, minX, maxX)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteString("|\n")
+	}
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("+\n")
+	return b.String()
+}
+
+// CSV renders aligned columns as comma-separated text with a header row.
+// Columns shorter than the longest column are padded with empty cells.
+func CSV(headers []string, cols ...[]float64) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(headers, ","))
+	b.WriteByte('\n')
+	rows := 0
+	for _, c := range cols {
+		if len(c) > rows {
+			rows = len(c)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if r < len(c) {
+				fmt.Fprintf(&b, "%g", c[r])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

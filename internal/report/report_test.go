@@ -1,0 +1,66 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"alg", "saving"}, [][]string{
+		{"vanilla", "1.00"},
+		{"cmfl", "13.97"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "alg") || !strings.Contains(lines[0], "saving") {
+		t.Fatalf("header malformed: %q", lines[0])
+	}
+	if !strings.Contains(out, "13.97") {
+		t.Fatal("cell content missing")
+	}
+}
+
+func TestPlotContainsMarkers(t *testing.T) {
+	out := Plot("fig", 30, 8,
+		Series{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+		Series{Name: "b", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}},
+	)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("expected both series markers:\n%s", out)
+	}
+	if !strings.Contains(out, "fig") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestPlotHandlesNaNAndEmpty(t *testing.T) {
+	out := Plot("empty", 20, 6, Series{Name: "x", X: []float64{math.NaN()}, Y: []float64{math.NaN()}})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("expected no-data message:\n%s", out)
+	}
+	out = Plot("partial", 20, 6, Series{Name: "x", X: []float64{0, math.NaN(), 2}, Y: []float64{1, math.NaN(), 3}})
+	if strings.Contains(out, "no data") {
+		t.Fatal("partial data should still plot")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	out := Plot("const", 20, 6, Series{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series should still render:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV([]string{"x", "y"}, []float64{1, 2, 3}, []float64{4, 5})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "x,y" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,4" || lines[3] != "3," {
+		t.Fatalf("rows malformed: %v", lines)
+	}
+}

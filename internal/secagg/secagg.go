@@ -1,0 +1,150 @@
+// Package secagg simulates pairwise-mask secure aggregation (Bonawitz et
+// al., the privacy mechanism the paper's Sec. II-A cites): each pair of
+// participating clients shares a seed; client i adds +PRG(seed_ij) for every
+// partner j > i and −PRG(seed_ij) for every j < i, so the server learns the
+// *sum* of updates while every individual upload looks like noise.
+//
+// The simulation models the protocol state after key agreement (pair seeds
+// are derived deterministically from a session seed) and omits the
+// dropout-recovery secret sharing of the full protocol — participants are
+// fixed for the round.
+//
+// CMFL composes cleanly: the relevance check runs client-side on the *raw*
+// update before masking, and the skip/upload intention is the only metadata
+// revealed. A two-phase round (intentions → server announces the upload set
+// S → uploaders mask over S) keeps the masks cancelling under filtering;
+// SimulateRound implements exactly that.
+package secagg
+
+import (
+	"errors"
+	"fmt"
+
+	"cmfl/internal/xrand"
+)
+
+// ErrNotParticipant reports a mask request for a client outside the set.
+var ErrNotParticipant = errors.New("secagg: client is not in the participant set")
+
+// pairSeed derives the shared seed of the (unordered) client pair {a, b}
+// for one round. In the real protocol this comes from a Diffie-Hellman
+// exchange; the simulation derives it from the session seed so both ends
+// agree without communication.
+func pairSeed(session int64, round, a, b int) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	s := xrand.Derive(session, fmt.Sprintf("secagg-pair-%d", round), a*1_000_003+b)
+	return s.Int63()
+}
+
+// Mask adds client's pairwise masks for the given round over the announced
+// participant set (which must include client). The input is not modified.
+func Mask(session int64, round, client int, participants []int, update []float64) ([]float64, error) {
+	in := false
+	for _, p := range participants {
+		if p == client {
+			in = true
+			break
+		}
+	}
+	if !in {
+		return nil, ErrNotParticipant
+	}
+	out := append([]float64(nil), update...)
+	for _, p := range participants {
+		if p == client {
+			continue
+		}
+		prg := xrand.New(pairSeed(session, round, client, p))
+		sign := 1.0
+		if p < client {
+			sign = -1
+		}
+		for j := range out {
+			out[j] += sign * prg.Norm()
+		}
+	}
+	return out, nil
+}
+
+// Aggregate sums masked updates from the full participant set; the pairwise
+// masks cancel, yielding the raw sum. The caller divides by the count for
+// the paper's averaging.
+func Aggregate(masked [][]float64) ([]float64, error) {
+	if len(masked) == 0 {
+		return nil, errors.New("secagg: nothing to aggregate")
+	}
+	dim := len(masked[0])
+	sum := make([]float64, dim)
+	for i, m := range masked {
+		if len(m) != dim {
+			return nil, fmt.Errorf("secagg: update %d has %d coords, want %d", i, len(m), dim)
+		}
+		for j, v := range m {
+			sum[j] += v
+		}
+	}
+	return sum, nil
+}
+
+// UploadDecider is the client-side filter hook (implemented by the CMFL and
+// Gaia filters through their Check method adapters).
+type UploadDecider func(client int, update []float64) (bool, error)
+
+// RoundResult is the outcome of one secure-aggregation round.
+type RoundResult struct {
+	// Average is the mean of the uploaded raw updates, recovered by the
+	// server from masked data only.
+	Average []float64
+	// Uploaders is the announced participant set S (the round's only
+	// revealed metadata besides message sizes).
+	Uploaders []int
+	// MaskedUpdates are what the server actually received (kept for tests
+	// and privacy inspection).
+	MaskedUpdates [][]float64
+}
+
+// SimulateRound runs the two-phase protocol over the given raw updates:
+// every client applies decide (phase 1), the upload set is announced, and
+// uploaders mask over that set (phase 2). A nil decide uploads everything.
+func SimulateRound(session int64, round int, updates [][]float64, decide UploadDecider) (*RoundResult, error) {
+	if len(updates) == 0 {
+		return nil, errors.New("secagg: no clients")
+	}
+	var uploaders []int
+	for c, u := range updates {
+		upload := true
+		if decide != nil {
+			var err error
+			upload, err = decide(c, u)
+			if err != nil {
+				return nil, fmt.Errorf("secagg: client %d decision: %w", c, err)
+			}
+		}
+		if upload {
+			uploaders = append(uploaders, c)
+		}
+	}
+	res := &RoundResult{Uploaders: uploaders}
+	if len(uploaders) == 0 {
+		return res, nil
+	}
+	for _, c := range uploaders {
+		m, err := Mask(session, round, c, uploaders, updates[c])
+		if err != nil {
+			return nil, err
+		}
+		res.MaskedUpdates = append(res.MaskedUpdates, m)
+	}
+	sum, err := Aggregate(res.MaskedUpdates)
+	if err != nil {
+		return nil, err
+	}
+	inv := 1.0 / float64(len(uploaders))
+	for j := range sum {
+		sum[j] *= inv
+	}
+	res.Average = sum
+	return res, nil
+}

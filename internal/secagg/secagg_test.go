@@ -1,0 +1,178 @@
+package secagg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cmfl/internal/core"
+	"cmfl/internal/xrand"
+)
+
+func randomUpdates(seed int64, clients, dim int) [][]float64 {
+	rng := xrand.New(seed)
+	out := make([][]float64, clients)
+	for c := range out {
+		out[c] = rng.NormVec(dim, 0, 1)
+	}
+	return out
+}
+
+func TestMasksCancelInAggregate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := xrand.New(seed)
+		clients := 2 + rng.Intn(8)
+		dim := 1 + rng.Intn(30)
+		updates := randomUpdates(seed, clients, dim)
+		participants := make([]int, clients)
+		for i := range participants {
+			participants[i] = i
+		}
+		masked := make([][]float64, clients)
+		for c := range updates {
+			m, err := Mask(seed, 3, c, participants, updates[c])
+			if err != nil {
+				return false
+			}
+			masked[c] = m
+		}
+		sum, err := Aggregate(masked)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < dim; j++ {
+			var want float64
+			for c := range updates {
+				want += updates[c][j]
+			}
+			if math.Abs(sum[j]-want) > 1e-6*math.Max(1, math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskedUpdateHidesRawUpdate(t *testing.T) {
+	updates := randomUpdates(5, 6, 50)
+	participants := []int{0, 1, 2, 3, 4, 5}
+	m, err := Mask(5, 1, 0, participants, updates[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mask's magnitude (sum of 5 unit Gaussians per coordinate) dwarfs
+	// the raw update: correlation between masked and raw must be tiny.
+	var dot, nm, nr float64
+	for j := range m {
+		dot += m[j] * updates[0][j]
+		nm += m[j] * m[j]
+		nr += updates[0][j] * updates[0][j]
+	}
+	corr := math.Abs(dot / math.Sqrt(nm*nr))
+	if corr > 0.5 {
+		t.Fatalf("masked update correlates %.2f with raw; privacy broken", corr)
+	}
+	// And the masked vector differs from raw everywhere.
+	same := 0
+	for j := range m {
+		if m[j] == updates[0][j] {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d coordinates leaked unmasked", same)
+	}
+}
+
+func TestMaskRequiresParticipation(t *testing.T) {
+	if _, err := Mask(1, 1, 9, []int{0, 1}, []float64{1}); err != ErrNotParticipant {
+		t.Fatalf("err = %v, want ErrNotParticipant", err)
+	}
+}
+
+func TestSimulateRoundUploadsAll(t *testing.T) {
+	updates := randomUpdates(7, 5, 20)
+	res, err := SimulateRound(7, 2, updates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Uploaders) != 5 {
+		t.Fatalf("uploaders = %d, want 5", len(res.Uploaders))
+	}
+	for j := 0; j < 20; j++ {
+		var want float64
+		for c := range updates {
+			want += updates[c][j] / 5
+		}
+		if math.Abs(res.Average[j]-want) > 1e-6 {
+			t.Fatalf("average[%d] = %v, want %v", j, res.Average[j], want)
+		}
+	}
+}
+
+func TestSimulateRoundWithCMFLFilter(t *testing.T) {
+	dim := 30
+	rng := xrand.New(9)
+	feedback := rng.NormVec(dim, 0, 1)
+	aligned := append([]float64(nil), feedback...) // relevance 1
+	opposed := make([]float64, dim)                // relevance 0
+	for j := range opposed {
+		opposed[j] = -feedback[j]
+	}
+	updates := [][]float64{aligned, opposed, aligned}
+	filter := core.NewFilter(core.Constant(0.6))
+	decide := func(client int, u []float64) (bool, error) {
+		d, err := filter.Check(u, nil, feedback, 2)
+		return d.Upload, err
+	}
+	res, err := SimulateRound(9, 2, updates, decide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Uploaders) != 2 || res.Uploaders[0] != 0 || res.Uploaders[1] != 2 {
+		t.Fatalf("uploaders = %v, want [0 2]", res.Uploaders)
+	}
+	// The recovered average must equal the aligned update (both uploads are
+	// identical), with masks over the *filtered* set cancelling.
+	for j := 0; j < dim; j++ {
+		if math.Abs(res.Average[j]-aligned[j]) > 1e-6 {
+			t.Fatalf("filtered secure average wrong at %d: %v vs %v", j, res.Average[j], aligned[j])
+		}
+	}
+}
+
+func TestSimulateRoundAllFiltered(t *testing.T) {
+	updates := randomUpdates(11, 3, 10)
+	decide := func(int, []float64) (bool, error) { return false, nil }
+	res, err := SimulateRound(11, 1, updates, decide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Uploaders) != 0 || res.Average != nil {
+		t.Fatalf("all-filtered round should be empty: %+v", res)
+	}
+}
+
+func TestPairSeedSymmetricAndRoundScoped(t *testing.T) {
+	if pairSeed(1, 4, 2, 7) != pairSeed(1, 4, 7, 2) {
+		t.Fatal("pair seed must be symmetric in the pair")
+	}
+	if pairSeed(1, 4, 2, 7) == pairSeed(1, 5, 2, 7) {
+		t.Fatal("pair seed must differ across rounds")
+	}
+	if pairSeed(1, 4, 2, 7) == pairSeed(2, 4, 2, 7) {
+		t.Fatal("pair seed must differ across sessions")
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	if _, err := Aggregate(nil); err == nil {
+		t.Fatal("expected error for empty aggregate")
+	}
+	if _, err := Aggregate([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("expected error for ragged updates")
+	}
+}

@@ -1,0 +1,189 @@
+// Package stats implements the paper's measurement quantities: empirical
+// CDFs (Figs. 1, 3, 6), the Normalized Model Divergence of Eq. 7, and the
+// communication-saving metric of Sec. V (Φ_vanilla / Φ_alg at a target
+// accuracy).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from samples. NaN values are dropped; the
+// input is not modified.
+func NewCDF(samples []float64) *CDF {
+	s := make([]float64, 0, len(samples))
+	for _, v := range samples {
+		if !math.IsNaN(v) {
+			s = append(s, v)
+		}
+	}
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the number of retained samples.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the p-quantile for p in [0, 1].
+func (c *CDF) Quantile(p float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	if p >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(p * float64(len(c.sorted)))
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx]
+}
+
+// Max returns the largest sample.
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Min returns the smallest sample.
+func (c *CDF) Min() float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	return c.sorted[0]
+}
+
+// Points samples n evenly spaced (x, P(X<=x)) pairs across the data range,
+// suitable for plotting.
+func (c *CDF) Points(n int) (xs, ps []float64) {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil, nil
+	}
+	lo, hi := c.Min(), c.Max()
+	xs = make([]float64, n)
+	ps = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := lo
+		switch {
+		case n > 1 && i == n-1:
+			x = hi // exact endpoint so the last point reads P = 1
+		case n > 1:
+			x = lo + (hi-lo)*float64(i)/float64(n-1)
+		}
+		xs[i] = x
+		ps[i] = c.At(x)
+	}
+	return xs, ps
+}
+
+// ErrDimensionMismatch reports inconsistent parameter-vector lengths.
+var ErrDimensionMismatch = errors.New("stats: parameter vectors have different lengths")
+
+// NormalizedModelDivergence computes Eq. 7 for every parameter j:
+//
+//	d_j = (1/D) Σ_k |x_{j,k} − x̄_j| / |x̄_j|
+//
+// where x̄ is the global parameter vector and x_{j,k} is client k's local
+// value. Parameters whose global value is (numerically) zero are skipped —
+// the paper's normalisation is undefined there.
+func NormalizedModelDivergence(clientParams [][]float64, global []float64) ([]float64, error) {
+	if len(clientParams) == 0 {
+		return nil, errors.New("stats: no client parameter vectors")
+	}
+	for k, cp := range clientParams {
+		if len(cp) != len(global) {
+			return nil, fmt.Errorf("%w: client %d has %d, global has %d", ErrDimensionMismatch, k, len(cp), len(global))
+		}
+	}
+	const tiny = 1e-12
+	d := make([]float64, 0, len(global))
+	inv := 1.0 / float64(len(clientParams))
+	for j, gj := range global {
+		if math.Abs(gj) < tiny {
+			continue
+		}
+		var sum float64
+		for _, cp := range clientParams {
+			sum += math.Abs((cp[j] - gj) / gj)
+		}
+		d = append(d, sum*inv)
+	}
+	return d, nil
+}
+
+// AccuracyTrace is the (accumulated communication rounds, accuracy) series
+// extracted from a training run, the unit the figure benches operate on.
+type AccuracyTrace struct {
+	CumUploads []int
+	Accuracy   []float64 // NaN where not evaluated
+}
+
+// RoundsToAccuracy returns the accumulated communication rounds at the first
+// point where accuracy reached target, and ok=false if it never did.
+func (tr *AccuracyTrace) RoundsToAccuracy(target float64) (int, bool) {
+	for i, a := range tr.Accuracy {
+		if !math.IsNaN(a) && a >= target {
+			return tr.CumUploads[i], true
+		}
+	}
+	return 0, false
+}
+
+// BestAccuracy returns the maximum evaluated accuracy.
+func (tr *AccuracyTrace) BestAccuracy() float64 {
+	best := math.NaN()
+	for _, a := range tr.Accuracy {
+		if math.IsNaN(a) {
+			continue
+		}
+		if math.IsNaN(best) || a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// Saving computes the paper's metric Saving_A^a = Φ_vanilla / Φ_A for a
+// target accuracy a. ok is false when either trace never reaches the target.
+func Saving(vanilla, alg *AccuracyTrace, target float64) (float64, bool) {
+	v, okV := vanilla.RoundsToAccuracy(target)
+	a, okA := alg.RoundsToAccuracy(target)
+	if !okV || !okA || a == 0 {
+		return 0, false
+	}
+	return float64(v) / float64(a), true
+}
+
+// Mean returns the arithmetic mean of v (NaN for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

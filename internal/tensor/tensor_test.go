@@ -1,0 +1,285 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cmfl/internal/xrand"
+)
+
+const eps = 1e-9
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func tensorsAlmostEqual(a, b *Tensor, tol float64) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Data {
+		if !almostEqual(a.Data[i], b.Data[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func randomMatrix(s *xrand.Stream, m, n int) *Tensor {
+	return FromSlice(s.NormVec(m*n, 0, 1), m, n)
+}
+
+func TestNewZeroed(t *testing.T) {
+	a := New(3, 4)
+	if a.Len() != 12 {
+		t.Fatalf("Len = %d, want 12", a.Len())
+	}
+	for i, v := range a.Data {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape/length mismatch")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.Reshape(3, 2)
+	b.Data[0] = 42
+	if a.Data[0] != 42 {
+		t.Fatal("Reshape must share backing data")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := a.Clone()
+	b.Data[0] = 9
+	if a.Data[0] != 1 {
+		t.Fatal("Clone must copy data")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	got := MatMul(a, b)
+	want := FromSlice([]float64{58, 64, 139, 154}, 2, 2)
+	if !tensorsAlmostEqual(got, want, eps) {
+		t.Fatalf("MatMul = %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	s := xrand.New(7)
+	a := randomMatrix(s, 4, 4)
+	got := MatMul(a, Identity(4))
+	if !tensorsAlmostEqual(got, a, eps) {
+		t.Fatal("A·I != A")
+	}
+}
+
+func TestMatMulTransBMatchesExplicitTranspose(t *testing.T) {
+	s := xrand.New(8)
+	a := randomMatrix(s, 3, 5)
+	b := randomMatrix(s, 4, 5)
+	got := MatMulTransB(a, b)
+	want := MatMul(a, Transpose(b))
+	if !tensorsAlmostEqual(got, want, 1e-12) {
+		t.Fatal("MatMulTransB disagrees with MatMul(a, bᵀ)")
+	}
+}
+
+func TestMatMulTransAMatchesExplicitTranspose(t *testing.T) {
+	s := xrand.New(9)
+	a := randomMatrix(s, 5, 3)
+	b := randomMatrix(s, 5, 4)
+	got := MatMulTransA(a, b)
+	want := MatMul(Transpose(a), b)
+	if !tensorsAlmostEqual(got, want, 1e-12) {
+		t.Fatal("MatMulTransA disagrees with MatMul(aᵀ, b)")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		s := xrand.New(seed)
+		m, n := 1+s.Intn(6), 1+s.Intn(6)
+		a := randomMatrix(s, m, n)
+		return tensorsAlmostEqual(Transpose(Transpose(a)), a, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulAssociativity(t *testing.T) {
+	f := func(seed int64) bool {
+		s := xrand.New(seed)
+		m, k, p, n := 1+s.Intn(4), 1+s.Intn(4), 1+s.Intn(4), 1+s.Intn(4)
+		a := randomMatrix(s, m, k)
+		b := randomMatrix(s, k, p)
+		c := randomMatrix(s, p, n)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		return tensorsAlmostEqual(left, right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAxpyInPlace(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{10, 20, 30}, 3)
+	a.AxpyInPlace(0.5, b)
+	want := []float64{6, 12, 18}
+	for i := range want {
+		if !almostEqual(a.Data[i], want[i], eps) {
+			t.Fatalf("AxpyInPlace[%d] = %v, want %v", i, a.Data[i], want[i])
+		}
+	}
+}
+
+func TestNorm2AndDot(t *testing.T) {
+	v := []float64{3, 4}
+	if got := Norm2(v); !almostEqual(got, 5, eps) {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); !almostEqual(got, 32, eps) {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestSubAndScaleVec(t *testing.T) {
+	d := Sub([]float64{5, 7}, []float64{2, 3})
+	if d[0] != 3 || d[1] != 4 {
+		t.Fatalf("Sub = %v, want [3 4]", d)
+	}
+	ScaleVec(2, d)
+	if d[0] != 6 || d[1] != 8 {
+		t.Fatalf("ScaleVec = %v, want [6 8]", d)
+	}
+}
+
+func TestCauchySchwarz(t *testing.T) {
+	f := func(seed int64) bool {
+		s := xrand.New(seed)
+		n := 1 + s.Intn(20)
+		a := s.NormVec(n, 0, 1)
+		b := s.NormVec(n, 0, 1)
+		return math.Abs(Dot(a, b)) <= Norm2(a)*Norm2(b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymEigReconstruction(t *testing.T) {
+	s := xrand.New(11)
+	for trial := 0; trial < 5; trial++ {
+		n := 2 + s.Intn(8)
+		b := randomMatrix(s, n, n)
+		a := MatMulTransB(b, b) // symmetric PSD
+		w, v, err := SymEig(a)
+		if err != nil {
+			t.Fatalf("SymEig: %v", err)
+		}
+		// Reconstruct V diag(w) Vᵀ.
+		scaled := New(n, n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				scaled.Set(i, j, v.At(i, j)*w[j])
+			}
+		}
+		rec := MatMulTransB(scaled, v)
+		if !tensorsAlmostEqual(rec, a, 1e-7) {
+			t.Fatalf("trial %d: eigendecomposition does not reconstruct input", trial)
+		}
+	}
+}
+
+func TestSymEigOrthonormalVectors(t *testing.T) {
+	s := xrand.New(12)
+	n := 6
+	b := randomMatrix(s, n, n)
+	a := MatMulTransB(b, b)
+	_, v, err := SymEig(a)
+	if err != nil {
+		t.Fatalf("SymEig: %v", err)
+	}
+	vtv := MatMulTransA(v, v)
+	if !tensorsAlmostEqual(vtv, Identity(n), 1e-8) {
+		t.Fatal("eigenvector matrix is not orthonormal")
+	}
+}
+
+func TestSymEigDiagonal(t *testing.T) {
+	a := New(3, 3)
+	a.Set(0, 0, 2)
+	a.Set(1, 1, -1)
+	a.Set(2, 2, 5)
+	w, _, err := SymEig(a)
+	if err != nil {
+		t.Fatalf("SymEig: %v", err)
+	}
+	got := append([]float64(nil), w...)
+	// Eigenvalues of a diagonal matrix are the diagonal (any order).
+	want := map[float64]bool{2: false, -1: false, 5: false}
+	for _, x := range got {
+		for k := range want {
+			if almostEqual(x, k, 1e-9) {
+				want[k] = true
+			}
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("eigenvalue %v missing from %v", k, got)
+		}
+	}
+}
+
+func TestSymEigRejectsNonSquare(t *testing.T) {
+	if _, _, err := SymEig(New(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestSymSqrtSquares(t *testing.T) {
+	s := xrand.New(13)
+	n := 5
+	b := randomMatrix(s, n, n)
+	a := MatMulTransB(b, b)
+	r, err := SymSqrt(a)
+	if err != nil {
+		t.Fatalf("SymSqrt: %v", err)
+	}
+	if !tensorsAlmostEqual(MatMul(r, r), a, 1e-7) {
+		t.Fatal("SymSqrt(a)² != a")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	a := FromSlice([]float64{1, 9, 9, 2}, 2, 2)
+	if got := Trace(a); got != 3 {
+		t.Fatalf("Trace = %v, want 3", got)
+	}
+}
+
+func TestIdentityProperties(t *testing.T) {
+	id := Identity(4)
+	if Trace(id) != 4 {
+		t.Fatal("Trace(I_4) != 4")
+	}
+	if !tensorsAlmostEqual(MatMul(id, id), id, 0) {
+		t.Fatal("I·I != I")
+	}
+}

@@ -1,0 +1,153 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveDeterministic(t *testing.T) {
+	a := Derive(42, "client", 7)
+	b := Derive(42, "client", 7)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Float64(), b.Float64(); x != y {
+			t.Fatalf("draw %d: streams diverged: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestDeriveIndependentByID(t *testing.T) {
+	a := Derive(42, "client", 0)
+	b := Derive(42, "client", 1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different ids produced %d/64 identical draws", same)
+	}
+}
+
+func TestDeriveIndependentByPurpose(t *testing.T) {
+	a := Derive(42, "data", 0)
+	b := Derive(42, "init", 0)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different purposes produced %d/64 identical draws", same)
+	}
+}
+
+func TestNormVecMoments(t *testing.T) {
+	s := New(1)
+	const n = 200000
+	v := s.NormVec(n, 3.0, 2.0)
+	var sum, sq float64
+	for _, x := range v {
+		sum += x
+	}
+	mean := sum / n
+	for _, x := range v {
+		sq += (x - mean) * (x - mean)
+	}
+	std := math.Sqrt(sq / n)
+	if math.Abs(mean-3.0) > 0.05 {
+		t.Errorf("mean = %v, want ~3.0", mean)
+	}
+	if math.Abs(std-2.0) > 0.05 {
+		t.Errorf("std = %v, want ~2.0", std)
+	}
+}
+
+func TestUniformVecRange(t *testing.T) {
+	s := New(2)
+	v := s.UniformVec(1000, -1.5, 2.5)
+	for i, x := range v {
+		if x < -1.5 || x >= 2.5 {
+			t.Fatalf("element %d = %v outside [-1.5, 2.5)", i, x)
+		}
+	}
+}
+
+func TestCategoricalRespectsWeights(t *testing.T) {
+	s := New(3)
+	w := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[s.Categorical(w)]++
+	}
+	if counts[0] != 0 {
+		t.Errorf("zero-weight category sampled %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("category ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestCategoricalZeroSumFallsBackToUniform(t *testing.T) {
+	s := New(4)
+	w := []float64{0, 0, 0, 0}
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		counts[s.Categorical(w)]++
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("category %d sampled %d/4000 times, want ~1000", i, c)
+		}
+	}
+}
+
+func TestCategoricalNegativeWeightsIgnored(t *testing.T) {
+	s := New(5)
+	w := []float64{-5, 1, -2}
+	for i := 0; i < 1000; i++ {
+		if got := s.Categorical(w); got != 1 {
+			t.Fatalf("Categorical picked index %d with negative weight", got)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, x := range p {
+			if x < 0 || x >= n || seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveDiffersFromOtherSeeds(t *testing.T) {
+	f := func(seed int64) bool {
+		a := Derive(seed, "x", 0)
+		b := Derive(seed+1, "x", 0)
+		// At least one of the first 8 draws must differ.
+		for i := 0; i < 8; i++ {
+			if a.Float64() != b.Float64() {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
