@@ -1,0 +1,90 @@
+package core
+
+// Precomputed-sign fast path for the relevance check.
+//
+// Eq. 9 only consumes the signs of the feedback update, yet the feedback is
+// shared by every client in a round: recomputing Sign(global[i]) per client
+// is O(clients·dim) of redundant work. SignsInto folds the feedback to a
+// compact []int8 once per round; SignAgreement then compares a local update
+// against it. SignAgreement(local, signs) is exactly Relevance(local, v) for
+// signs = SignsInto(nil, v) — a property test pins this.
+
+// SignsInto writes the sign (-1, 0, +1) of every coordinate of v into dst,
+// growing dst as needed, and returns the resized slice. Pass dst[:0] (or
+// nil) to reuse a buffer across rounds.
+func SignsInto(dst []int8, v []float64) []int8 {
+	if cap(dst) < len(v) {
+		dst = make([]int8, len(v))
+	}
+	dst = dst[:len(v)]
+	for i, x := range v {
+		switch {
+		case x > 0:
+			dst[i] = 1
+		case x < 0:
+			dst[i] = -1
+		default:
+			dst[i] = 0
+		}
+	}
+	return dst
+}
+
+// SignAgreement computes Eq. 9 against a precomputed feedback sign vector:
+// the fraction of coordinates of local whose sign equals signs[i]. It equals
+// Relevance(local, v) when signs was built from v.
+func SignAgreement(local []float64, signs []int8) (float64, error) {
+	if len(local) != len(signs) {
+		return 0, ErrLengthMismatch
+	}
+	if len(local) == 0 {
+		return 0, nil
+	}
+	matches := 0
+	for i, v := range local {
+		var s int8
+		switch {
+		case v > 0:
+			s = 1
+		case v < 0:
+			s = -1
+		}
+		if s == signs[i] {
+			matches++
+		}
+	}
+	return float64(matches) / float64(len(local)), nil
+}
+
+// CheckSigns is Filter.Check on the precomputed-sign fast path. Empty signs
+// mean "no feedback yet" (bootstrap: always upload). The second return is
+// false when this filter cannot use the fast path (cosine ablation needs
+// feedback magnitudes) and the caller must fall back to Check.
+func (f *Filter) CheckSigns(local []float64, feedbackSigns []int8, t int) (Decision, bool, error) {
+	if f.UseCosine {
+		return Decision{}, false, nil
+	}
+	if len(feedbackSigns) == 0 {
+		return Decision{Upload: true, Metric: 1}, true, nil
+	}
+	rel, err := SignAgreement(local, feedbackSigns)
+	if err != nil {
+		return Decision{}, true, err
+	}
+	return Decision{Upload: rel >= f.threshold.At(t), Metric: rel}, true, nil
+}
+
+// CheckSigns is AdaptiveFilter.Check on the precomputed-sign fast path.
+func (f *AdaptiveFilter) CheckSigns(local []float64, feedbackSigns []int8, t int) (Decision, bool, error) {
+	if len(feedbackSigns) == 0 {
+		return Decision{Upload: true, Metric: 1}, true, nil
+	}
+	rel, err := SignAgreement(local, feedbackSigns)
+	if err != nil {
+		return Decision{}, true, err
+	}
+	f.mu.Lock()
+	thr := f.threshold
+	f.mu.Unlock()
+	return Decision{Upload: rel >= thr, Metric: rel}, true, nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randUpdate mixes positive, negative and exact-zero coordinates — zeros are
+// their own sign class in Eq. 9, so they must be exercised explicitly.
+func randUpdate(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		switch rng.Intn(4) {
+		case 0:
+			v[i] = 0
+		case 1:
+			v[i] = -rng.Float64()
+		default:
+			v[i] = rng.Float64()
+		}
+	}
+	return v
+}
+
+// TestSignAgreementMatchesRelevance is the property test of ISSUE 1: the
+// precomputed-sign fast path must equal Relevance exactly (same float64,
+// not within tolerance — both count integer matches).
+func TestSignAgreementMatchesRelevance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(400)
+		local := randUpdate(rng, n)
+		global := randUpdate(rng, n)
+		signs := SignsInto(nil, global)
+
+		want, err := Relevance(local, global)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SignAgreement(local, signs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: SignAgreement %v != Relevance %v", trial, got, want)
+		}
+	}
+}
+
+func TestSignsIntoReusesBuffer(t *testing.T) {
+	buf := SignsInto(nil, []float64{1, -2, 0, 3})
+	want := []int8{1, -1, 0, 1}
+	for i, s := range want {
+		if buf[i] != s {
+			t.Fatalf("signs[%d] = %d, want %d", i, buf[i], s)
+		}
+	}
+	// Shrinking reuse must not reallocate.
+	buf2 := SignsInto(buf[:0], []float64{-1, 0})
+	if &buf2[0] != &buf[0] {
+		t.Fatal("SignsInto reallocated despite sufficient capacity")
+	}
+	if buf2[0] != -1 || buf2[1] != 0 {
+		t.Fatalf("reused signs wrong: %v", buf2)
+	}
+}
+
+func TestSignAgreementLengthMismatch(t *testing.T) {
+	if _, err := SignAgreement([]float64{1, 2}, []int8{1}); err != ErrLengthMismatch {
+		t.Fatalf("want ErrLengthMismatch, got %v", err)
+	}
+	if v, err := SignAgreement(nil, nil); err != nil || v != 0 {
+		t.Fatalf("empty vectors: got %v, %v", v, err)
+	}
+}
+
+// TestCheckSignsMatchesCheck verifies the filter fast path decides exactly
+// like the general path, for both the fixed-schedule and adaptive filters,
+// including the no-feedback bootstrap.
+func TestCheckSignsMatchesCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	filter := NewFilter(Constant(0.5))
+	adaptive := NewAdaptiveFilter(0.5, 0.3)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(200)
+		local := randUpdate(rng, n)
+		feedback := randUpdate(rng, n)
+		if trial%10 == 0 { // bootstrap rounds: all-zero feedback
+			for i := range feedback {
+				feedback[i] = 0
+			}
+		}
+		var signs []int8
+		if !isZero(feedback) {
+			signs = SignsInto(nil, feedback)
+		}
+		tRound := 1 + rng.Intn(50)
+
+		want, err := filter.Check(local, nil, feedback, tRound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, handled, err := filter.CheckSigns(local, signs, tRound)
+		if err != nil || !handled {
+			t.Fatalf("CheckSigns handled=%v err=%v", handled, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: CheckSigns %+v != Check %+v", trial, got, want)
+		}
+
+		wantA, err := adaptive.Check(local, nil, feedback, tRound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotA, handled, err := adaptive.CheckSigns(local, signs, tRound)
+		if err != nil || !handled {
+			t.Fatalf("adaptive CheckSigns handled=%v err=%v", handled, err)
+		}
+		if gotA != wantA {
+			t.Fatalf("trial %d: adaptive CheckSigns %+v != Check %+v", trial, gotA, wantA)
+		}
+	}
+
+	// The cosine ablation cannot use signs and must report handled=false.
+	cos := NewFilter(Constant(0.5))
+	cos.UseCosine = true
+	if _, handled, _ := cos.CheckSigns([]float64{1}, []int8{1}, 1); handled {
+		t.Fatal("cosine filter must decline the sign fast path")
+	}
+}

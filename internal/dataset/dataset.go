@@ -32,27 +32,67 @@ func (s *Set) Len() int { return len(s.Y) }
 // sample dimension).
 func (s *Set) SampleShape() []int { return s.X.Shape[1:] }
 
-// Subset copies the samples at the given indices into a new Set.
-func (s *Set) Subset(idx []int) *Set {
-	sampleLen := s.X.Len() / s.Len()
-	shape := append([]int{len(idx)}, s.SampleShape()...)
-	out := &Set{X: tensor.New(shape...), Y: make([]int, len(idx))}
-	for i, src := range idx {
-		copy(out.X.Data[i*sampleLen:(i+1)*sampleLen], s.X.Data[src*sampleLen:(src+1)*sampleLen])
-		out.Y[i] = s.Y[src]
-	}
-	return out
+// sampleLen returns the flat length of one sample.
+func (s *Set) sampleLen() int { return s.X.Len() / s.Len() }
+
+// Minibatch is a reusable destination for gathered samples. Its buffers are
+// grown on demand and reused across GatherInto calls, so steady-state
+// training gathers minibatches without allocating.
+//
+// Aliasing rules: X and Y are owned by the Minibatch and are overwritten by
+// the next GatherInto; callers that retain them across gathers must copy.
+type Minibatch struct {
+	X *tensor.Tensor
+	Y []int
 }
 
-// Batch copies samples [lo, hi) into a fresh (X, Y) minibatch.
+// GatherInto copies the samples at the given indices into mb, resizing its
+// buffers only when capacity is insufficient. This is the single copier
+// behind Subset and Batch.
+func (s *Set) GatherInto(mb *Minibatch, idx []int) {
+	sampleLen := s.sampleLen()
+	n := len(idx) * sampleLen
+	if mb.X == nil || cap(mb.X.Data) < n {
+		mb.X = &tensor.Tensor{Data: make([]float64, n)}
+	}
+	mb.X.Data = mb.X.Data[:n]
+	mb.X.Shape = append(append(mb.X.Shape[:0], len(idx)), s.SampleShape()...)
+	if cap(mb.Y) < len(idx) {
+		mb.Y = make([]int, len(idx))
+	}
+	mb.Y = mb.Y[:len(idx)]
+	for i, src := range idx {
+		copy(mb.X.Data[i*sampleLen:(i+1)*sampleLen], s.X.Data[src*sampleLen:(src+1)*sampleLen])
+		mb.Y[i] = s.Y[src]
+	}
+}
+
+// Subset copies the samples at the given indices into a new Set.
+func (s *Set) Subset(idx []int) *Set {
+	var mb Minibatch
+	s.GatherInto(&mb, idx)
+	return &Set{X: mb.X, Y: mb.Y}
+}
+
+// Batch copies samples [lo, hi) into a fresh (X, Y) minibatch. Hot paths
+// that only read the batch should prefer BatchView, which does not copy.
 func (s *Set) Batch(lo, hi int) (*tensor.Tensor, []int) {
-	sampleLen := s.X.Len() / s.Len()
+	sampleLen := s.sampleLen()
 	shape := append([]int{hi - lo}, s.SampleShape()...)
 	x := tensor.New(shape...)
 	copy(x.Data, s.X.Data[lo*sampleLen:hi*sampleLen])
 	y := make([]int, hi-lo)
 	copy(y, s.Y[lo:hi])
 	return x, y
+}
+
+// BatchView returns samples [lo, hi) as zero-copy views: the tensor shares
+// s.X's backing array and the label slice aliases s.Y. Callers must treat
+// both as read-only and must not retain them past mutations of s.
+func (s *Set) BatchView(lo, hi int) (*tensor.Tensor, []int) {
+	sampleLen := s.sampleLen()
+	shape := append([]int{hi - lo}, s.SampleShape()...)
+	return tensor.FromSlice(s.X.Data[lo*sampleLen:hi*sampleLen], shape...), s.Y[lo:hi]
 }
 
 // Shuffled returns a copy of the set with sample order permuted by rng.

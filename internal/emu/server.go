@@ -495,7 +495,7 @@ func accuracyOf(net *nn.Network, test *dataset.Set, evalBatch int) float64 {
 		if hi > test.Len() {
 			hi = test.Len()
 		}
-		x, y := test.Batch(lo, hi)
+		x, y := test.BatchView(lo, hi)
 		pred := nn.Argmax(net.Forward(x))
 		for i, p := range pred {
 			if p == y[i] {

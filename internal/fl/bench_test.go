@@ -1,0 +1,68 @@
+package fl
+
+import (
+	"testing"
+
+	"cmfl/internal/dataset"
+	"cmfl/internal/nn"
+	"cmfl/internal/tensor"
+	"cmfl/internal/xrand"
+)
+
+// randomSet builds a dataset with normally distributed features — benchmark
+// fodder matching a workload's tensor shapes without generator cost.
+func randomSet(n int, sampleShape []int, classes int, rng *xrand.Stream) *dataset.Set {
+	total := n
+	for _, d := range sampleShape {
+		total *= d
+	}
+	x := tensor.FromSlice(rng.NormVec(total, 0, 1), append([]int{n}, sampleShape...)...)
+	y := make([]int, n)
+	for i := range y {
+		y[i] = rng.Intn(classes)
+	}
+	return &dataset.Set{X: x, Y: y}
+}
+
+// BenchmarkLocalTrainRound measures one client's full local round (E epochs
+// of minibatch SGD) on the two reproduction workloads at paper-like shapes:
+// the 28×28/5×5 MNIST CNN and the 2-layer next-word LSTM. This is the
+// quantity that bounds every experiment's wall-clock.
+func BenchmarkLocalTrainRound(b *testing.B) {
+	b.Run("mnist-cnn", func(b *testing.B) {
+		cfg := nn.CNNConfig{ImageSize: 28, Kernel: 5, Conv1: 16, Conv2: 32, Hidden: 128, Classes: 10}
+		net := nn.NewCNN(cfg, xrand.New(1))
+		shard := randomSet(20, []int{1, 28, 28}, 10, xrand.New(2))
+		params := net.ParamVector()
+		rng := xrand.New(3)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := LocalTrain(net, shard, params, 0.05, 1, 2, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nextword-lstm", func(b *testing.B) {
+		cfg := nn.LSTMConfig{Vocab: 500, Embed: 32, Hidden: 64, Layers: 2}
+		net := nn.NewNextWordLSTM(cfg, xrand.New(4))
+		rng := xrand.New(5)
+		n, window := 20, 10
+		ids := make([]float64, n*window)
+		for i := range ids {
+			ids[i] = float64(rng.Intn(cfg.Vocab))
+		}
+		shard := &dataset.Set{X: tensor.FromSlice(ids, n, window), Y: make([]int, n)}
+		for i := range shard.Y {
+			shard.Y[i] = rng.Intn(cfg.Vocab)
+		}
+		params := net.ParamVector()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := LocalTrain(net, shard, params, 0.05, 1, 5, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -79,12 +79,21 @@ func Run(cfg Config) (*Result, error) {
 	results := make([]localResult, len(clients))
 	sem := make(chan struct{}, cfg.Parallelism)
 	sampler := xrand.Derive(cfg.Seed, "fl-sampler", 0)
+	var signBuf []int8 // reused feedback sign vector, rebuilt each round
 
 	for t := 1; t <= cfg.Rounds; t++ {
 		lr := cfg.LR.At(t)
 		staleFeedback := feedback
 		if cfg.FeedbackStaleness > 1 && len(feedbackHist) >= cfg.FeedbackStaleness {
 			staleFeedback = feedbackHist[len(feedbackHist)-cfg.FeedbackStaleness]
+		}
+		// Precompute the feedback's sign vector once per round; every client
+		// reads it concurrently (read-only) for the Eq. 9 check and trace.
+		// nil signs signal "no feedback yet".
+		var feedbackSigns []int8
+		if !allZero(staleFeedback) {
+			signBuf = core.SignsInto(signBuf[:0], staleFeedback)
+			feedbackSigns = signBuf
 		}
 
 		participants := sampleClients(clients, cfg.ClientFraction, sampler)
@@ -95,7 +104,7 @@ func Run(cfg Config) (*Result, error) {
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				results[i] = clients[i].trainRound(params, staleFeedback, lr, cfg.Epochs, cfg.Batch, filter, t, cfg.DPClip, cfg.DPNoiseSigma, cfg.ProxMu)
+				results[i] = clients[i].trainRound(params, staleFeedback, feedbackSigns, lr, cfg.Epochs, cfg.Batch, filter, t, cfg.DPClip, cfg.DPNoiseSigma, cfg.ProxMu)
 			}(i)
 		}
 		wg.Wait()
@@ -242,6 +251,7 @@ func LocalTrainProx(net *nn.Network, data *dataset.Set, global []float64, lr flo
 	var lossSum float64
 	batches := 0
 	n := data.Len()
+	var mb dataset.Minibatch // reused across minibatches: zero steady-state allocs
 	for e := 0; e < epochs; e++ {
 		order := rng.Perm(n)
 		for lo := 0; lo < n; lo += batch {
@@ -249,14 +259,11 @@ func LocalTrainProx(net *nn.Network, data *dataset.Set, global []float64, lr flo
 			if hi > n {
 				hi = n
 			}
-			sub := data.Subset(order[lo:hi])
-			lossSum += nn.TrainBatch(net, sub.X, sub.Y, lr)
+			data.GatherInto(&mb, order[lo:hi])
+			lossSum += nn.TrainBatch(net, mb.X, mb.Y, lr)
 			if mu > 0 {
-				w := net.ParamVector()
-				for j := range w {
-					w[j] -= lr * mu * (w[j] - global[j])
-				}
-				if err := net.SetParamVector(w); err != nil {
+				// Proximal pull toward the broadcast model, applied in place.
+				if err := net.DecayToward(global, lr*mu); err != nil {
 					return nil, 0, err
 				}
 			}
@@ -284,21 +291,23 @@ func privatize(delta []float64, clip, sigma float64, rng *xrand.Stream) {
 }
 
 // trainRound runs the client's local optimisation from the broadcast global
-// parameters and produces its (possibly withheld) update.
-func (c *client) trainRound(global, feedback []float64, lr float64, epochs, batch int, filter UploadFilter, t int, dpClip, dpSigma, proxMu float64) localResult {
+// parameters and produces its (possibly withheld) update. feedbackSigns is
+// the engine's per-round precomputed sign vector of feedback (nil when there
+// is no feedback yet).
+func (c *client) trainRound(global, feedback []float64, feedbackSigns []int8, lr float64, epochs, batch int, filter UploadFilter, t int, dpClip, dpSigma, proxMu float64) localResult {
 	delta, loss, err := LocalTrainProx(c.net, c.data, global, lr, epochs, batch, proxMu, c.rng)
 	if err != nil {
 		return localResult{err: err}
 	}
 	privatize(delta, dpClip, dpSigma, c.rng)
 
-	dec, err := filter.Check(delta, global, feedback, t)
+	dec, err := checkUpload(filter, delta, global, feedback, feedbackSigns, t)
 	if err != nil {
 		return localResult{err: err}
 	}
 	rel := nan()
-	if !allZero(feedback) {
-		if r, err := core.Relevance(delta, feedback); err == nil {
+	if len(feedbackSigns) > 0 {
+		if r, err := core.SignAgreement(delta, feedbackSigns); err == nil {
 			rel = r
 		}
 	}
@@ -315,6 +324,17 @@ func (c *client) trainRound(global, feedback []float64, lr float64, epochs, batc
 	}
 }
 
+// checkUpload routes the upload decision through the precomputed-sign fast
+// path when the filter supports it, falling back to the general Check.
+func checkUpload(filter UploadFilter, delta, global, feedback []float64, feedbackSigns []int8, t int) (core.Decision, error) {
+	if sc, ok := filter.(SignChecker); ok {
+		if dec, handled, err := sc.CheckSigns(delta, feedbackSigns, t); handled || err != nil {
+			return dec, err
+		}
+	}
+	return filter.Check(delta, global, feedback, t)
+}
+
 // evaluate computes test accuracy in bounded-size forward batches.
 func evaluate(net *nn.Network, test *dataset.Set, evalBatch int) float64 {
 	if test == nil || test.Len() == 0 {
@@ -326,7 +346,7 @@ func evaluate(net *nn.Network, test *dataset.Set, evalBatch int) float64 {
 		if hi > test.Len() {
 			hi = test.Len()
 		}
-		x, y := test.Batch(lo, hi)
+		x, y := test.BatchView(lo, hi)
 		pred := nn.Argmax(net.Forward(x))
 		for i, p := range pred {
 			if p == y[i] {

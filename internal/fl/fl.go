@@ -41,6 +41,16 @@ func (Vanilla) Check(local, model, prevGlobal []float64, t int) (core.Decision, 
 	return core.Decision{Upload: true, Metric: 1}, nil
 }
 
+// SignChecker is an optional extension of UploadFilter: filters whose
+// decision depends only on the signs of the feedback (CMFL's Eq. 9) can
+// check against a sign vector the engine precomputes once per round instead
+// of re-deriving signs from the float feedback per client. An empty sign
+// slice means "no feedback yet". The bool result reports whether the fast
+// path applied; false makes the engine fall back to Check.
+type SignChecker interface {
+	CheckSigns(local []float64, feedbackSigns []int8, t int) (core.Decision, bool, error)
+}
+
 // RoundObserver is an optional extension of UploadFilter: after every
 // synchronous round the engine reports how many of the participants
 // uploaded, letting stateful filters (e.g. core.AdaptiveFilter) adjust

@@ -7,8 +7,9 @@ import (
 )
 
 // ReLU applies max(0, x) elementwise. Shape-preserving, parameter-free.
+// Outputs alias a persistent per-layer buffer (see scratch.go).
 type ReLU struct {
-	mask []bool
+	out, gin *tensor.Tensor
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -16,30 +17,16 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
-	out := x.Clone()
-	if cap(r.mask) < x.Len() {
-		r.mask = make([]bool, x.Len())
-	}
-	r.mask = r.mask[:x.Len()]
-	for i, v := range out.Data {
-		if v > 0 {
-			r.mask[i] = true
-		} else {
-			r.mask[i] = false
-			out.Data[i] = 0
-		}
-	}
+	out := ensure(&r.out, x.Shape...)
+	tensor.ReLUFwd(out.Data, x.Data)
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. out > 0 exactly when the forward input was
+// positive, so the layer's own output doubles as the gradient mask.
 func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	grad := gradOut.Clone()
-	for i := range grad.Data {
-		if !r.mask[i] {
-			grad.Data[i] = 0
-		}
-	}
+	grad := ensure(&r.gin, gradOut.Shape...)
+	tensor.ReLUBwd(grad.Data, gradOut.Data, r.out.Data)
 	return grad
 }
 
@@ -51,7 +38,7 @@ func (r *ReLU) Grads() []*tensor.Tensor { return nil }
 
 // Tanh applies tanh elementwise.
 type Tanh struct {
-	out *tensor.Tensor
+	out, gin *tensor.Tensor
 }
 
 // NewTanh returns a Tanh activation layer.
@@ -59,19 +46,18 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Tensor) *tensor.Tensor {
-	out := x.Clone()
-	for i, v := range out.Data {
+	out := ensure(&t.out, x.Shape...)
+	for i, v := range x.Data {
 		out.Data[i] = math.Tanh(v)
 	}
-	t.out = out
 	return out
 }
 
 // Backward implements Layer.
 func (t *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	grad := gradOut.Clone()
+	grad := ensure(&t.gin, gradOut.Shape...)
 	for i, y := range t.out.Data {
-		grad.Data[i] *= 1 - y*y
+		grad.Data[i] = gradOut.Data[i] * (1 - y*y)
 	}
 	return grad
 }
@@ -84,7 +70,7 @@ func (t *Tanh) Grads() []*tensor.Tensor { return nil }
 
 // Sigmoid applies the logistic function elementwise.
 type Sigmoid struct {
-	out *tensor.Tensor
+	out, gin *tensor.Tensor
 }
 
 // NewSigmoid returns a Sigmoid activation layer.
@@ -92,19 +78,18 @@ func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x *tensor.Tensor) *tensor.Tensor {
-	out := x.Clone()
-	for i, v := range out.Data {
+	out := ensure(&s.out, x.Shape...)
+	for i, v := range x.Data {
 		out.Data[i] = sigmoid(v)
 	}
-	s.out = out
 	return out
 }
 
 // Backward implements Layer.
 func (s *Sigmoid) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	grad := gradOut.Clone()
+	grad := ensure(&s.gin, gradOut.Shape...)
 	for i, y := range s.out.Data {
-		grad.Data[i] *= y * (1 - y)
+		grad.Data[i] = gradOut.Data[i] * y * (1 - y)
 	}
 	return grad
 }
@@ -126,6 +111,8 @@ func sigmoid(v float64) float64 {
 // Flatten reshapes [batch, ...] to [batch, rest].
 type Flatten struct {
 	inShape []int
+
+	out, gin *tensor.Tensor
 }
 
 // NewFlatten returns a Flatten layer.
@@ -135,12 +122,12 @@ func NewFlatten() *Flatten { return &Flatten{} }
 func (f *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
 	f.inShape = append(f.inShape[:0], x.Shape...)
 	batch := x.Dim(0)
-	return x.Reshape(batch, x.Len()/batch)
+	return viewAs(&f.out, x.Data, batch, x.Len()/batch)
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	return gradOut.Reshape(f.inShape...)
+	return viewAs(&f.gin, gradOut.Data, f.inShape...)
 }
 
 // Params implements Layer.

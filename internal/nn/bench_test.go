@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"testing"
+
+	"cmfl/internal/tensor"
+	"cmfl/internal/xrand"
+)
+
+// convBenchCases are the two convolutions of the paper-scale MNIST CNN
+// (28×28 input, 5×5 kernels) at the paper's local batch size B=2.
+var convBenchCases = []struct {
+	name                string
+	batch, inC, outC, k int
+	h, w                int
+}{
+	{"conv1-2x1x28x28-k5x16", 2, 1, 16, 5, 28, 28},
+	{"conv2-2x16x12x12-k5x32", 2, 16, 32, 5, 12, 12},
+}
+
+// BenchmarkConvForward measures Conv2D.Forward at the MNIST CNN shapes.
+func BenchmarkConvForward(b *testing.B) {
+	for _, c := range convBenchCases {
+		b.Run(c.name, func(b *testing.B) {
+			rng := xrand.New(1)
+			layer := NewConv2D(c.inC, c.outC, c.k, rng)
+			x := tensor.FromSlice(rng.NormVec(c.batch*c.inC*c.h*c.w, 0, 1), c.batch, c.inC, c.h, c.w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				layer.Forward(x)
+			}
+		})
+	}
+}
+
+// BenchmarkConvBackward measures Conv2D.Backward (weight-gradient and
+// input-gradient products) at the same shapes.
+func BenchmarkConvBackward(b *testing.B) {
+	for _, c := range convBenchCases {
+		b.Run(c.name, func(b *testing.B) {
+			rng := xrand.New(2)
+			layer := NewConv2D(c.inC, c.outC, c.k, rng)
+			x := tensor.FromSlice(rng.NormVec(c.batch*c.inC*c.h*c.w, 0, 1), c.batch, c.inC, c.h, c.w)
+			out := layer.Forward(x)
+			grad := tensor.FromSlice(rng.NormVec(out.Len(), 0, 1), out.Shape...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				layer.Backward(grad)
+			}
+		})
+	}
+}
+
+// BenchmarkDenseStep measures one Dense forward+backward at the CNN head
+// shape (flattened conv output → hidden layer).
+func BenchmarkDenseStep(b *testing.B) {
+	rng := xrand.New(3)
+	layer := NewDense(512, 128, rng)
+	x := tensor.FromSlice(rng.NormVec(2*512, 0, 1), 2, 512)
+	grad := tensor.FromSlice(rng.NormVec(2*128, 0, 1), 2, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layer.Forward(x)
+		layer.Backward(grad)
+	}
+}
+
+// BenchmarkLSTMStep measures one training step of the next-word LSTM at a
+// scaled paper shape (2 layers over a 10-word window).
+func BenchmarkLSTMStep(b *testing.B) {
+	cfg := LSTMConfig{Vocab: 500, Embed: 32, Hidden: 64, Layers: 2}
+	net := NewNextWordLSTM(cfg, xrand.New(4))
+	rng := xrand.New(5)
+	batch, window := 5, 10
+	ids := make([]float64, batch*window)
+	for i := range ids {
+		ids[i] = float64(rng.Intn(cfg.Vocab))
+	}
+	x := tensor.FromSlice(ids, batch, window)
+	labels := make([]int, batch)
+	for i := range labels {
+		labels[i] = rng.Intn(cfg.Vocab)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainBatch(net, x, labels, 0.1)
+	}
+}

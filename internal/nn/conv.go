@@ -12,13 +12,34 @@ import (
 // Input shape [batch, inC, H, W]; output shape [batch, outC, H-K+1, W-K+1].
 // The paper's MNIST model uses two 5×5 convolutions; the kernel size is a
 // parameter so scaled-down experiments can use 3×3.
+//
+// Both passes lower the convolution to GEMM via im2col: for each sample the
+// K×K input windows are unrolled into a [inC·K·K, oh·ow] column matrix, so
+// the forward pass is w·cols, the weight gradient is dY·colsᵀ and the input
+// gradient is wᵀ·dY scattered back (col2im). The column matrix and all
+// output/gradient tensors live in a persistent per-layer workspace, so
+// steady-state training allocates nothing here.
 type Conv2D struct {
+	// skipInputGrad is set by Network.Backward when this layer is first in
+	// the stack and its input gradient would be discarded.
+	skipInputGrad bool
+
+	// params/grads cache the Params()/Grads() slices so per-step
+	// optimizer sweeps do not allocate.
+	params, grads []*tensor.Tensor
+
 	InC, OutC, K int
 
 	w, b   *tensor.Tensor // w: [outC, inC, K, K], b: [outC]
 	gw, gb *tensor.Tensor
 
 	x *tensor.Tensor
+
+	// Workspace (see scratch.go for lifetime rules).
+	cols, dcols       *tensor.Tensor // [inC·K·K, oh·ow] im2col panel of one sample
+	out, gin          *tensor.Tensor
+	w2d, gw2d         *tensor.Tensor // cached 2-D views of w and gw
+	outView, gradView *tensor.Tensor
 }
 
 // NewConv2D creates a convolution layer with Glorot-uniform initialisation.
@@ -37,31 +58,70 @@ func NewConv2D(inC, outC, k int, rng *xrand.Stream) *Conv2D {
 	}
 }
 
+// im2col unrolls sample n of x into cols: row (ic·K+ky)·K+kx holds the
+// window element (ky, kx) of channel ic for every output position, laid out
+// so each output row is a contiguous copy of an input-row segment.
+func (c *Conv2D) im2col(x *tensor.Tensor, n, h, w, oh, ow int, cols *tensor.Tensor) {
+	p := oh * ow
+	row := 0
+	for ic := 0; ic < c.InC; ic++ {
+		chanBase := (n*c.InC + ic) * h * w
+		for ky := 0; ky < c.K; ky++ {
+			for kx := 0; kx < c.K; kx++ {
+				dst := cols.Data[row*p : (row+1)*p]
+				for oy := 0; oy < oh; oy++ {
+					src := x.Data[chanBase+(oy+ky)*w+kx:]
+					copy(dst[oy*ow:(oy+1)*ow], src[:ow])
+				}
+				row++
+			}
+		}
+	}
+}
+
+// col2im scatters dcols back into sample n of gin, accumulating where
+// windows overlap — the adjoint of im2col.
+func (c *Conv2D) col2im(dcols *tensor.Tensor, n, h, w, oh, ow int, gin *tensor.Tensor) {
+	p := oh * ow
+	row := 0
+	for ic := 0; ic < c.InC; ic++ {
+		chanBase := (n*c.InC + ic) * h * w
+		for ky := 0; ky < c.K; ky++ {
+			for kx := 0; kx < c.K; kx++ {
+				src := dcols.Data[row*p : (row+1)*p]
+				for oy := 0; oy < oh; oy++ {
+					dst := gin.Data[chanBase+(oy+ky)*w+kx:]
+					srcRow := src[oy*ow : (oy+1)*ow]
+					for i, v := range srcRow {
+						dst[i] += v
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	c.x = x
 	batch, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh, ow := h-c.K+1, w-c.K+1
-	out := tensor.New(batch, c.OutC, oh, ow)
+	ckk := c.InC * c.K * c.K
+	p := oh * ow
+
+	out := ensure(&c.out, batch, c.OutC, oh, ow)
+	cols := ensure(&c.cols, ckk, p)
+	w2d := viewAs(&c.w2d, c.w.Data, c.OutC, ckk)
 	for n := 0; n < batch; n++ {
+		c.im2col(x, n, h, w, oh, ow, cols)
+		outN := viewAs(&c.outView, out.Data[n*c.OutC*p:(n+1)*c.OutC*p], c.OutC, p)
+		tensor.MatMulInto(outN, w2d, cols)
 		for oc := 0; oc < c.OutC; oc++ {
 			bias := c.b.Data[oc]
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					sum := bias
-					for ic := 0; ic < c.InC; ic++ {
-						xBase := ((n*c.InC+ic)*h + oy) * w
-						wBase := ((oc*c.InC + ic) * c.K) * c.K
-						for ky := 0; ky < c.K; ky++ {
-							xRow := x.Data[xBase+ky*w+ox : xBase+ky*w+ox+c.K]
-							wRow := c.w.Data[wBase+ky*c.K : wBase+(ky+1)*c.K]
-							for kx, wv := range wRow {
-								sum += xRow[kx] * wv
-							}
-						}
-					}
-					out.Data[((n*c.OutC+oc)*oh+oy)*ow+ox] = sum
-				}
+			row := outN.Data[oc*p : (oc+1)*p]
+			for i := range row {
+				row[i] += bias
 			}
 		}
 	}
@@ -73,43 +133,59 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	x := c.x
 	batch, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh, ow := h-c.K+1, w-c.K+1
-	gradIn := tensor.New(batch, c.InC, h, w)
+	ckk := c.InC * c.K * c.K
+	p := oh * ow
+
+	var gin *tensor.Tensor
+	if !c.skipInputGrad {
+		gin = ensure(&c.gin, batch, c.InC, h, w)
+		gin.Zero()
+	}
+	cols := ensure(&c.cols, ckk, p)
+	dcols := ensure(&c.dcols, ckk, p)
+	w2d := viewAs(&c.w2d, c.w.Data, c.OutC, ckk)
+	gw2d := viewAs(&c.gw2d, c.gw.Data, c.OutC, ckk)
 	for n := 0; n < batch; n++ {
+		gN := viewAs(&c.gradView, gradOut.Data[n*c.OutC*p:(n+1)*c.OutC*p], c.OutC, p)
+		c.im2col(x, n, h, w, oh, ow, cols)
+		// dW += dY·colsᵀ ; db += row sums of dY ; dcols = wᵀ·dY.
+		tensor.AddMatMulTransB(gw2d, gN, cols)
 		for oc := 0; oc < c.OutC; oc++ {
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					g := gradOut.Data[((n*c.OutC+oc)*oh+oy)*ow+ox]
-					if g == 0 {
-						continue
-					}
-					c.gb.Data[oc] += g
-					for ic := 0; ic < c.InC; ic++ {
-						xBase := ((n*c.InC+ic)*h + oy) * w
-						wBase := ((oc*c.InC + ic) * c.K) * c.K
-						giBase := ((n*c.InC+ic)*h + oy) * w
-						for ky := 0; ky < c.K; ky++ {
-							xRow := x.Data[xBase+ky*w+ox : xBase+ky*w+ox+c.K]
-							wRow := c.w.Data[wBase+ky*c.K : wBase+(ky+1)*c.K]
-							gwRow := c.gw.Data[wBase+ky*c.K : wBase+(ky+1)*c.K]
-							giRow := gradIn.Data[giBase+ky*w+ox : giBase+ky*w+ox+c.K]
-							for kx := 0; kx < c.K; kx++ {
-								gwRow[kx] += g * xRow[kx]
-								giRow[kx] += g * wRow[kx]
-							}
-						}
-					}
-				}
+			row := gN.Data[oc*p : (oc+1)*p]
+			var s float64
+			for _, v := range row {
+				s += v
 			}
+			c.gb.Data[oc] += s
+		}
+		if gin != nil {
+			tensor.MatMulTransAInto(dcols, w2d, gN)
+			c.col2im(dcols, n, h, w, oh, ow, gin)
 		}
 	}
-	return gradIn
+	return gin
 }
 
+// setSkipInputGrad implements the nn-internal inputGradSkipper contract: a
+// Conv2D used as the network's first layer omits dcols/col2im and returns a
+// nil input gradient.
+func (c *Conv2D) setSkipInputGrad(skip bool) { c.skipInputGrad = skip }
+
 // Params implements Layer.
-func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.w, c.b} }
+func (c *Conv2D) Params() []*tensor.Tensor {
+	if c.params == nil {
+		c.params = []*tensor.Tensor{c.w, c.b}
+	}
+	return c.params
+}
 
 // Grads implements Layer.
-func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.gw, c.gb} }
+func (c *Conv2D) Grads() []*tensor.Tensor {
+	if c.grads == nil {
+		c.grads = []*tensor.Tensor{c.gw, c.gb}
+	}
+	return c.grads
+}
 
 // MaxPool2 is a 2×2 max pooling layer with stride 2.
 //
@@ -117,6 +193,8 @@ func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.gw, c.gb} 
 type MaxPool2 struct {
 	argmax  []int
 	inShape []int
+
+	out, gin *tensor.Tensor
 }
 
 // NewMaxPool2 returns a 2×2 max-pooling layer.
@@ -127,7 +205,7 @@ func (p *MaxPool2) Forward(x *tensor.Tensor) *tensor.Tensor {
 	batch, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh, ow := h/2, w/2
 	p.inShape = append(p.inShape[:0], x.Shape...)
-	out := tensor.New(batch, ch, oh, ow)
+	out := ensure(&p.out, batch, ch, oh, ow)
 	if cap(p.argmax) < out.Len() {
 		p.argmax = make([]int, out.Len())
 	}
@@ -160,11 +238,12 @@ func (p *MaxPool2) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Backward implements Layer.
 func (p *MaxPool2) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	gradIn := tensor.New(p.inShape...)
+	gin := ensure(&p.gin, p.inShape...)
+	gin.Zero()
 	for oIdx, iIdx := range p.argmax {
-		gradIn.Data[iIdx] += gradOut.Data[oIdx]
+		gin.Data[iIdx] += gradOut.Data[oIdx]
 	}
-	return gradIn
+	return gin
 }
 
 // Params implements Layer.

@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"cmfl/internal/tensor"
+	"cmfl/internal/xrand"
+)
+
+// Naive direct-convolution reference (the seed implementation's semantics,
+// kept as ground truth for the im2col+GEMM rewrite).
+
+func naiveConvForward(w, b, x *tensor.Tensor, inC, outC, k int) *tensor.Tensor {
+	batch, h, wd := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := h-k+1, wd-k+1
+	out := tensor.New(batch, outC, oh, ow)
+	for n := 0; n < batch; n++ {
+		for oc := 0; oc < outC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := b.Data[oc]
+					for ic := 0; ic < inC; ic++ {
+						for ky := 0; ky < k; ky++ {
+							for kx := 0; kx < k; kx++ {
+								wv := w.Data[((oc*inC+ic)*k+ky)*k+kx]
+								xv := x.Data[((n*inC+ic)*h+oy+ky)*wd+ox+kx]
+								s += wv * xv
+							}
+						}
+					}
+					out.Data[((n*outC+oc)*oh+oy)*ow+ox] = s
+				}
+			}
+		}
+	}
+	return out
+}
+
+func naiveConvBackward(w, x, gradOut *tensor.Tensor, inC, outC, k int) (gw, gb, gin *tensor.Tensor) {
+	batch, h, wd := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := h-k+1, wd-k+1
+	gw = tensor.New(outC, inC, k, k)
+	gb = tensor.New(outC)
+	gin = tensor.New(batch, inC, h, wd)
+	for n := 0; n < batch; n++ {
+		for oc := 0; oc < outC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := gradOut.Data[((n*outC+oc)*oh+oy)*ow+ox]
+					gb.Data[oc] += g
+					for ic := 0; ic < inC; ic++ {
+						for ky := 0; ky < k; ky++ {
+							for kx := 0; kx < k; kx++ {
+								gw.Data[((oc*inC+ic)*k+ky)*k+kx] += g * x.Data[((n*inC+ic)*h+oy+ky)*wd+ox+kx]
+								gin.Data[((n*inC+ic)*h+oy+ky)*wd+ox+kx] += g * w.Data[((oc*inC+ic)*k+ky)*k+kx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return gw, gb, gin
+}
+
+func convMaxRelDiff(t *testing.T, got, want *tensor.Tensor) float64 {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("length mismatch: %d vs %d", len(got.Data), len(want.Data))
+	}
+	var worst float64
+	for i := range got.Data {
+		scale := math.Max(1, math.Max(math.Abs(got.Data[i]), math.Abs(want.Data[i])))
+		if d := math.Abs(got.Data[i]-want.Data[i]) / scale; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestConvIm2colEquivalence pins the im2col+GEMM Conv2D against the naive
+// direct convolution within 1e-12 relative error, on both passes, across
+// edge shapes (batch=1, K=1, 1-channel and multi-channel, paper 5×5).
+func TestConvIm2colEquivalence(t *testing.T) {
+	const tol = 1e-12
+	cases := []struct {
+		name                string
+		batch, inC, outC, k int
+		h, w                int
+	}{
+		{"batch1-single", 1, 1, 3, 3, 8, 8},
+		{"k1-pointwise", 2, 2, 4, 1, 5, 7},
+		{"multichannel", 3, 2, 3, 3, 9, 6},
+		{"paper-conv1", 2, 1, 16, 5, 28, 28},
+		{"paper-conv2", 2, 16, 8, 5, 12, 12},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := xrand.New(77)
+			layer := NewConv2D(tc.inC, tc.outC, tc.k, rng)
+			w, b := layer.Params()[0], layer.Params()[1]
+			for i := range b.Data { // nonzero biases to cover the bias path
+				b.Data[i] = rng.Norm()
+			}
+			x := tensor.FromSlice(rng.NormVec(tc.batch*tc.inC*tc.h*tc.w, 0, 1), tc.batch, tc.inC, tc.h, tc.w)
+			oh, ow := tc.h-tc.k+1, tc.w-tc.k+1
+			gradOut := tensor.FromSlice(rng.NormVec(tc.batch*tc.outC*oh*ow, 0, 1), tc.batch, tc.outC, oh, ow)
+
+			got := layer.Forward(x)
+			want := naiveConvForward(w, b, x, tc.inC, tc.outC, tc.k)
+			if d := convMaxRelDiff(t, got, want); d > tol {
+				t.Errorf("forward: rel diff %g", d)
+			}
+
+			gotGin := layer.Backward(gradOut)
+			wantGw, wantGb, wantGin := naiveConvBackward(w, x, gradOut, tc.inC, tc.outC, tc.k)
+			if d := convMaxRelDiff(t, layer.Grads()[0], wantGw); d > tol {
+				t.Errorf("weight grad: rel diff %g", d)
+			}
+			if d := convMaxRelDiff(t, layer.Grads()[1], wantGb); d > tol {
+				t.Errorf("bias grad: rel diff %g", d)
+			}
+			if d := convMaxRelDiff(t, gotGin, wantGin); d > tol {
+				t.Errorf("input grad: rel diff %g", d)
+			}
+
+			// A second Forward/Backward on the same layer must reuse the
+			// workspace and still be exact (grads accumulate).
+			layer.Forward(x)
+			layer.Backward(gradOut)
+			wantGw2 := wantGw.Clone()
+			wantGw2.AddInPlace(wantGw)
+			if d := convMaxRelDiff(t, layer.Grads()[0], wantGw2); d > tol {
+				t.Errorf("accumulated weight grad: rel diff %g", d)
+			}
+		})
+	}
+}

@@ -9,14 +9,21 @@ import (
 
 // Dense is a fully connected layer: y = x·W + b.
 //
-// Input shape [batch, in]; output shape [batch, out].
+// Input shape [batch, in]; output shape [batch, out]. Outputs alias a
+// persistent per-layer buffer (see scratch.go).
 type Dense struct {
+	// params/grads cache the Params()/Grads() slices so per-step
+	// optimizer sweeps do not allocate.
+	params, grads []*tensor.Tensor
+
 	In, Out int
 
 	w, b   *tensor.Tensor // w: [in, out], b: [out]
 	gw, gb *tensor.Tensor
 
 	x *tensor.Tensor // cached forward input
+
+	out, gin *tensor.Tensor // workspace
 }
 
 // NewDense creates a dense layer with Glorot-uniform weight initialisation
@@ -37,7 +44,8 @@ func NewDense(in, out int, rng *xrand.Stream) *Dense {
 func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 	d.x = x
 	batch := x.Dim(0)
-	out := tensor.MatMul(x, d.w)
+	out := ensure(&d.out, batch, d.Out)
+	tensor.MatMulInto(out, x, d.w)
 	for i := 0; i < batch; i++ {
 		row := out.Data[i*d.Out : (i+1)*d.Out]
 		for j := range row {
@@ -50,7 +58,7 @@ func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 // Backward implements Layer.
 func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	// dW += xᵀ · gradOut ; db += column sums ; dX = gradOut · Wᵀ
-	d.gw.AddInPlace(tensor.MatMulTransA(d.x, gradOut))
+	tensor.AddMatMulTransA(d.gw, d.x, gradOut)
 	batch := gradOut.Dim(0)
 	for i := 0; i < batch; i++ {
 		row := gradOut.Data[i*d.Out : (i+1)*d.Out]
@@ -58,11 +66,22 @@ func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 			d.gb.Data[j] += v
 		}
 	}
-	return tensor.MatMulTransB(gradOut, d.w)
+	gin := ensure(&d.gin, batch, d.In)
+	return tensor.MatMulTransBInto(gin, gradOut, d.w)
 }
 
 // Params implements Layer.
-func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.w, d.b} }
+func (d *Dense) Params() []*tensor.Tensor {
+	if d.params == nil {
+		d.params = []*tensor.Tensor{d.w, d.b}
+	}
+	return d.params
+}
 
 // Grads implements Layer.
-func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.gw, d.gb} }
+func (d *Dense) Grads() []*tensor.Tensor {
+	if d.grads == nil {
+		d.grads = []*tensor.Tensor{d.gw, d.gb}
+	}
+	return d.grads
+}

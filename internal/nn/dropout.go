@@ -31,6 +31,8 @@ type Dropout struct {
 	rng      *xrand.Stream
 	training bool
 	mask     []bool
+
+	out, gin *tensor.Tensor // workspace
 }
 
 // NewDropout creates a dropout layer driven by rng.
@@ -46,19 +48,19 @@ func (d *Dropout) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if !d.training || d.Rate <= 0 {
 		return x
 	}
-	out := x.Clone()
+	out := ensure(&d.out, x.Shape...)
 	if cap(d.mask) < x.Len() {
 		d.mask = make([]bool, x.Len())
 	}
 	d.mask = d.mask[:x.Len()]
 	scale := 1 / (1 - d.Rate)
-	for i := range out.Data {
+	for i, v := range x.Data {
 		if d.rng.Float64() < d.Rate {
 			d.mask[i] = false
 			out.Data[i] = 0
 		} else {
 			d.mask[i] = true
-			out.Data[i] *= scale
+			out.Data[i] = v * scale
 		}
 	}
 	return out
@@ -69,11 +71,11 @@ func (d *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if !d.training || d.Rate <= 0 {
 		return gradOut
 	}
-	grad := gradOut.Clone()
+	grad := ensure(&d.gin, gradOut.Shape...)
 	scale := 1 / (1 - d.Rate)
-	for i := range grad.Data {
+	for i, v := range gradOut.Data {
 		if d.mask[i] {
-			grad.Data[i] *= scale
+			grad.Data[i] = v * scale
 		} else {
 			grad.Data[i] = 0
 		}

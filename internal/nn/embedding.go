@@ -14,6 +14,10 @@ import (
 // Output shape [batch, time, dim]. Ids are not differentiable, so Backward
 // returns a zero tensor of the input shape.
 type Embedding struct {
+	// params/grads cache the Params()/Grads() slices so per-step
+	// optimizer sweeps do not allocate.
+	params, grads []*tensor.Tensor
+
 	Vocab, Dim int
 
 	w  *tensor.Tensor // [vocab, dim]
@@ -21,6 +25,8 @@ type Embedding struct {
 
 	ids []int
 	bt  []int // cached batch, time
+
+	out, gin *tensor.Tensor // workspace
 }
 
 // NewEmbedding creates an embedding table initialised from N(0, 1/sqrt(dim)).
@@ -36,12 +42,12 @@ func NewEmbedding(vocab, dim int, rng *xrand.Stream) *Embedding {
 // Forward implements Layer.
 func (e *Embedding) Forward(x *tensor.Tensor) *tensor.Tensor {
 	batch, time := x.Dim(0), x.Dim(1)
-	e.bt = []int{batch, time}
+	e.bt = append(e.bt[:0], batch, time)
 	if cap(e.ids) < batch*time {
 		e.ids = make([]int, batch*time)
 	}
 	e.ids = e.ids[:batch*time]
-	out := tensor.New(batch, time, e.Dim)
+	out := ensure(&e.out, batch, time, e.Dim)
 	for i, raw := range x.Data {
 		id := int(math.Round(raw))
 		if id < 0 {
@@ -65,11 +71,23 @@ func (e *Embedding) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 			row[j] += v
 		}
 	}
-	return tensor.New(e.bt[0], e.bt[1])
+	gin := ensure(&e.gin, e.bt[0], e.bt[1])
+	gin.Zero()
+	return gin
 }
 
 // Params implements Layer.
-func (e *Embedding) Params() []*tensor.Tensor { return []*tensor.Tensor{e.w} }
+func (e *Embedding) Params() []*tensor.Tensor {
+	if e.params == nil {
+		e.params = []*tensor.Tensor{e.w}
+	}
+	return e.params
+}
 
 // Grads implements Layer.
-func (e *Embedding) Grads() []*tensor.Tensor { return []*tensor.Tensor{e.gw} }
+func (e *Embedding) Grads() []*tensor.Tensor {
+	if e.grads == nil {
+		e.grads = []*tensor.Tensor{e.gw}
+	}
+	return e.grads
+}

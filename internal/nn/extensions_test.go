@@ -176,8 +176,9 @@ func TestDropoutEvalIsIdentity(t *testing.T) {
 	net := NewNetwork(NewDense(3, 4, rng), NewDropout(0.5, rng), NewDense(4, 2, rng))
 	x := tensor.FromSlice(rng.NormVec(2*3, 0, 1), 2, 3)
 	net.SetTraining(false)
-	a := net.Forward(x.Clone())
-	b := net.Forward(x.Clone())
+	// Outputs alias layer-owned buffers; Clone to retain across Forwards.
+	a := net.Forward(x.Clone()).Clone()
+	b := net.Forward(x.Clone()).Clone()
 	for i := range a.Data {
 		if a.Data[i] != b.Data[i] {
 			t.Fatal("eval-mode dropout must be deterministic identity")

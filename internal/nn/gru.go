@@ -20,7 +20,14 @@ import (
 //	z = σ(x·Wz + h·Uz + bz)
 //	ĥ = tanh(x·Wh + (r∘h)·Uh + bh)
 //	h' = (1−z)∘h + z∘ĥ
+//
+// All per-timestep caches and BPTT scratch live in persistent per-layer
+// buffers (see scratch.go), so steady-state training allocates nothing here.
 type GRU struct {
+	// params/grads cache the Params()/Grads() slices so per-step
+	// optimizer sweeps do not allocate.
+	params, grads []*tensor.Tensor
+
 	In, Hidden      int
 	ReturnSequences bool
 
@@ -32,6 +39,14 @@ type GRU struct {
 	rs    []*tensor.Tensor // reset gates
 	zs    []*tensor.Tensor // update gates
 	cands []*tensor.Tensor // candidate activations ĥ
+
+	// Workspace (see scratch.go for lifetime rules).
+	seqOut, gin       *tensor.Tensor
+	xt, dxt           *tensor.Tensor
+	preX, preH        *tensor.Tensor
+	dGate, dPreH      *tensor.Tensor
+	dhPrev, dPreHCand *tensor.Tensor
+	dh, dhNext        *tensor.Tensor // ping-pong dL/dh_t buffers
 }
 
 // NewGRU creates a GRU layer with Glorot-uniform input weights.
@@ -55,24 +70,22 @@ func (g *GRU) Forward(x *tensor.Tensor) *tensor.Tensor {
 	batch, T := x.Dim(0), x.Dim(1)
 	h := g.Hidden
 	g.x = x
-	g.hs = append(g.hs[:0], tensor.New(batch, h))
-	g.rs = g.rs[:0]
-	g.zs = g.zs[:0]
-	g.cands = g.cands[:0]
+	g.hs = ensureSeq(g.hs, T+1, batch, h)
+	g.rs = ensureSeq(g.rs, T, batch, h)
+	g.zs = ensureSeq(g.zs, T, batch, h)
+	g.cands = ensureSeq(g.cands, T, batch, h)
+	g.hs[0].Zero()
 
 	var seqOut *tensor.Tensor
 	if g.ReturnSequences {
-		seqOut = tensor.New(batch, T, h)
+		seqOut = ensure(&g.seqOut, batch, T, h)
 	}
 	for t := 0; t < T; t++ {
-		xt := timeSlice(x, t)
+		xt := timeSliceInto(&g.xt, x, t)
 		hPrev := g.hs[t]
-		preX := tensor.MatMul(xt, g.wx)    // [batch, 3h]
-		preH := tensor.MatMul(hPrev, g.wh) // [batch, 3h]
-		rt := tensor.New(batch, h)
-		zt := tensor.New(batch, h)
-		cand := tensor.New(batch, h)
-		ht := tensor.New(batch, h)
+		preX := tensor.MatMulInto(ensure(&g.preX, batch, 3*h), xt, g.wx)
+		preH := tensor.MatMulInto(ensure(&g.preH, batch, 3*h), hPrev, g.wh)
+		rt, zt, cand, ht := g.rs[t], g.zs[t], g.cands[t], g.hs[t+1]
 		for n := 0; n < batch; n++ {
 			for j := 0; j < h; j++ {
 				r := sigmoid(preX.Data[n*3*h+j] + preH.Data[n*3*h+j] + g.b.Data[j])
@@ -85,10 +98,6 @@ func (g *GRU) Forward(x *tensor.Tensor) *tensor.Tensor {
 				ht.Data[n*h+j] = (1-z)*hp + z*c
 			}
 		}
-		g.rs = append(g.rs, rt)
-		g.zs = append(g.zs, zt)
-		g.cands = append(g.cands, cand)
-		g.hs = append(g.hs, ht)
 		if g.ReturnSequences {
 			for n := 0; n < batch; n++ {
 				copy(seqOut.Data[(n*T+t)*h:(n*T+t+1)*h], ht.Data[n*h:(n+1)*h])
@@ -105,10 +114,18 @@ func (g *GRU) Forward(x *tensor.Tensor) *tensor.Tensor {
 func (g *GRU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	batch, T := g.x.Dim(0), g.x.Dim(1)
 	h := g.Hidden
-	gradIn := tensor.New(batch, T, g.In)
-	dh := tensor.New(batch, h)
-	if !g.ReturnSequences {
-		dh.AddInPlace(gradOut)
+	gradIn := ensure(&g.gin, batch, T, g.In)
+	dh := ensure(&g.dh, batch, h)
+	dhNext := ensure(&g.dhNext, batch, h)
+	dGate := ensure(&g.dGate, batch, 3*h)
+	dPreH := ensure(&g.dPreH, batch, 3*h)
+	dhPrev := ensure(&g.dhPrev, batch, h)
+	dPreHCand := ensure(&g.dPreHCand, batch, h)
+	dxt := ensure(&g.dxt, batch, g.In)
+	if g.ReturnSequences {
+		dh.Zero()
+	} else {
+		copy(dh.Data, gradOut.Data)
 	}
 
 	for t := T - 1; t >= 0; t-- {
@@ -125,11 +142,8 @@ func (g *GRU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		rt, zt, cand := g.rs[t], g.zs[t], g.cands[t]
 		// preH is needed for the reset-gate path; recompute it (cheaper
 		// than caching T extra tensors for typical sizes).
-		preH := tensor.MatMul(hPrev, g.wh)
+		preH := tensor.MatMulInto(ensure(&g.preH, batch, 3*h), hPrev, g.wh)
 
-		dGate := tensor.New(batch, 3*h)   // grads wrt fused pre-activations
-		dhPrev := tensor.New(batch, h)    // direct (1−z)∘dh path
-		dPreHCand := tensor.New(batch, h) // grad wrt preH candidate lane
 		for n := 0; n < batch; n++ {
 			for j := 0; j < h; j++ {
 				dhv := dh.Data[n*h+j]
@@ -146,8 +160,8 @@ func (g *GRU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 
-		xt := timeSlice(g.x, t)
-		g.gwx.AddInPlace(tensor.MatMulTransA(xt, dGate))
+		xt := timeSliceInto(&g.xt, g.x, t)
+		tensor.AddMatMulTransA(g.gwx, xt, dGate)
 		for n := 0; n < batch; n++ {
 			row := dGate.Data[n*3*h : (n+1)*3*h]
 			for j, v := range row {
@@ -157,7 +171,6 @@ func (g *GRU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		// For the recurrent weights the candidate lane flows through r∘h,
 		// the r/z lanes through h directly. Build the effective gate grad
 		// for preH.
-		dPreH := tensor.New(batch, 3*h)
 		for n := 0; n < batch; n++ {
 			for j := 0; j < h; j++ {
 				dPreH.Data[n*3*h+j] = dGate.Data[n*3*h+j]
@@ -165,21 +178,32 @@ func (g *GRU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 				dPreH.Data[n*3*h+2*h+j] = dPreHCand.Data[n*h+j]
 			}
 		}
-		g.gwh.AddInPlace(tensor.MatMulTransA(hPrev, dPreH))
+		tensor.AddMatMulTransA(g.gwh, hPrev, dPreH)
 
-		dxt := tensor.MatMulTransB(dGate, g.wx)
+		tensor.MatMulTransBInto(dxt, dGate, g.wx)
 		for n := 0; n < batch; n++ {
 			copy(gradIn.Data[(n*T+t)*g.In:(n*T+t+1)*g.In], dxt.Data[n*g.In:(n+1)*g.In])
 		}
-		dhFromGates := tensor.MatMulTransB(dPreH, g.wh)
-		dhFromGates.AddInPlace(dhPrev)
-		dh = dhFromGates
+		tensor.MatMulTransBInto(dhNext, dPreH, g.wh)
+		dhNext.AddInPlace(dhPrev)
+		dh, dhNext = dhNext, dh
 	}
+	g.dh, g.dhNext = dh, dhNext
 	return gradIn
 }
 
 // Params implements Layer.
-func (g *GRU) Params() []*tensor.Tensor { return []*tensor.Tensor{g.wx, g.wh, g.b} }
+func (g *GRU) Params() []*tensor.Tensor {
+	if g.params == nil {
+		g.params = []*tensor.Tensor{g.wx, g.wh, g.b}
+	}
+	return g.params
+}
 
 // Grads implements Layer.
-func (g *GRU) Grads() []*tensor.Tensor { return []*tensor.Tensor{g.gwx, g.gwh, g.gb} }
+func (g *GRU) Grads() []*tensor.Tensor {
+	if g.grads == nil {
+		g.grads = []*tensor.Tensor{g.gwx, g.gwh, g.gb}
+	}
+	return g.grads
+}

@@ -12,6 +12,10 @@ import (
 // Input shape [batch, features]. Useful between dense layers when training
 // deeper heads than the paper's models.
 type LayerNorm struct {
+	// params/grads cache the Params()/Grads() slices so per-step
+	// optimizer sweeps do not allocate.
+	params, grads []*tensor.Tensor
+
 	Features int
 	Epsilon  float64
 
@@ -21,6 +25,8 @@ type LayerNorm struct {
 	x      *tensor.Tensor // forward input
 	normed *tensor.Tensor // (x - mean) / std
 	invStd []float64
+
+	out, gin *tensor.Tensor // workspace
 }
 
 // NewLayerNorm creates a layer-normalisation layer (gain 1, bias 0).
@@ -44,12 +50,12 @@ func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 	batch := x.Dim(0)
 	f := l.Features
 	l.x = x
-	l.normed = tensor.New(batch, f)
+	ensure(&l.normed, batch, f)
 	if cap(l.invStd) < batch {
 		l.invStd = make([]float64, batch)
 	}
 	l.invStd = l.invStd[:batch]
-	out := tensor.New(batch, f)
+	out := ensure(&l.out, batch, f)
 	for n := 0; n < batch; n++ {
 		row := x.Data[n*f : (n+1)*f]
 		var mean float64
@@ -77,7 +83,7 @@ func (l *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
 func (l *LayerNorm) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	batch := l.x.Dim(0)
 	f := l.Features
-	gradIn := tensor.New(batch, f)
+	gradIn := ensure(&l.gin, batch, f)
 	for n := 0; n < batch; n++ {
 		gRow := gradOut.Data[n*f : (n+1)*f]
 		nRow := l.normed.Data[n*f : (n+1)*f]
@@ -101,7 +107,17 @@ func (l *LayerNorm) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params implements Layer.
-func (l *LayerNorm) Params() []*tensor.Tensor { return []*tensor.Tensor{l.gain, l.bias} }
+func (l *LayerNorm) Params() []*tensor.Tensor {
+	if l.params == nil {
+		l.params = []*tensor.Tensor{l.gain, l.bias}
+	}
+	return l.params
+}
 
 // Grads implements Layer.
-func (l *LayerNorm) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.gGain, l.gBias} }
+func (l *LayerNorm) Grads() []*tensor.Tensor {
+	if l.grads == nil {
+		l.grads = []*tensor.Tensor{l.gGain, l.gBias}
+	}
+	return l.grads
+}

@@ -14,8 +14,14 @@ import (
 // stability. The returned gradient is already divided by the batch size, so
 // it can be fed directly into Network.Backward.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	grad = tensor.New(logits.Dim(0), logits.Dim(1))
+	return SoftmaxCrossEntropyInto(grad, logits, labels), grad
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing the logit gradient
+// into a caller-owned tensor (shape [batch, classes]) instead of allocating.
+func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) (loss float64) {
 	batch, classes := logits.Dim(0), logits.Dim(1)
-	grad = tensor.New(batch, classes)
 	inv := 1.0 / float64(batch)
 	for n := 0; n < batch; n++ {
 		row := logits.Data[n*classes : (n+1)*classes]
@@ -39,7 +45,7 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, gra
 		}
 		gRow[y] -= inv
 	}
-	return loss * inv, grad
+	return loss * inv
 }
 
 // Argmax returns the index of the maximum value in each row of a

@@ -17,7 +17,14 @@ import (
 // Gate order inside the fused weight matrices is (input, forget, cell,
 // output). The forget-gate bias is initialised to 1, the usual fix for
 // early-training gradient flow.
+//
+// All per-timestep caches and BPTT scratch live in persistent per-layer
+// buffers (see scratch.go), so steady-state training allocates nothing here.
 type LSTM struct {
+	// params/grads cache the Params()/Grads() slices so per-step
+	// optimizer sweeps do not allocate.
+	params, grads []*tensor.Tensor
+
 	In, Hidden      int
 	ReturnSequences bool
 
@@ -29,6 +36,12 @@ type LSTM struct {
 	hs, cs     []*tensor.Tensor // h_t, c_t for t = 0..T (index 0 is the initial zero state)
 	gates      []*tensor.Tensor // post-nonlinearity gate activations [batch, 4h]
 	tanhCCache []*tensor.Tensor
+
+	// Workspace (see scratch.go for lifetime rules).
+	seqOut, gin    *tensor.Tensor
+	xt, dxt, dGate *tensor.Tensor
+	dh, dhNext     *tensor.Tensor // ping-pong dL/dh_t buffers
+	dc, dcPrev     *tensor.Tensor // ping-pong dL/dc_t buffers
 }
 
 // NewLSTM creates an LSTM layer with Glorot-uniform input weights and
@@ -57,31 +70,31 @@ func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
 	batch, T := x.Dim(0), x.Dim(1)
 	h := l.Hidden
 	l.x = x
-	l.hs = l.hs[:0]
-	l.cs = l.cs[:0]
-	l.gates = l.gates[:0]
-	l.tanhCCache = l.tanhCCache[:0]
-	l.hs = append(l.hs, tensor.New(batch, h))
-	l.cs = append(l.cs, tensor.New(batch, h))
+	l.hs = ensureSeq(l.hs, T+1, batch, h)
+	l.cs = ensureSeq(l.cs, T+1, batch, h)
+	l.gates = ensureSeq(l.gates, T, batch, 4*h)
+	l.tanhCCache = ensureSeq(l.tanhCCache, T, batch, h)
+	l.hs[0].Zero()
+	l.cs[0].Zero()
 
 	var seqOut *tensor.Tensor
 	if l.ReturnSequences {
-		seqOut = tensor.New(batch, T, h)
+		seqOut = ensure(&l.seqOut, batch, T, h)
 	}
 	for t := 0; t < T; t++ {
-		xt := timeSlice(x, t)
-		pre := tensor.MatMul(xt, l.wx)
-		pre.AddInPlace(tensor.MatMul(l.hs[t], l.wh))
+		xt := timeSliceInto(&l.xt, x, t)
+		gate := l.gates[t]
+		tensor.MatMulInto(gate, xt, l.wx)
+		tensor.AddMatMul(gate, l.hs[t], l.wh)
 		for n := 0; n < batch; n++ {
-			row := pre.Data[n*4*h : (n+1)*4*h]
+			row := gate.Data[n*4*h : (n+1)*4*h]
 			for j, bv := range l.b.Data {
 				row[j] += bv
 			}
 		}
-		gate := pre // reuse storage: apply nonlinearities in place
-		ct := tensor.New(batch, h)
-		ht := tensor.New(batch, h)
-		tc := tensor.New(batch, h)
+		ct := l.cs[t+1]
+		ht := l.hs[t+1]
+		tc := l.tanhCCache[t]
 		cPrev := l.cs[t]
 		for n := 0; n < batch; n++ {
 			row := gate.Data[n*4*h : (n+1)*4*h]
@@ -98,10 +111,6 @@ func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
 				ht.Data[n*h+j] = o * t2
 			}
 		}
-		l.gates = append(l.gates, gate)
-		l.cs = append(l.cs, ct)
-		l.hs = append(l.hs, ht)
-		l.tanhCCache = append(l.tanhCCache, tc)
 		if l.ReturnSequences {
 			for n := 0; n < batch; n++ {
 				copy(seqOut.Data[(n*T+t)*h:(n*T+t+1)*h], ht.Data[n*h:(n+1)*h])
@@ -118,11 +127,18 @@ func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
 func (l *LSTM) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	batch, T := l.x.Dim(0), l.x.Dim(1)
 	h := l.Hidden
-	gradIn := tensor.New(batch, T, l.In)
-	dh := tensor.New(batch, h) // running dL/dh_t
-	dc := tensor.New(batch, h) // running dL/dc_t
-	if !l.ReturnSequences {
-		dh.AddInPlace(gradOut)
+	gradIn := ensure(&l.gin, batch, T, l.In)
+	dh := ensure(&l.dh, batch, h) // running dL/dh_t
+	dc := ensure(&l.dc, batch, h) // running dL/dc_t
+	dhNext := ensure(&l.dhNext, batch, h)
+	dcPrev := ensure(&l.dcPrev, batch, h)
+	dGate := ensure(&l.dGate, batch, 4*h)
+	dxt := ensure(&l.dxt, batch, l.In)
+	dc.Zero()
+	if l.ReturnSequences {
+		dh.Zero()
+	} else {
+		copy(dh.Data, gradOut.Data)
 	}
 
 	for t := T - 1; t >= 0; t-- {
@@ -138,8 +154,6 @@ func (l *LSTM) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		gate := l.gates[t]
 		cPrev := l.cs[t]
 		tc := l.tanhCCache[t]
-		dGate := tensor.New(batch, 4*h) // grads wrt pre-activations
-		dcPrev := tensor.New(batch, h)
 		for n := 0; n < batch; n++ {
 			gRow := gate.Data[n*4*h : (n+1)*4*h]
 			for j := 0; j < h; j++ {
@@ -154,35 +168,49 @@ func (l *LSTM) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 				dcPrev.Data[n*h+j] = dcv * f
 			}
 		}
-		xt := timeSlice(l.x, t)
-		l.gwx.AddInPlace(tensor.MatMulTransA(xt, dGate))
-		l.gwh.AddInPlace(tensor.MatMulTransA(l.hs[t], dGate))
+		xt := timeSliceInto(&l.xt, l.x, t)
+		tensor.AddMatMulTransA(l.gwx, xt, dGate)
+		tensor.AddMatMulTransA(l.gwh, l.hs[t], dGate)
 		for n := 0; n < batch; n++ {
 			row := dGate.Data[n*4*h : (n+1)*4*h]
 			for j, v := range row {
 				l.gb.Data[j] += v
 			}
 		}
-		dxt := tensor.MatMulTransB(dGate, l.wx)
+		tensor.MatMulTransBInto(dxt, dGate, l.wx)
 		for n := 0; n < batch; n++ {
 			copy(gradIn.Data[(n*T+t)*l.In:(n*T+t+1)*l.In], dxt.Data[n*l.In:(n+1)*l.In])
 		}
-		dh = tensor.MatMulTransB(dGate, l.wh) // dL/dh_{t-1}
-		dc = dcPrev
+		tensor.MatMulTransBInto(dhNext, dGate, l.wh) // dL/dh_{t-1}
+		dh, dhNext = dhNext, dh
+		dc, dcPrev = dcPrev, dc
 	}
+	l.dh, l.dhNext = dh, dhNext
+	l.dc, l.dcPrev = dc, dcPrev
 	return gradIn
 }
 
 // Params implements Layer.
-func (l *LSTM) Params() []*tensor.Tensor { return []*tensor.Tensor{l.wx, l.wh, l.b} }
+func (l *LSTM) Params() []*tensor.Tensor {
+	if l.params == nil {
+		l.params = []*tensor.Tensor{l.wx, l.wh, l.b}
+	}
+	return l.params
+}
 
 // Grads implements Layer.
-func (l *LSTM) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.gwx, l.gwh, l.gb} }
+func (l *LSTM) Grads() []*tensor.Tensor {
+	if l.grads == nil {
+		l.grads = []*tensor.Tensor{l.gwx, l.gwh, l.gb}
+	}
+	return l.grads
+}
 
-// timeSlice extracts x[:, t, :] as a fresh [batch, dim] tensor.
-func timeSlice(x *tensor.Tensor, t int) *tensor.Tensor {
+// timeSliceInto copies x[:, t, :] into the reusable buffer *buf as a
+// [batch, dim] tensor.
+func timeSliceInto(buf **tensor.Tensor, x *tensor.Tensor, t int) *tensor.Tensor {
 	batch, T, dim := x.Dim(0), x.Dim(1), x.Dim(2)
-	out := tensor.New(batch, dim)
+	out := ensure(buf, batch, dim)
 	for n := 0; n < batch; n++ {
 		copy(out.Data[n*dim:(n+1)*dim], x.Data[(n*T+t)*dim:(n*T+t+1)*dim])
 	}

@@ -94,7 +94,8 @@ func NewLogistic(in, classes int, rng *xrand.Stream) *Network {
 func TrainBatch(net *Network, x *tensor.Tensor, labels []int, lr float64) float64 {
 	net.ZeroGrads()
 	logits := net.Forward(x)
-	loss, grad := SoftmaxCrossEntropy(logits, labels)
+	grad := ensure(&net.lossGrad, logits.Dim(0), logits.Dim(1))
+	loss := SoftmaxCrossEntropyInto(grad, logits, labels)
 	net.Backward(grad)
 	net.SGDStep(lr)
 	return loss

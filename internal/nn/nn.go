@@ -40,6 +40,8 @@ type Layer interface {
 // Network is an ordered sequence of layers trained end to end.
 type Network struct {
 	layers []Layer
+
+	lossGrad *tensor.Tensor // TrainBatch scratch (see scratch.go)
 }
 
 // NewNetwork builds a network from the given layers.
@@ -58,8 +60,21 @@ func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return x
 }
 
+// inputGradSkipper is implemented by layers that can omit their input
+// gradient. The first layer's input gradient is never consumed, so Backward
+// tells it to skip that work (for Conv2D: the dcols product and the col2im
+// scatter — a measurable share of a CNN training step).
+type inputGradSkipper interface {
+	setSkipInputGrad(bool)
+}
+
 // Backward propagates the output gradient through all layers in reverse.
 func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if len(n.layers) > 0 {
+		if s, ok := n.layers[0].(inputGradSkipper); ok {
+			s.setSkipInputGrad(true)
+		}
+	}
 	for i := len(n.layers) - 1; i >= 0; i-- {
 		grad = n.layers[i].Backward(grad)
 	}
@@ -146,4 +161,25 @@ func (n *Network) SGDStep(lr float64) {
 			p.AxpyInPlace(-lr, grads[i])
 		}
 	}
+}
+
+// DecayToward pulls every parameter toward the flat target vector:
+// p -= factor * (p - target). This is the FedProx proximal correction
+// applied in place, equivalent to (but allocation-free compared with)
+// round-tripping through ParamVector/SetParamVector.
+func (n *Network) DecayToward(target []float64, factor float64) error {
+	if len(target) != n.NumParams() {
+		return fmt.Errorf("nn: target vector has %d elements, network has %d", len(target), n.NumParams())
+	}
+	off := 0
+	for _, l := range n.layers {
+		for _, p := range l.Params() {
+			seg := target[off : off+p.Len()]
+			for i := range p.Data {
+				p.Data[i] -= factor * (p.Data[i] - seg[i])
+			}
+			off += p.Len()
+		}
+	}
+	return nil
 }

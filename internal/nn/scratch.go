@@ -1,0 +1,62 @@
+package nn
+
+import "cmfl/internal/tensor"
+
+// Scratch-buffer helpers for allocation-free training hot paths.
+//
+// Every layer keeps persistent workspace tensors that are resized (never
+// reallocated once capacity suffices) on each Forward/Backward. The rules:
+//
+//   - A buffer returned by ensure has unspecified contents; the caller must
+//     fully overwrite it or Zero it before accumulating.
+//   - Layer outputs alias layer-owned buffers. They are valid until the
+//     layer's next Forward/Backward call — exactly the lifetime the
+//     Network's forward/backward pass needs. Callers that retain an output
+//     across steps must Clone it.
+
+// ensure returns a tensor of the given shape, reusing *buf's backing array
+// when it has capacity and allocating (and storing into *buf) otherwise.
+func ensure(buf **tensor.Tensor, shape ...int) *tensor.Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	t := *buf
+	if t == nil || cap(t.Data) < n {
+		// Construct inline rather than via tensor.New: New's panic path
+		// hands shape to fmt, which would force the variadic slice onto
+		// the heap at every ensure call site.
+		t = &tensor.Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+		*buf = t
+		return t
+	}
+	t.Data = t.Data[:n]
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
+}
+
+// ensureSeq resizes a slice of per-timestep buffers to count tensors of the
+// given shape, reusing existing entries.
+func ensureSeq(bufs []*tensor.Tensor, count int, shape ...int) []*tensor.Tensor {
+	for len(bufs) < count {
+		bufs = append(bufs, nil)
+	}
+	bufs = bufs[:count]
+	for i := range bufs {
+		ensure(&bufs[i], shape...)
+	}
+	return bufs
+}
+
+// viewAs points the reusable view *buf at data with the given shape, without
+// copying. The view shares data's backing array.
+func viewAs(buf **tensor.Tensor, data []float64, shape ...int) *tensor.Tensor {
+	t := *buf
+	if t == nil {
+		t = &tensor.Tensor{}
+		*buf = t
+	}
+	t.Data = data
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
+}

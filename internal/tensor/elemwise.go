@@ -1,0 +1,64 @@
+package tensor
+
+// Elementwise hot-path helpers with AVX-512 fast paths (see
+// elemwise_avx512_amd64.s) behind the same simdGEMM switch as the GEMM
+// kernels. The Go loops are the reference semantics.
+
+// Axpy computes y[i] += alpha*x[i]. Slices must have equal length.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	if len(x) == 0 {
+		return
+	}
+	if simdGEMM {
+		axpyAVX(alpha, &x[0], &y[0], uintptr(len(x)))
+		return
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// ReLUFwd computes dst[i] = max(x[i], 0).
+func ReLUFwd(dst, x []float64) {
+	if len(dst) != len(x) {
+		panic("tensor: ReLUFwd length mismatch")
+	}
+	if len(x) == 0 {
+		return
+	}
+	if simdGEMM {
+		reluFwdAVX(&dst[0], &x[0], uintptr(len(x)))
+		return
+	}
+	for i, v := range x {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// ReLUBwd computes dst[i] = grad[i] where x[i] > 0 and 0 elsewhere.
+func ReLUBwd(dst, grad, x []float64) {
+	if len(dst) != len(grad) || len(dst) != len(x) {
+		panic("tensor: ReLUBwd length mismatch")
+	}
+	if len(x) == 0 {
+		return
+	}
+	if simdGEMM {
+		reluBwdAVX(&dst[0], &grad[0], &x[0], uintptr(len(x)))
+		return
+	}
+	for i, v := range x {
+		if v > 0 {
+			dst[i] = grad[i]
+		} else {
+			dst[i] = 0
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestElemwiseSIMDMatchesGo checks Axpy/ReLUFwd/ReLUBwd across lengths that
+// exercise every masked-tail case (n mod 8 = 0..7), against scalar references.
+func TestElemwiseSIMDMatchesGo(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	lengths := []int{0, 1, 2, 7, 8, 9, 15, 16, 17, 63, 64, 100, 1000}
+	for _, n := range lengths {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		// Mix in exact zeros and negatives for the ReLU boundary.
+		for i := 0; i < n; i += 3 {
+			x[i] = 0
+		}
+		alpha := rng.NormFloat64()
+
+		wantAxpy := append([]float64(nil), y...)
+		for i := range x {
+			wantAxpy[i] += alpha * x[i]
+		}
+		gotAxpy := append([]float64(nil), y...)
+		Axpy(alpha, x, gotAxpy)
+		for i := range wantAxpy {
+			if math.Abs(gotAxpy[i]-wantAxpy[i]) > 1e-12*math.Max(1, math.Abs(wantAxpy[i])) {
+				t.Fatalf("n=%d Axpy[%d] = %v, want %v", n, i, gotAxpy[i], wantAxpy[i])
+			}
+		}
+
+		gotF := make([]float64, n)
+		ReLUFwd(gotF, x)
+		gotB := make([]float64, n)
+		ReLUBwd(gotB, y, x)
+		for i := range x {
+			wantF, wantB := 0.0, 0.0
+			if x[i] > 0 {
+				wantF, wantB = x[i], y[i]
+			}
+			if gotF[i] != wantF {
+				t.Fatalf("n=%d ReLUFwd[%d] = %v, want %v (x=%v)", n, i, gotF[i], wantF, x[i])
+			}
+			if gotB[i] != wantB {
+				t.Fatalf("n=%d ReLUBwd[%d] = %v, want %v (x=%v)", n, i, gotB[i], wantB, x[i])
+			}
+		}
+	}
+}

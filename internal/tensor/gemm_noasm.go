@@ -1,0 +1,30 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds run the pure-Go kernels; simdGEMM stays false so these
+// stubs are never reached.
+
+func gemmNNSIMD(dst, a, b []float64, k, n, lo, hi int, accum bool) {
+	panic("tensor: SIMD GEMM unavailable on this platform")
+}
+
+func gemmTASIMD(dst, a, b []float64, k, m, n, lo, hi int, accum bool) {
+	panic("tensor: SIMD GEMM unavailable on this platform")
+}
+
+func gemmTBSIMD(dst, a, b []float64, k, n, lo, hi int, accum bool) {
+	panic("tensor: SIMD GEMM unavailable on this platform")
+}
+
+func axpyAVX(alpha float64, x, y *float64, n uintptr) {
+	panic("tensor: SIMD axpy unavailable on this platform")
+}
+
+func reluFwdAVX(dst, x *float64, n uintptr) {
+	panic("tensor: SIMD relu unavailable on this platform")
+}
+
+func reluBwdAVX(dst, grad, x *float64, n uintptr) {
+	panic("tensor: SIMD relu unavailable on this platform")
+}

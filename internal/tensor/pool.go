@@ -1,0 +1,113 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The GEMM worker pool. One pool is shared by every goroutine in the
+// process (all simulated FL clients included): workers are started lazily on
+// the first large product, tasks are leaf computations that never submit
+// nested tasks, and submission falls back to running the task inline when
+// every worker is busy — so the pool can never deadlock and the total
+// compute concurrency stays bounded by GOMAXPROCS even when many clients
+// train at once.
+//
+// Determinism: parallelism only changes *who* computes a row panel, never
+// the per-row accumulation order, so results are bitwise independent of the
+// worker count and of MatMulParallelism.
+
+// gemmParallelFlops is the m·k·n product above which a GEMM is split across
+// the pool. Below it (e.g. the MTL linear models and quick-preset layers)
+// goroutine handoff costs more than the multiply.
+const gemmParallelFlops = 1 << 17
+
+// gemmMinChunkFlops bounds the split so each row panel amortises the
+// goroutine handoff (~1µs) over enough arithmetic.
+const gemmMinChunkFlops = 1 << 15
+
+var (
+	poolOnce    sync.Once
+	poolTasks   chan func()
+	parallelism atomic.Int64 // 0 = GOMAXPROCS at first use
+)
+
+// SetMatMulParallelism bounds the number of row panels a single large GEMM
+// is split into. n <= 0 restores the default (GOMAXPROCS at the time of the
+// first large product). It does not resize the already-started worker pool;
+// it only caps how much of it a single product uses.
+func SetMatMulParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// MatMulParallelism reports the current row-panel split bound (0 means the
+// GOMAXPROCS default).
+func MatMulParallelism() int { return int(parallelism.Load()) }
+
+func startPool() {
+	n := runtime.GOMAXPROCS(0)
+	poolTasks = make(chan func())
+	// n-1 workers: the submitting goroutine always executes the last panel
+	// itself, so n panels run on n OS threads.
+	for i := 0; i < n-1; i++ {
+		go func() {
+			for task := range poolTasks {
+				task()
+			}
+		}()
+	}
+}
+
+// run executes fn over the m output rows of an (m×k)·(k×n)-shaped product,
+// splitting into parallel row panels when the matrix is large enough.
+func run(m, k, n int, fn func(lo, hi int)) {
+	flops := m * k * n
+	p := effectiveParallelism(m, flops)
+	if p <= 1 {
+		fn(0, m)
+		return
+	}
+	poolOnce.Do(startPool)
+	chunk := (m + p - 1) / p
+	var wg sync.WaitGroup
+	lo := 0
+	for lo+chunk < m {
+		l, h := lo, lo+chunk
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			fn(l, h)
+		}
+		select {
+		case poolTasks <- task:
+		default:
+			// All workers busy (e.g. many FL clients multiplying at once):
+			// do the panel inline rather than queueing.
+			task()
+		}
+		lo += chunk
+	}
+	fn(lo, m)
+	wg.Wait()
+}
+
+func effectiveParallelism(m, flops int) int {
+	if flops < gemmParallelFlops || m < 2 {
+		return 1
+	}
+	p := int(parallelism.Load())
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > m {
+		p = m
+	}
+	if max := flops / gemmMinChunkFlops; p > max {
+		p = max
+	}
+	return p
+}

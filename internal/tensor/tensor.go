@@ -101,9 +101,7 @@ func (t *Tensor) AxpyInPlace(alpha float64, other *Tensor) {
 	if len(t.Data) != len(other.Data) {
 		panic(fmt.Sprintf("tensor: AxpyInPlace length mismatch %d vs %d", len(t.Data), len(other.Data)))
 	}
-	for i, v := range other.Data {
-		t.Data[i] += alpha * v
-	}
+	Axpy(alpha, other.Data, t.Data)
 }
 
 // Scale multiplies every element by alpha in place.
@@ -113,83 +111,31 @@ func (t *Tensor) Scale(alpha float64) {
 	}
 }
 
-// MatMul returns a(m×k) · b(k×n) as a new m×n tensor.
+// MatMul returns a(m×k) · b(k×n) as a new m×n tensor. Hot paths should use
+// MatMulInto with a reused destination instead.
 func MatMul(a, b *Tensor) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		panic("tensor: MatMul requires 2-D operands")
 	}
-	m, k := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
-	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
+	return MatMulInto(New(a.Shape[0], b.Shape[1]), a, b)
 }
 
-// MatMulTransB returns a(m×k) · bᵀ where b is n×k.
+// MatMulTransB returns a(m×k) · bᵀ where b is n×k. Hot paths should use
+// MatMulTransBInto with a reused destination instead.
 func MatMulTransB(a, b *Tensor) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		panic("tensor: MatMulTransB requires 2-D operands")
 	}
-	m, k := a.Shape[0], a.Shape[1]
-	n, k2 := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d vs %d", k, k2))
-	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			var sum float64
-			for p, av := range arow {
-				sum += av * brow[p]
-			}
-			out.Data[i*n+j] = sum
-		}
-	}
-	return out
+	return MatMulTransBInto(New(a.Shape[0], b.Shape[0]), a, b)
 }
 
-// MatMulTransA returns aᵀ · b where a is k×m and b is k×n.
+// MatMulTransA returns aᵀ · b where a is k×m and b is k×n. Hot paths should
+// use MatMulTransAInto with a reused destination instead.
 func MatMulTransA(a, b *Tensor) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		panic("tensor: MatMulTransA requires 2-D operands")
 	}
-	k, m := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA inner dims %d vs %d", k, k2))
-	}
-	out := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.Data[p*m : (p+1)*m]
-		brow := b.Data[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
+	return MatMulTransAInto(New(a.Shape[1], b.Shape[1]), a, b)
 }
 
 // Transpose returns the transpose of a 2-D tensor as a new tensor.
@@ -226,16 +172,6 @@ func Dot(a, b []float64) float64 {
 		s += x * b[i]
 	}
 	return s
-}
-
-// Axpy computes y += alpha*x over raw slices.
-func Axpy(alpha float64, x, y []float64) {
-	if len(x) != len(y) {
-		panic(fmt.Sprintf("tensor: Axpy length mismatch %d vs %d", len(x), len(y)))
-	}
-	for i, v := range x {
-		y[i] += alpha * v
-	}
 }
 
 // Sub returns a-b as a new slice.

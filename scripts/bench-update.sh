@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# bench-update.sh — promote benchmarks/latest.txt to the committed baseline.
+# Run scripts/bench.sh first, review the numbers, then run this and commit
+# benchmarks/baseline.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ ! -f benchmarks/latest.txt ]]; then
+    echo "benchmarks/latest.txt not found — run scripts/bench.sh first" >&2
+    exit 1
+fi
+cp benchmarks/latest.txt benchmarks/baseline.txt
+echo "promoted benchmarks/latest.txt -> benchmarks/baseline.txt"
