@@ -44,6 +44,7 @@ func main() {
 	seed := flag.Int64("seed", 7, "experiment seed (must match clients)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-message network timeout")
 	codecName := flag.String("compress", "none", "update codec: none|quantize8|top<k> (must match the clients)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and JSON /healthz on this address (e.g. 127.0.0.1:9090; empty = off)")
 	flag.Parse()
 
 	test, err := dataset.Digits(dataset.DigitsConfig{
@@ -70,11 +71,16 @@ func main() {
 		Compressor:     codec,
 		RoundTimeout:   *timeout,
 		AcceptTimeout:  *timeout,
+		MetricsAddr:    *metricsAddr,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer srv.Close()
 	log.Printf("listening on %s, waiting for %d clients", srv.Addr(), *clients)
+	if ma := srv.MetricsAddr(); ma != "" {
+		log.Printf("telemetry on http://%s/metrics and /healthz", ma)
+	}
 	res, err := srv.Run()
 	if err != nil {
 		log.Fatal(err)

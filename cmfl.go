@@ -25,6 +25,8 @@
 package cmfl
 
 import (
+	"net/http"
+
 	"cmfl/internal/compress"
 	"cmfl/internal/core"
 	"cmfl/internal/dataset"
@@ -36,6 +38,7 @@ import (
 	"cmfl/internal/report"
 	"cmfl/internal/secagg"
 	"cmfl/internal/stats"
+	"cmfl/internal/telemetry"
 	"cmfl/internal/tensor"
 	"cmfl/internal/xrand"
 )
@@ -97,11 +100,59 @@ type GaiaFilter = gaia.Filter
 // NewGaiaFilter builds the Gaia significance filter.
 func NewGaiaFilter(threshold Schedule) *GaiaFilter { return gaia.NewFilter(threshold) }
 
+// ---- Telemetry & observability (internal/telemetry) ----
+
+// RoundEvent is the communication-cost core every engine records per round;
+// the per-engine stats types embed it.
+type RoundEvent = telemetry.RoundEvent
+
+// ClientEvent records one client's upload/skip decision inside a round.
+type ClientEvent = telemetry.ClientEvent
+
+// Observer receives live engine telemetry; attach implementations through
+// the Observers field of any engine config.
+type Observer = telemetry.Observer
+
+// ObserverFuncs adapts plain functions to the Observer interface.
+type ObserverFuncs = telemetry.Funcs
+
+// Registry is the dependency-free metrics registry (counters, gauges,
+// fixed-bucket histograms) behind the /metrics endpoint.
+type Registry = telemetry.Registry
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry { return telemetry.NewRegistry() }
+
+// Collector is the bridge from the engine event stream to a Registry: an
+// Observer maintaining the standard cmfl_* metric families per engine.
+type Collector = telemetry.Collector
+
+// NewCollector creates a Collector writing into reg.
+func NewCollector(reg *Registry) *Collector { return telemetry.NewCollector(reg) }
+
+// MetricsHandler exposes a registry over HTTP as a Prometheus-text /metrics
+// and JSON /healthz endpoint.
+func MetricsHandler(reg *Registry) http.Handler { return telemetry.Handler(reg) }
+
+// MetricsServer is a live /metrics + /healthz endpoint bound to a TCP port.
+type MetricsServer = telemetry.MetricsServer
+
+// ServeMetrics binds addr and serves reg in the background until Close.
+func ServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
+	return telemetry.Serve(addr, reg)
+}
+
 // ---- Federated engine (internal/fl) ----
 
 // UploadFilter gates client uploads; CMFLFilter, GaiaFilter and Vanilla
 // implement it.
 type UploadFilter = fl.UploadFilter
+
+// FilterFeedback is the optional UploadFilter extension through which the
+// engines report each round's upload count back to stateful filters (e.g.
+// AdaptiveFilter). Formerly named RoundObserver; renamed so "Observer"
+// unambiguously means the telemetry hook.
+type FilterFeedback = fl.FilterFeedback
 
 // Vanilla always uploads (plain FedAvg-style FL).
 type Vanilla = fl.Vanilla
@@ -112,7 +163,8 @@ type FederatedConfig = fl.Config
 // FederatedResult is the outcome of RunFederated.
 type FederatedResult = fl.Result
 
-// RoundStats records one synchronous round.
+// RoundStats records one synchronous round; its communication core is the
+// embedded RoundEvent.
 type RoundStats = fl.RoundStats
 
 // SkipNotificationBytes is the wire cost of a withheld update's status
@@ -143,6 +195,10 @@ type PartialConfig = fl.PartialConfig
 
 // PartialResult is the outcome of RunPartialFederated.
 type PartialResult = fl.PartialResult
+
+// PartialRoundStats records one layerwise-gated round; its communication
+// core is the embedded RoundEvent.
+type PartialRoundStats = fl.PartialRoundStats
 
 // RunPartialFederated executes synchronous training with layerwise
 // relevance gating.
@@ -303,6 +359,10 @@ type MTLConfig = mtl.Config
 // MTLResult is the outcome of RunMTL.
 type MTLResult = mtl.Result
 
+// MTLRoundStats records one synchronous MTL round; its communication core
+// is the embedded RoundEvent.
+type MTLRoundStats = mtl.RoundStats
+
 // OmegaMode selects the relationship-matrix strategy.
 type OmegaMode = mtl.OmegaMode
 
@@ -317,8 +377,13 @@ func RunMTL(cfg MTLConfig) (*MTLResult, error) { return mtl.Run(cfg) }
 
 // ---- TCP emulation (internal/emu) ----
 
-// ServerConfig configures the emulation master.
+// ServerConfig configures the emulation master; set MetricsAddr to serve
+// /metrics and /healthz while the cluster runs.
 type ServerConfig = emu.ServerConfig
+
+// EmuRoundStats is the emulation master's round record: the shared
+// RoundEvent core plus wire-level running totals.
+type EmuRoundStats = emu.RoundStats
 
 // Server is the emulation master.
 type Server = emu.Server

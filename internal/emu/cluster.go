@@ -10,6 +10,7 @@ import (
 	"cmfl/internal/dataset"
 	"cmfl/internal/fl"
 	"cmfl/internal/nn"
+	"cmfl/internal/telemetry"
 )
 
 // ClusterConfig runs a complete master+slaves emulation in one process over
@@ -32,12 +33,25 @@ type ClusterConfig struct {
 
 	Seed    int64
 	Timeout time.Duration // per-message bound for the whole cluster (default 120s)
+
+	// Observers receive the master's live telemetry (see ServerConfig).
+	Observers []telemetry.Observer
+	// MetricsAddr serves /metrics and /healthz while the cluster runs; the
+	// endpoint is torn down before RunCluster returns (use NewServer
+	// directly to keep scraping after training ends). The final registry
+	// remains readable via ClusterResult.Registry.
+	MetricsAddr string
+	// Registry receives the master's metrics (optional; see ServerConfig).
+	Registry *telemetry.Registry
 }
 
 // ClusterResult combines the server view and the per-client views.
 type ClusterResult struct {
 	Server  *ServerResult
 	Clients []*ClientResult
+	// Registry is the master's metrics registry (nil unless MetricsAddr or
+	// Registry was configured).
+	Registry *telemetry.Registry
 }
 
 // RunCluster starts a server on an ephemeral localhost port, launches one
@@ -60,10 +74,14 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		Compressor:     cfg.Compressor,
 		RoundTimeout:   cfg.Timeout,
 		AcceptTimeout:  cfg.Timeout,
+		Observers:      cfg.Observers,
+		MetricsAddr:    cfg.MetricsAddr,
+		Registry:       cfg.Registry,
 	})
 	if err != nil {
 		return nil, err
 	}
+	defer srv.Close()
 
 	type serverOut struct {
 		res *ServerResult
@@ -107,5 +125,5 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	if err := errors.Join(clientErrs...); err != nil {
 		return nil, fmt.Errorf("emu: clients: %w", err)
 	}
-	return &ClusterResult{Server: out.res, Clients: clients}, nil
+	return &ClusterResult{Server: out.res, Clients: clients, Registry: srv.Registry()}, nil
 }

@@ -1,0 +1,188 @@
+package emu
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"cmfl/internal/core"
+)
+
+// scrapeCounters fetches url and returns every sample line parsed as an
+// integer counter value keyed by its full series name.
+func scrapeCounters(t *testing.T, url string) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	out := make(map[string]int64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		if v, err := strconv.ParseInt(line[i+1:], 10, 64); err == nil {
+			out[line[:i]] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestClusterMetricsMatchWireAccounting runs a real TCP cluster with the
+// /metrics endpoint enabled and asserts the exported wire-byte counters
+// equal the ServerResult's exact accounting bit-for-bit. The endpoint stays
+// scrapeable after Run returns (Run only closes the training sockets);
+// Close tears it down.
+func TestClusterMetricsMatchWireAccounting(t *testing.T) {
+	cc := clusterConfig(t, 4, 6, core.NewFilter(core.Constant(0.5)))
+	srv, err := NewServer(ServerConfig{
+		Addr:          "127.0.0.1:0",
+		Clients:       len(cc.ClientData),
+		Model:         cc.Model,
+		TestData:      cc.TestData,
+		Rounds:        cc.Rounds,
+		RoundTimeout:  cc.Timeout,
+		AcceptTimeout: cc.Timeout,
+		MetricsAddr:   "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.MetricsAddr() == "" {
+		t.Fatal("metrics endpoint not bound")
+	}
+
+	type serverOut struct {
+		res *ServerResult
+		err error
+	}
+	srvCh := make(chan serverOut, 1)
+	go func() {
+		res, err := srv.Run()
+		srvCh <- serverOut{res, err}
+	}()
+	var wg sync.WaitGroup
+	for i := range cc.ClientData {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := RunClient(ClientConfig{
+				Addr:         srv.Addr(),
+				ID:           i,
+				Model:        cc.Model,
+				Data:         cc.ClientData[i],
+				Epochs:       cc.Epochs,
+				Batch:        cc.Batch,
+				LR:           cc.LR,
+				Filter:       core.NewFilter(core.Constant(0.5)),
+				Seed:         cc.Seed,
+				RoundTimeout: cc.Timeout,
+				DialTimeout:  cc.Timeout,
+			})
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	out := <-srvCh
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	res := out.res
+
+	// Run has returned and the done broadcast is in the totals; the scrape
+	// must match the exact wire accounting bit-for-bit.
+	counters := scrapeCounters(t, "http://"+srv.MetricsAddr()+"/metrics")
+	if got := counters["cmfl_emu_uplink_wire_bytes_total"]; got != res.UplinkWireBytes {
+		t.Fatalf("uplink wire counter = %d, ServerResult says %d", got, res.UplinkWireBytes)
+	}
+	if got := counters["cmfl_emu_downlink_wire_bytes_total"]; got != res.DownlinkWireBytes {
+		t.Fatalf("downlink wire counter = %d, ServerResult says %d", got, res.DownlinkWireBytes)
+	}
+
+	// Application-level families from the shared collector agree with the
+	// history's running totals.
+	last := res.History[len(res.History)-1]
+	if got := counters[`cmfl_uplink_bytes_total{engine="emu"}`]; got != last.CumUplinkBytes {
+		t.Fatalf("app uplink counter = %d, history says %d", got, last.CumUplinkBytes)
+	}
+	if got := counters[`cmfl_uploads_total{engine="emu"}`]; got != int64(last.CumUploads) {
+		t.Fatalf("uploads counter = %d, history says %d", got, last.CumUploads)
+	}
+	if got := counters[`cmfl_rounds_total{engine="emu"}`]; got != int64(len(res.History)) {
+		t.Fatalf("rounds counter = %d, history has %d", got, len(res.History))
+	}
+
+	// History must carry the emu-specific wire totals too (the old API
+	// reused fl.RoundStats and left these zeroed).
+	if last.CumUplinkWireBytes != res.UplinkWireBytes {
+		t.Fatalf("history wire bytes = %d, result says %d", last.CumUplinkWireBytes, res.UplinkWireBytes)
+	}
+	if last.CumDownlinkWireBytes <= 0 || last.CumDownlinkWireBytes > res.DownlinkWireBytes {
+		t.Fatalf("history downlink wire bytes = %d, result total %d",
+			last.CumDownlinkWireBytes, res.DownlinkWireBytes)
+	}
+
+	// Liveness endpoint serves alongside /metrics.
+	hresp, err := http.Get("http://" + srv.MetricsAddr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if payload.Status != "ok" {
+		t.Fatalf("healthz status = %q", payload.Status)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + srv.MetricsAddr() + "/metrics"); err == nil {
+		t.Fatal("metrics endpoint should be down after Close")
+	}
+}
+
+// TestRunClusterExposesRegistry checks the one-call API: RunCluster tears the
+// endpoint down before returning but hands back the final registry.
+func TestRunClusterExposesRegistry(t *testing.T) {
+	cc := clusterConfig(t, 3, 4, nil)
+	cc.MetricsAddr = "127.0.0.1:0"
+	res, err := RunCluster(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Registry == nil {
+		t.Fatal("ClusterResult.Registry missing")
+	}
+	snap := res.Registry.Snapshot()
+	if got := int64(snap["cmfl_emu_uplink_wire_bytes_total"]); got != res.Server.UplinkWireBytes {
+		t.Fatalf("registry uplink = %d, result says %d", got, res.Server.UplinkWireBytes)
+	}
+	if got := int64(snap["cmfl_emu_downlink_wire_bytes_total"]); got != res.Server.DownlinkWireBytes {
+		t.Fatalf("registry downlink = %d, result says %d", got, res.Server.DownlinkWireBytes)
+	}
+}

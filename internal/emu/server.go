@@ -11,6 +11,7 @@ import (
 	"cmfl/internal/dataset"
 	"cmfl/internal/fl"
 	"cmfl/internal/nn"
+	"cmfl/internal/telemetry"
 )
 
 // ServerConfig describes the master side of the emulation.
@@ -51,11 +52,44 @@ type ServerConfig struct {
 	// when every client is gone. Without it (the default) any failure
 	// aborts the run, which keeps tests strict.
 	FaultTolerant bool
+
+	// Observers receive live telemetry: one telemetry.ClientEvent per
+	// reply (updates first, then skips, each in client order) followed by
+	// one telemetry.RoundEvent per round.
+	Observers []telemetry.Observer
+	// MetricsAddr, when non-empty (e.g. "127.0.0.1:0"), serves the
+	// master's metrics registry as a Prometheus-text /metrics and JSON
+	// /healthz endpoint over HTTP while the cluster runs. The endpoint
+	// stays up after Run returns — with its counters matching the final
+	// ServerResult wire totals exactly — until Close.
+	MetricsAddr string
+	// Registry receives the master's metrics. Optional: when nil and
+	// MetricsAddr is set, the server creates its own. Wire-byte counters
+	// (cmfl_emu_uplink_wire_bytes_total, cmfl_emu_downlink_wire_bytes_total)
+	// are pinned to the exact TCP payload accounting of ServerResult.
+	Registry *telemetry.Registry
 }
 
-// ServerResult extends the simulation history with wire-level byte counts.
+// RoundStats is the emulation master's round record: the shared
+// communication core plus the wire-level running totals only the real
+// network stack can observe. It replaces the earlier reuse of fl.RoundStats,
+// which left the simulation-only fields (train loss, significance, Eq. 8
+// trace) silently zeroed.
+type RoundStats struct {
+	telemetry.RoundEvent
+
+	// MeanRelevance is the mean reported filter metric across this round's
+	// updates and skips (NaN when no client reported).
+	MeanRelevance float64
+	// CumUplinkWireBytes / CumDownlinkWireBytes are the actual TCP payload
+	// bytes (frames incl. framing overhead) observed through this round.
+	CumUplinkWireBytes   int64
+	CumDownlinkWireBytes int64
+}
+
+// ServerResult extends the round history with wire-level byte counts.
 type ServerResult struct {
-	History []fl.RoundStats
+	History []RoundStats
 	// FinalParams is the global model after the last round.
 	FinalParams []float64
 	// UplinkWireBytes / DownlinkWireBytes are the actual bytes observed on
@@ -83,6 +117,16 @@ func (r *ServerResult) FinalAccuracy() float64 {
 type Server struct {
 	cfg ServerConfig
 	ln  net.Listener
+
+	// Telemetry plumbing: observers include any configured Collector; the
+	// wire counters mirror ServerResult's exact TCP payload accounting.
+	obs          []telemetry.Observer
+	reg          *telemetry.Registry
+	metrics      *telemetry.MetricsServer
+	uplinkWire   *telemetry.Counter
+	downlinkWire *telemetry.Counter
+	lastUpWire   int64
+	lastDownWire int64
 
 	mu    sync.Mutex
 	conns []net.Conn
@@ -117,15 +161,64 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("emu: listen %s: %w", cfg.Addr, err)
 	}
-	return &Server{cfg: cfg, ln: ln}, nil
+	s := &Server{cfg: cfg, ln: ln, obs: cfg.Observers}
+	if cfg.Registry != nil || cfg.MetricsAddr != "" {
+		s.reg = cfg.Registry
+		if s.reg == nil {
+			s.reg = telemetry.NewRegistry()
+		}
+		s.obs = append(append([]telemetry.Observer(nil), cfg.Observers...), telemetry.NewCollector(s.reg))
+		s.uplinkWire = s.reg.Counter(`cmfl_emu_uplink_wire_bytes_total`, "TCP payload bytes received from clients (frames incl. framing overhead).")
+		s.downlinkWire = s.reg.Counter(`cmfl_emu_downlink_wire_bytes_total`, "TCP payload bytes sent to clients (frames incl. framing overhead).")
+	}
+	if cfg.MetricsAddr != "" {
+		ms, err := telemetry.Serve(cfg.MetricsAddr, s.reg)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.metrics = ms
+	}
+	return s, nil
 }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close releases the listener and any client connections.
+// MetricsAddr returns the bound /metrics endpoint address, or "" when
+// MetricsAddr was not configured.
+func (s *Server) MetricsAddr() string {
+	if s.metrics == nil {
+		return ""
+	}
+	return s.metrics.Addr()
+}
+
+// Registry returns the server's metrics registry (nil unless MetricsAddr or
+// Registry was configured).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Close releases the listener, any client connections, and the metrics
+// endpoint.
 func (s *Server) Close() error {
+	err := s.closeConns()
+	if s.metrics != nil {
+		if merr := s.metrics.Close(); err == nil {
+			err = merr
+		}
+		s.metrics = nil
+	}
+	return err
+}
+
+// closeConns releases the listener and client connections, leaving the
+// metrics endpoint (if any) scrapeable until Close. Idempotent: Run defers
+// it and Close calls it again.
+func (s *Server) closeConns() error {
 	err := s.ln.Close()
+	if errors.Is(err, net.ErrClosed) {
+		err = nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, c := range s.conns {
@@ -135,11 +228,24 @@ func (s *Server) Close() error {
 	return err
 }
 
+// syncWireCounters pins the registry's wire-byte counters to the exact
+// accounting in res — bit-for-bit, since both sides add the same deltas.
+func (s *Server) syncWireCounters(res *ServerResult) {
+	if s.uplinkWire == nil {
+		return
+	}
+	s.uplinkWire.Add(res.UplinkWireBytes - s.lastUpWire)
+	s.lastUpWire = res.UplinkWireBytes
+	s.downlinkWire.Add(res.DownlinkWireBytes - s.lastDownWire)
+	s.lastDownWire = res.DownlinkWireBytes
+}
+
 // Run accepts the configured number of clients, drives the synchronous
 // training rounds and returns the collected result. It closes all client
-// connections before returning.
+// connections before returning; the metrics endpoint (if configured) keeps
+// serving the final totals until Close.
 func (s *Server) Run() (*ServerResult, error) {
-	defer s.Close()
+	defer s.closeConns()
 	if err := s.acceptClients(); err != nil {
 		return nil, err
 	}
@@ -189,15 +295,20 @@ func (s *Server) Run() (*ServerResult, error) {
 		}
 		cumUploads += len(updates)
 
-		stats := fl.RoundStats{
-			Round:          t,
-			Uploaded:       len(updates),
-			Skipped:        len(skips),
-			CumUploads:     cumUploads,
-			CumUplinkBytes: cumAppBytes,
-			Accuracy:       math.NaN(),
-			MeanRelevance:  math.NaN(),
-			DeltaUpdate:    math.NaN(),
+		stats := RoundStats{
+			RoundEvent: telemetry.RoundEvent{
+				Engine:         telemetry.EngineEmu,
+				Round:          t,
+				Participants:   len(updates) + len(skips),
+				Uploaded:       len(updates),
+				Skipped:        len(skips),
+				CumUploads:     cumUploads,
+				CumUplinkBytes: cumAppBytes,
+				Accuracy:       math.NaN(),
+			},
+			MeanRelevance:        math.NaN(),
+			CumUplinkWireBytes:   res.UplinkWireBytes,
+			CumDownlinkWireBytes: res.DownlinkWireBytes,
 		}
 		if n := len(updates) + len(skips); n > 0 {
 			var msum float64
@@ -216,6 +327,30 @@ func (s *Server) Run() (*ServerResult, error) {
 			stats.Accuracy = accuracyOf(global, s.cfg.TestData, s.cfg.EvalBatch)
 		}
 		res.History = append(res.History, stats)
+		s.syncWireCounters(res)
+		if len(s.obs) > 0 {
+			for _, u := range updates {
+				telemetry.EmitClient(s.obs, telemetry.ClientEvent{
+					Engine:      telemetry.EngineEmu,
+					Round:       t,
+					Client:      u.clientID,
+					Uploaded:    true,
+					Relevance:   u.metric,
+					UplinkBytes: u.appBytes,
+				})
+			}
+			for _, sk := range skips {
+				telemetry.EmitClient(s.obs, telemetry.ClientEvent{
+					Engine:      telemetry.EngineEmu,
+					Round:       t,
+					Client:      sk.clientID,
+					Uploaded:    false,
+					Relevance:   sk.metric,
+					UplinkBytes: fl.SkipNotificationBytes,
+				})
+			}
+			telemetry.EmitRound(s.obs, stats.RoundEvent)
+		}
 		if s.cfg.TargetAccuracy > 0 && !math.IsNaN(stats.Accuracy) && stats.Accuracy >= s.cfg.TargetAccuracy {
 			break
 		}
@@ -226,6 +361,9 @@ func (s *Server) Run() (*ServerResult, error) {
 		return nil, fmt.Errorf("emu: final done broadcast: %w", err)
 	}
 	res.FinalParams = params
+	// The done broadcast is downlink traffic too; pin the counters to the
+	// final totals so a post-run scrape matches ServerResult bit-for-bit.
+	s.syncWireCounters(res)
 	return res, nil
 }
 

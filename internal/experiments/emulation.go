@@ -123,7 +123,7 @@ func Fig7(s EmulationSetup) (*Fig7Result, error) {
 		GaiaWire:    g.UplinkWireBytes,
 		CMFLWire:    c.UplinkWireBytes,
 	}
-	bytesAt := func(history []fl.RoundStats, target float64) float64 {
+	bytesAt := func(history []emu.RoundStats, target float64) float64 {
 		for _, h := range history {
 			if !math.IsNaN(h.Accuracy) && h.Accuracy >= target {
 				return float64(h.CumUplinkBytes)

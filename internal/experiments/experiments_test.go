@@ -9,6 +9,7 @@ import (
 
 	"cmfl/internal/core"
 	"cmfl/internal/fl"
+	"cmfl/internal/telemetry"
 )
 
 // miniMNIST shrinks the quick preset to test scale (a couple of seconds).
@@ -282,8 +283,8 @@ func TestOverheadFractionSmall(t *testing.T) {
 
 func TestTraceOf(t *testing.T) {
 	h := []fl.RoundStats{
-		{Round: 1, CumUploads: 5, Accuracy: 0.3},
-		{Round: 2, CumUploads: 9, Accuracy: math.NaN()},
+		{RoundEvent: telemetry.RoundEvent{Round: 1, CumUploads: 5, Accuracy: 0.3}},
+		{RoundEvent: telemetry.RoundEvent{Round: 2, CumUploads: 9, Accuracy: math.NaN()}},
 	}
 	tr := TraceOf(h)
 	if len(tr.CumUploads) != 2 || tr.CumUploads[1] != 9 {

@@ -19,6 +19,7 @@ import (
 	"cmfl/internal/fl"
 	"cmfl/internal/nn"
 	"cmfl/internal/stats"
+	"cmfl/internal/telemetry"
 	"cmfl/internal/xrand"
 )
 
@@ -297,12 +298,15 @@ func (s NWPSetup) FLConfig(fed *Federation, filter fl.UploadFilter) fl.Config {
 	}
 }
 
-// TraceOf converts an engine history into an accuracy trace.
-func TraceOf(history []fl.RoundStats) *stats.AccuracyTrace {
+// TraceOf converts any engine history into an accuracy trace. It accepts
+// every stats type embedding the shared telemetry.RoundEvent core
+// (fl.RoundStats, emu.RoundStats, mtl.RoundStats, ...).
+func TraceOf[S telemetry.Eventer](history []S) *stats.AccuracyTrace {
 	tr := &stats.AccuracyTrace{}
 	for _, h := range history {
-		tr.CumUploads = append(tr.CumUploads, h.CumUploads)
-		tr.Accuracy = append(tr.Accuracy, h.Accuracy)
+		e := h.Event()
+		tr.CumUploads = append(tr.CumUploads, e.CumUploads)
+		tr.Accuracy = append(tr.Accuracy, e.Accuracy)
 	}
 	return tr
 }

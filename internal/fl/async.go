@@ -9,6 +9,7 @@ import (
 	"cmfl/internal/core"
 	"cmfl/internal/dataset"
 	"cmfl/internal/nn"
+	"cmfl/internal/telemetry"
 	"cmfl/internal/xrand"
 )
 
@@ -54,6 +55,12 @@ type AsyncConfig struct {
 
 	TargetAccuracy float64
 	Seed           int64
+
+	// Observers receive live telemetry. The asynchronous engine treats
+	// each client completion as a one-participant round: it emits one
+	// telemetry.ClientEvent followed by one telemetry.RoundEvent per
+	// completion, with Round set to the 1-based completion index.
+	Observers []telemetry.Observer
 }
 
 // AsyncEvent records one client completion in the simulated timeline.
@@ -234,6 +241,32 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 			ev.Accuracy = evaluate(global, cfg.TestData, cfg.EvalBatch)
 		}
 		res.Events = append(res.Events, ev)
+		if len(cfg.Observers) > 0 {
+			uplink := int64(dim) * 8
+			uploadedN := 1
+			if !dec.Upload {
+				uplink = SkipNotificationBytes
+				uploadedN = 0
+			}
+			telemetry.EmitClient(cfg.Observers, telemetry.ClientEvent{
+				Engine:      telemetry.EngineAsync,
+				Round:       events,
+				Client:      k,
+				Uploaded:    dec.Upload,
+				Relevance:   rel,
+				UplinkBytes: uplink,
+			})
+			telemetry.EmitRound(cfg.Observers, telemetry.RoundEvent{
+				Engine:         telemetry.EngineAsync,
+				Round:          events,
+				Participants:   1,
+				Uploaded:       uploadedN,
+				Skipped:        1 - uploadedN,
+				CumUploads:     cumUploads,
+				CumUplinkBytes: cumBytes,
+				Accuracy:       ev.Accuracy,
+			})
+		}
 		if cfg.TargetAccuracy > 0 && !math.IsNaN(ev.Accuracy) && ev.Accuracy >= cfg.TargetAccuracy {
 			break
 		}

@@ -1,10 +1,12 @@
 package fl
 
 import (
+	"math"
 	"testing"
 
 	"cmfl/internal/dataset"
 	"cmfl/internal/nn"
+	"cmfl/internal/telemetry"
 	"cmfl/internal/tensor"
 	"cmfl/internal/xrand"
 )
@@ -63,6 +65,44 @@ func BenchmarkLocalTrainRound(b *testing.B) {
 			if _, _, err := LocalTrain(net, shard, params, 0.05, 1, 5, rng); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkInstrumentedLocalRound is BenchmarkLocalTrainRound/mnist-cnn plus
+// the full telemetry path: one ClientEvent and one RoundEvent per round
+// through a registry-backed Collector. Guards the observability layer's
+// zero-allocation budget — the gate is identical ns/op and allocs/op to the
+// uninstrumented round.
+func BenchmarkInstrumentedLocalRound(b *testing.B) {
+	b.Run("mnist-cnn", func(b *testing.B) {
+		cfg := nn.CNNConfig{ImageSize: 28, Kernel: 5, Conv1: 16, Conv2: 32, Hidden: 128, Classes: 10}
+		net := nn.NewCNN(cfg, xrand.New(1))
+		shard := randomSet(20, []int{1, 28, 28}, 10, xrand.New(2))
+		params := net.ParamVector()
+		rng := xrand.New(3)
+		col := telemetry.NewCollector(telemetry.NewRegistry())
+		obs := []telemetry.Observer{col}
+		dim := int64(len(params))
+		// Warm the per-engine handle cache so the loop is steady state.
+		col.OnRound(telemetry.RoundEvent{Engine: telemetry.EngineSync, Accuracy: math.NaN()})
+		var cumBytes int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := LocalTrain(net, shard, params, 0.05, 1, 2, rng); err != nil {
+				b.Fatal(err)
+			}
+			cumBytes += dim * 8
+			telemetry.EmitClient(obs, telemetry.ClientEvent{
+				Engine: telemetry.EngineSync, Round: i + 1, Client: 0,
+				Uploaded: true, Relevance: 0.5, UplinkBytes: dim * 8,
+			})
+			telemetry.EmitRound(obs, telemetry.RoundEvent{
+				Engine: telemetry.EngineSync, Round: i + 1, Participants: 1,
+				Uploaded: 1, CumUploads: i + 1, CumUplinkBytes: cumBytes,
+				Accuracy: math.NaN(),
+			})
 		}
 	})
 }

@@ -10,6 +10,7 @@ import (
 	"cmfl/internal/dataset"
 	"cmfl/internal/gaia"
 	"cmfl/internal/nn"
+	"cmfl/internal/telemetry"
 	"cmfl/internal/tensor"
 	"cmfl/internal/xrand"
 )
@@ -77,6 +78,7 @@ func Run(cfg Config) (*Result, error) {
 	var serverVelocity []float64
 
 	results := make([]localResult, len(clients))
+	clientBytes := make([]int64, len(clients)) // per-round uplink cost per client
 	sem := make(chan struct{}, cfg.Parallelism)
 	sampler := xrand.Derive(cfg.Seed, "fl-sampler", 0)
 	var signBuf []int8 // reused feedback sign vector, rebuilt each round
@@ -131,6 +133,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			if !r.upload {
 				res.SkipCounts[i]++
+				clientBytes[i] = SkipNotificationBytes
 				continue
 			}
 			delta := r.delta
@@ -143,10 +146,11 @@ func Run(cfg Config) (*Result, error) {
 				if err != nil {
 					return nil, fmt.Errorf("fl: round %d client %d decode: %w", t, i, err)
 				}
-				uploadBytes += int64(len(payload))
+				clientBytes[i] = int64(len(payload))
 			} else {
-				uploadBytes += int64(dim) * 8
+				clientBytes[i] = int64(dim) * 8
 			}
+			uploadBytes += clientBytes[i]
 			weight := 1.0
 			if cfg.WeightedAggregation {
 				weight = float64(clients[i].data.Len())
@@ -174,18 +178,21 @@ func Run(cfg Config) (*Result, error) {
 		cumUploads += uploaded
 		cumBytes += uploadBytes + int64(len(participants)-uploaded)*SkipNotificationBytes
 
-		if obs, ok := filter.(RoundObserver); ok {
+		if obs, ok := filter.(FilterFeedback); ok {
 			obs.ObserveRound(t, uploaded, len(participants))
 		}
 
 		stats := RoundStats{
-			Round:            t,
-			Participants:     len(participants),
-			Uploaded:         uploaded,
-			Skipped:          len(participants) - uploaded,
-			CumUploads:       cumUploads,
-			CumUplinkBytes:   cumBytes,
-			Accuracy:         nan(),
+			RoundEvent: telemetry.RoundEvent{
+				Engine:         telemetry.EngineSync,
+				Round:          t,
+				Participants:   len(participants),
+				Uploaded:       uploaded,
+				Skipped:        len(participants) - uploaded,
+				CumUploads:     cumUploads,
+				CumUplinkBytes: cumBytes,
+				Accuracy:       nan(),
+			},
 			TrainLoss:        lossSum / float64(len(participants)),
 			MeanSignificance: sigSum / float64(len(participants)),
 			MeanRelevance:    nan(),
@@ -217,6 +224,19 @@ func Run(cfg Config) (*Result, error) {
 			stats.Accuracy = evaluate(global, cfg.TestData, cfg.EvalBatch)
 		}
 		res.History = append(res.History, stats)
+		if len(cfg.Observers) > 0 {
+			for _, i := range participants {
+				telemetry.EmitClient(cfg.Observers, telemetry.ClientEvent{
+					Engine:      telemetry.EngineSync,
+					Round:       t,
+					Client:      i,
+					Uploaded:    results[i].upload,
+					Relevance:   results[i].relevance,
+					UplinkBytes: clientBytes[i],
+				})
+			}
+			telemetry.EmitRound(cfg.Observers, stats.RoundEvent)
+		}
 		if cfg.Progress != nil {
 			cfg.Progress(stats)
 		}

@@ -14,6 +14,7 @@ import (
 	"cmfl/internal/core"
 	"cmfl/internal/dataset"
 	"cmfl/internal/nn"
+	"cmfl/internal/telemetry"
 	"cmfl/internal/xrand"
 )
 
@@ -51,13 +52,20 @@ type SignChecker interface {
 	CheckSigns(local []float64, feedbackSigns []int8, t int) (core.Decision, bool, error)
 }
 
-// RoundObserver is an optional extension of UploadFilter: after every
+// FilterFeedback is an optional extension of UploadFilter: after every
 // synchronous round the engine reports how many of the participants
 // uploaded, letting stateful filters (e.g. core.AdaptiveFilter) adjust
-// their thresholds.
-type RoundObserver interface {
+// their thresholds. It is the filter-facing feedback channel; the
+// telemetry-facing hook is telemetry.Observer (Config.Observers).
+type FilterFeedback interface {
 	ObserveRound(round, uploaded, participants int)
 }
+
+// RoundObserver is the old name of FilterFeedback.
+//
+// Deprecated: use FilterFeedback. "Observer" now unambiguously refers to
+// the telemetry hook (telemetry.Observer).
+type RoundObserver = FilterFeedback
 
 // UpdateCodec lossily compresses uploaded updates; implemented by the
 // codecs in internal/compress. Must be safe for concurrent use.
@@ -155,29 +163,28 @@ type Config struct {
 	// Eq. 8 smoothness assumption). Default 1.
 	FeedbackStaleness int
 
+	// Observers receive live telemetry: every round the engine emits one
+	// telemetry.ClientEvent per participant (in client order) followed by
+	// one telemetry.RoundEvent, synchronously from the engine goroutine.
+	// Attach a telemetry.Collector to feed a metrics registry.
+	Observers []telemetry.Observer
+
 	// Progress, when set, is invoked synchronously with each round's
-	// statistics as soon as the round completes — for live logging and
-	// dashboards. It must not retain the RoundStats pointer's slices.
+	// statistics as soon as the round completes.
+	//
+	// Deprecated: Progress is a thin shim kept for downstream users; new
+	// code should attach a telemetry.Observer via Observers, which also
+	// carries per-client decisions. Progress fires after the observers.
 	Progress func(RoundStats)
 }
 
-// RoundStats records one synchronous round.
+// RoundStats records one synchronous round. The communication-cost core
+// (round, participants, uploads, uplink bytes, accuracy) is the embedded
+// telemetry.RoundEvent shared by every engine; the remaining fields are
+// specific to the in-process synchronous simulation.
 type RoundStats struct {
-	Round int
-	// Participants is the number of clients sampled this round (all of
-	// them unless Config.ClientFraction < 1).
-	Participants int
-	Uploaded     int
-	Skipped      int
+	telemetry.RoundEvent
 
-	// CumUploads is Φ, the accumulated communication rounds (Eq. 4).
-	CumUploads int
-	// CumUplinkBytes counts update payloads plus skip notifications.
-	CumUplinkBytes int64
-
-	// Accuracy is the global model's test accuracy after this round's
-	// aggregation; NaN on rounds without evaluation.
-	Accuracy float64
 	// TrainLoss is the mean local training loss across clients.
 	TrainLoss float64
 

@@ -1,0 +1,171 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"cmfl/internal/core"
+	"cmfl/internal/telemetry"
+)
+
+// eventRecorder captures the interleaved observer stream so the tests can
+// assert the ordering contract: all ClientEvents of a round arrive before
+// that round's RoundEvent, rounds in order.
+type eventRecorder struct {
+	rounds  []telemetry.RoundEvent
+	clients []telemetry.ClientEvent
+	// seq logs "c" / "r" markers with round numbers in arrival order.
+	seq []int // positive: RoundEvent round; negative: ClientEvent round
+}
+
+func (r *eventRecorder) observer() telemetry.Observer {
+	return telemetry.Funcs{
+		Round: func(e telemetry.RoundEvent) {
+			r.rounds = append(r.rounds, e)
+			r.seq = append(r.seq, e.Round)
+		},
+		Client: func(e telemetry.ClientEvent) {
+			r.clients = append(r.clients, e)
+			r.seq = append(r.seq, -e.Round)
+		},
+	}
+}
+
+// checkOrdering asserts rounds arrive 1..n in order and that every
+// ClientEvent for round k lands between round k-1's and round k's RoundEvent.
+func (r *eventRecorder) checkOrdering(t *testing.T, engine string) {
+	t.Helper()
+	lastRound := 0
+	for _, s := range r.seq {
+		if s > 0 {
+			if s != lastRound+1 {
+				t.Fatalf("RoundEvent %d after round %d; want in-order rounds", s, lastRound)
+			}
+			lastRound = s
+		} else if -s != lastRound+1 {
+			t.Fatalf("ClientEvent for round %d arrived while round %d was current", -s, lastRound)
+		}
+	}
+	for _, e := range r.rounds {
+		if e.Engine != engine {
+			t.Fatalf("RoundEvent engine = %q, want %q", e.Engine, engine)
+		}
+	}
+	for _, e := range r.clients {
+		if e.Engine != engine {
+			t.Fatalf("ClientEvent engine = %q, want %q", e.Engine, engine)
+		}
+	}
+}
+
+// checkConsistency asserts the per-client stream adds up to the round totals.
+func (r *eventRecorder) checkConsistency(t *testing.T) {
+	t.Helper()
+	uploads := make(map[int]int)
+	bytes := make(map[int]int64)
+	count := make(map[int]int)
+	for _, e := range r.clients {
+		if e.Uploaded {
+			uploads[e.Round]++
+		}
+		bytes[e.Round] += e.UplinkBytes
+		count[e.Round]++
+	}
+	var cumBytes int64
+	for _, e := range r.rounds {
+		if count[e.Round] != e.Participants {
+			t.Fatalf("round %d: %d ClientEvents, %d participants", e.Round, count[e.Round], e.Participants)
+		}
+		if uploads[e.Round] != e.Uploaded {
+			t.Fatalf("round %d: client stream shows %d uploads, RoundEvent says %d",
+				e.Round, uploads[e.Round], e.Uploaded)
+		}
+		if e.Uploaded+e.Skipped != e.Participants {
+			t.Fatalf("round %d: uploaded %d + skipped %d != participants %d",
+				e.Round, e.Uploaded, e.Skipped, e.Participants)
+		}
+		cumBytes += bytes[e.Round]
+		if e.CumUplinkBytes != cumBytes {
+			t.Fatalf("round %d: CumUplinkBytes = %d, client stream sums to %d",
+				e.Round, e.CumUplinkBytes, cumBytes)
+		}
+	}
+}
+
+func TestObserverOrderingSync(t *testing.T) {
+	cfg := digitLogisticConfig(t, 4, true)
+	cfg.Rounds = 5
+	cfg.Filter = core.NewFilter(core.Constant(0.5))
+	rec := &eventRecorder{}
+	var progressRounds []int
+	cfg.Observers = []telemetry.Observer{rec.observer()}
+	cfg.Progress = func(h RoundStats) { progressRounds = append(progressRounds, h.Round) }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.checkOrdering(t, telemetry.EngineSync)
+	rec.checkConsistency(t)
+	if len(rec.rounds) != len(res.History) {
+		t.Fatalf("observed %d rounds, history has %d", len(rec.rounds), len(res.History))
+	}
+	for i, e := range rec.rounds {
+		if e != res.History[i].RoundEvent {
+			t.Fatalf("round %d: observed event %+v != history %+v", i+1, e, res.History[i].RoundEvent)
+		}
+	}
+	// The deprecated Progress shim keeps firing alongside the observers.
+	if len(progressRounds) != len(res.History) {
+		t.Fatalf("Progress fired %d times, want %d", len(progressRounds), len(res.History))
+	}
+}
+
+func TestObserverOrderingPartial(t *testing.T) {
+	cfg := partialConfig(t)
+	cfg.Rounds = 6
+	rec := &eventRecorder{}
+	cfg.Observers = []telemetry.Observer{rec.observer()}
+	res, err := RunPartial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.checkOrdering(t, telemetry.EnginePartial)
+	rec.checkConsistency(t)
+	for i, e := range rec.rounds {
+		if e != res.History[i].RoundEvent {
+			t.Fatalf("round %d: observed event %+v != history %+v", i+1, e, res.History[i].RoundEvent)
+		}
+	}
+	// Partial uploads carry no scalar relevance; the stream reports NaN.
+	for _, e := range rec.clients {
+		if !math.IsNaN(e.Relevance) {
+			t.Fatalf("partial ClientEvent relevance = %v, want NaN", e.Relevance)
+		}
+	}
+}
+
+func TestObserverOrderingAsync(t *testing.T) {
+	cfg := asyncConfig(t, 4)
+	cfg.Updates = 12
+	cfg.Filter = core.NewFilter(core.Constant(0.5))
+	rec := &eventRecorder{}
+	cfg.Observers = []telemetry.Observer{rec.observer()}
+	res, err := RunAsync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.checkOrdering(t, telemetry.EngineAsync)
+	rec.checkConsistency(t)
+	if len(rec.rounds) != len(res.Events) {
+		t.Fatalf("observed %d completions, result has %d", len(rec.rounds), len(res.Events))
+	}
+	for i, e := range rec.rounds {
+		if e.Participants != 1 {
+			t.Fatalf("async round %d: participants = %d, want 1", i+1, e.Participants)
+		}
+	}
+	last := rec.rounds[len(rec.rounds)-1]
+	if want := res.Events[len(res.Events)-1].CumUploads; last.CumUploads != want {
+		t.Fatalf("final CumUploads = %d, result says %d", last.CumUploads, want)
+	}
+}

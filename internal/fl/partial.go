@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"cmfl/internal/core"
+	"cmfl/internal/telemetry"
 	"cmfl/internal/tensor"
 )
 
@@ -33,15 +34,16 @@ type PartialConfig struct {
 // segment (segment index + length), on top of its float64 payload.
 const segmentUploadBytes = 8
 
-// PartialRoundStats extends the round record with segment-level counts.
+// PartialRoundStats extends the shared round record with segment-level
+// counts. In the embedded telemetry.RoundEvent, a client counts as
+// "uploaded" when it transferred at least one segment this round.
 type PartialRoundStats struct {
-	Round int
+	telemetry.RoundEvent
+
 	// SegmentsUploaded / SegmentsTotal count segment uploads across all
 	// clients this round.
 	SegmentsUploaded int
 	SegmentsTotal    int
-	CumUplinkBytes   int64
-	Accuracy         float64
 }
 
 // PartialResult is the outcome of RunPartial.
@@ -100,8 +102,10 @@ func RunPartial(cfg PartialConfig) (*PartialResult, error) {
 	res := &PartialResult{}
 	var cumBytes int64
 	totalSegs, uploadedSegs := 0, 0
+	cumUploads := 0
 
 	results := make([]partialResult, len(clients))
+	clientBytes := make([]int64, len(clients)) // per-round uplink cost per client
 	sem := make(chan struct{}, cfg.Parallelism)
 
 	for t := 1; t <= cfg.Rounds; t++ {
@@ -123,6 +127,9 @@ func RunPartial(cfg PartialConfig) (*PartialResult, error) {
 		globalUpdate := make([]float64, dim)
 		segUp, segTot := 0, 0
 		var roundBytes int64
+		for i := range clientBytes {
+			clientBytes[i] = 0
+		}
 		for s := 0; s < len(segLens); s++ {
 			lo, hi := segOff[s], segOff[s+1]
 			count := 0
@@ -140,7 +147,7 @@ func RunPartial(cfg PartialConfig) (*PartialResult, error) {
 				for j := lo; j < hi; j++ {
 					globalUpdate[j] += r.delta[j]
 				}
-				roundBytes += int64(hi-lo)*8 + segmentUploadBytes
+				clientBytes[i] += int64(hi-lo)*8 + segmentUploadBytes
 			}
 			if count > 0 {
 				inv := 1.0 / float64(count)
@@ -149,15 +156,16 @@ func RunPartial(cfg PartialConfig) (*PartialResult, error) {
 				}
 			}
 		}
-		// Clients that uploaded nothing still send a skip notification.
+		// Clients that uploaded nothing still send a skip notification;
+		// everyone else's cost is the sum of their framed segments.
+		clientsUploaded := 0
 		for i := range results {
-			any := false
-			for _, u := range results[i].upload {
-				any = any || u
+			if clientBytes[i] == 0 {
+				clientBytes[i] = SkipNotificationBytes
+			} else {
+				clientsUploaded++
 			}
-			if !any {
-				roundBytes += SkipNotificationBytes
-			}
+			roundBytes += clientBytes[i]
 		}
 		tensor.Axpy(1, globalUpdate, params)
 		if !allZero(globalUpdate) {
@@ -167,12 +175,20 @@ func RunPartial(cfg PartialConfig) (*PartialResult, error) {
 		cumBytes += roundBytes
 		uploadedSegs += segUp
 		totalSegs += segTot
+		cumUploads += clientsUploaded
 		st := PartialRoundStats{
-			Round:            t,
+			RoundEvent: telemetry.RoundEvent{
+				Engine:         telemetry.EnginePartial,
+				Round:          t,
+				Participants:   len(clients),
+				Uploaded:       clientsUploaded,
+				Skipped:        len(clients) - clientsUploaded,
+				CumUploads:     cumUploads,
+				CumUplinkBytes: cumBytes,
+				Accuracy:       math.NaN(),
+			},
 			SegmentsUploaded: segUp,
 			SegmentsTotal:    segTot,
-			CumUplinkBytes:   cumBytes,
-			Accuracy:         math.NaN(),
 		}
 		if cfg.EvalEvery > 0 && (t%cfg.EvalEvery == 0 || t == cfg.Rounds) {
 			if err := global.SetParamVector(params); err != nil {
@@ -181,6 +197,26 @@ func RunPartial(cfg PartialConfig) (*PartialResult, error) {
 			st.Accuracy = evaluate(global, cfg.TestData, cfg.EvalBatch)
 		}
 		res.History = append(res.History, st)
+		if len(cfg.Observers) > 0 {
+			for i := range results {
+				uploadedAny := false
+				for _, u := range results[i].upload {
+					if u {
+						uploadedAny = true
+						break
+					}
+				}
+				telemetry.EmitClient(cfg.Observers, telemetry.ClientEvent{
+					Engine:      telemetry.EnginePartial,
+					Round:       t,
+					Client:      i,
+					Uploaded:    uploadedAny,
+					Relevance:   math.NaN(),
+					UplinkBytes: clientBytes[i],
+				})
+			}
+			telemetry.EmitRound(cfg.Observers, st.RoundEvent)
+		}
 		if cfg.TargetAccuracy > 0 && !math.IsNaN(st.Accuracy) && st.Accuracy >= cfg.TargetAccuracy {
 			break
 		}

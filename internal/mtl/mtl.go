@@ -26,6 +26,7 @@ import (
 	"cmfl/internal/dataset"
 	"cmfl/internal/fl"
 	"cmfl/internal/stats"
+	"cmfl/internal/telemetry"
 	"cmfl/internal/tensor"
 	"cmfl/internal/xrand"
 )
@@ -77,17 +78,19 @@ type Config struct {
 	// Parallelism bounds concurrent task training (default: task count).
 	Parallelism int
 	Seed        int64
+
+	// Observers receive live telemetry: one telemetry.ClientEvent per task
+	// (in task order) followed by one telemetry.RoundEvent per round,
+	// emitted synchronously from the engine goroutine.
+	Observers []telemetry.Observer
 }
 
-// RoundStats records one synchronous MTL round.
+// RoundStats records one synchronous MTL round. The communication core is
+// the embedded telemetry.RoundEvent (Participants is the task count m;
+// Accuracy is the sample-weighted mean test accuracy across tasks).
 type RoundStats struct {
-	Round          int
-	Uploaded       int
-	Skipped        int
-	CumUploads     int
-	CumUplinkBytes int64
-	// Accuracy is the sample-weighted mean test accuracy across tasks.
-	Accuracy float64
+	telemetry.RoundEvent
+
 	// MeanRelevance is the client-mean CMFL relevance this round (NaN
 	// before feedback exists).
 	MeanRelevance float64
@@ -241,18 +244,39 @@ func Run(cfg Config) (*Result, error) {
 
 		acc := weightedAccuracy(tasks, w)
 		st := RoundStats{
-			Round:          t,
-			Uploaded:       uploaded,
-			Skipped:        m - uploaded,
-			CumUploads:     cumUploads,
-			CumUplinkBytes: cumBytes,
-			Accuracy:       acc,
-			MeanRelevance:  math.NaN(),
+			RoundEvent: telemetry.RoundEvent{
+				Engine:         telemetry.EngineMTL,
+				Round:          t,
+				Participants:   m,
+				Uploaded:       uploaded,
+				Skipped:        m - uploaded,
+				CumUploads:     cumUploads,
+				CumUplinkBytes: cumBytes,
+				Accuracy:       acc,
+			},
+			MeanRelevance: math.NaN(),
 		}
 		if relCount > 0 {
 			st.MeanRelevance = relSum / float64(relCount)
 		}
 		res.History = append(res.History, st)
+		if len(cfg.Observers) > 0 {
+			for k := 0; k < m; k++ {
+				uplink := int64(dim) * 8
+				if !results[k].upload {
+					uplink = fl.SkipNotificationBytes
+				}
+				telemetry.EmitClient(cfg.Observers, telemetry.ClientEvent{
+					Engine:      telemetry.EngineMTL,
+					Round:       t,
+					Client:      k,
+					Uploaded:    results[k].upload,
+					Relevance:   results[k].relevance,
+					UplinkBytes: uplink,
+				})
+			}
+			telemetry.EmitRound(cfg.Observers, st.RoundEvent)
+		}
 		if cfg.TargetAccuracy > 0 && acc >= cfg.TargetAccuracy {
 			break
 		}

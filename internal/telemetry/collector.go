@@ -1,0 +1,98 @@
+package telemetry
+
+import "sync"
+
+// Collector is the bridge from the engine event stream to a Registry: it
+// implements Observer and maintains the standard cmfl_* metric families,
+// one label set per engine. Metric handles are resolved once per engine on
+// the first event and cached, so steady-state OnRound/OnClient calls are
+// lock-free map reads plus atomic updates — no allocations on the
+// instrumentation path.
+type Collector struct {
+	reg *Registry
+
+	mu      sync.RWMutex
+	engines map[string]*engineMetrics
+}
+
+// engineMetrics caches the per-engine metric handles plus the previous
+// cumulative values needed to turn the events' running totals into
+// monotonic counter increments.
+type engineMetrics struct {
+	rounds      *Counter
+	uploads     *Counter
+	skips       *Counter
+	uplinkBytes *Counter
+
+	participants *Gauge
+	accuracy     *Gauge
+	cumUploads   *Gauge
+
+	relevance   *Histogram
+	clientBytes *Counter
+
+	lastCumUploads int
+	lastCumBytes   int64
+}
+
+// NewCollector creates a Collector writing into reg.
+func NewCollector(reg *Registry) *Collector {
+	return &Collector{reg: reg, engines: make(map[string]*engineMetrics)}
+}
+
+// Registry returns the registry the collector writes into.
+func (c *Collector) Registry() *Registry { return c.reg }
+
+// forEngine returns (creating on first sight) the engine's metric handles.
+func (c *Collector) forEngine(engine string) *engineMetrics {
+	c.mu.RLock()
+	em, ok := c.engines[engine]
+	c.mu.RUnlock()
+	if ok {
+		return em
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if em, ok := c.engines[engine]; ok {
+		return em
+	}
+	label := `{engine="` + engine + `"}`
+	em = &engineMetrics{
+		rounds:       c.reg.Counter("cmfl_rounds_total"+label, "Completed training rounds."),
+		uploads:      c.reg.Counter("cmfl_uploads_total"+label, "Client updates uploaded (accumulated communication rounds, Eq. 4)."),
+		skips:        c.reg.Counter("cmfl_skips_total"+label, "Client updates withheld by the upload filter."),
+		uplinkBytes:  c.reg.Counter("cmfl_uplink_bytes_total"+label, "Application-level uplink bytes (payloads plus skip notifications)."),
+		participants: c.reg.Gauge("cmfl_round_participants"+label, "Participants in the most recent round."),
+		accuracy:     c.reg.Gauge("cmfl_accuracy"+label, "Most recently evaluated global test accuracy."),
+		cumUploads:   c.reg.Gauge("cmfl_cum_uploads"+label, "Accumulated communication rounds so far."),
+		relevance:    c.reg.Histogram("cmfl_client_relevance"+label, "Per-client CMFL relevance (Eq. 9) at the upload decision.", RelevanceBuckets()),
+		clientBytes:  c.reg.Counter("cmfl_client_uplink_bytes_total"+label, "Uplink bytes attributed to individual client decisions."),
+	}
+	c.engines[engine] = em
+	return em
+}
+
+// OnRound implements Observer.
+func (c *Collector) OnRound(e RoundEvent) {
+	em := c.forEngine(e.Engine)
+	em.rounds.Inc()
+	em.uploads.Add(int64(e.Uploaded))
+	em.skips.Add(int64(e.Skipped))
+	// The event carries running totals; counters want increments. Engines
+	// emit rounds in order from one goroutine, so the subtraction is safe.
+	em.uplinkBytes.Add(e.CumUplinkBytes - em.lastCumBytes)
+	em.lastCumBytes = e.CumUplinkBytes
+	em.lastCumUploads = e.CumUploads
+	em.participants.Set(float64(e.Participants))
+	em.cumUploads.Set(float64(e.CumUploads))
+	if e.Evaluated() {
+		em.accuracy.Set(e.Accuracy)
+	}
+}
+
+// OnClient implements Observer.
+func (c *Collector) OnClient(e ClientEvent) {
+	em := c.forEngine(e.Engine)
+	em.relevance.Observe(e.Relevance) // NaN (no feedback) is dropped
+	em.clientBytes.Add(e.UplinkBytes)
+}

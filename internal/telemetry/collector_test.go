@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCollectorDeltasAndGauges(t *testing.T) {
+	reg := NewRegistry()
+	col := NewCollector(reg)
+
+	col.OnClient(ClientEvent{Engine: EngineSync, Round: 1, Client: 0, Uploaded: true, Relevance: 0.8, UplinkBytes: 100})
+	col.OnClient(ClientEvent{Engine: EngineSync, Round: 1, Client: 1, Uploaded: false, Relevance: 0.1, UplinkBytes: 16})
+	col.OnRound(RoundEvent{Engine: EngineSync, Round: 1, Participants: 2, Uploaded: 1, Skipped: 1,
+		CumUploads: 1, CumUplinkBytes: 116, Accuracy: 0.5})
+	col.OnRound(RoundEvent{Engine: EngineSync, Round: 2, Participants: 2, Uploaded: 2, Skipped: 0,
+		CumUploads: 3, CumUplinkBytes: 316, Accuracy: math.NaN()})
+
+	snap := reg.Snapshot()
+	checks := map[string]float64{
+		`cmfl_rounds_total{engine="fl"}`:              2,
+		`cmfl_uploads_total{engine="fl"}`:             3,
+		`cmfl_skips_total{engine="fl"}`:               1,
+		`cmfl_uplink_bytes_total{engine="fl"}`:        316, // cumulative totals → increments
+		`cmfl_client_uplink_bytes_total{engine="fl"}`: 116,
+		`cmfl_round_participants{engine="fl"}`:        2,
+		`cmfl_cum_uploads{engine="fl"}`:               3,
+		`cmfl_accuracy{engine="fl"}`:                  0.5, // NaN round must not clobber
+		`cmfl_client_relevance_count{engine="fl"}`:    2,
+	}
+	for k, want := range checks {
+		if got := snap[k]; got != want {
+			t.Errorf("%s = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestCollectorSeparatesEngines(t *testing.T) {
+	reg := NewRegistry()
+	col := NewCollector(reg)
+	col.OnRound(RoundEvent{Engine: EngineSync, Round: 1, Uploaded: 2, CumUplinkBytes: 10})
+	col.OnRound(RoundEvent{Engine: EngineMTL, Round: 1, Uploaded: 7, CumUplinkBytes: 99})
+	snap := reg.Snapshot()
+	if snap[`cmfl_uploads_total{engine="fl"}`] != 2 || snap[`cmfl_uploads_total{engine="mtl"}`] != 7 {
+		t.Fatalf("engines not separated: %v", snap)
+	}
+	if snap[`cmfl_uplink_bytes_total{engine="fl"}`] != 10 || snap[`cmfl_uplink_bytes_total{engine="mtl"}`] != 99 {
+		t.Fatalf("byte counters not separated: %v", snap)
+	}
+}
+
+func TestCollectorSteadyStateAllocationFree(t *testing.T) {
+	reg := NewRegistry()
+	col := NewCollector(reg)
+	// Warm the engine handle cache.
+	col.OnRound(RoundEvent{Engine: EngineSync, Round: 1})
+	e := RoundEvent{Engine: EngineSync, Round: 2, Participants: 4, Uploaded: 3, Skipped: 1,
+		CumUploads: 3, CumUplinkBytes: 1000, Accuracy: math.NaN()}
+	ce := ClientEvent{Engine: EngineSync, Round: 2, Client: 1, Uploaded: true, Relevance: 0.6, UplinkBytes: 128}
+	allocs := testing.AllocsPerRun(1000, func() {
+		col.OnClient(ce)
+		col.OnRound(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state collector allocates %v per round, want 0", allocs)
+	}
+}

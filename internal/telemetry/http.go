@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler exposes a registry over HTTP:
+//
+//	GET /metrics  — Prometheus text exposition (version 0.0.4)
+//	GET /healthz  — JSON liveness view with a flattened metric snapshot
+//
+// It is what the emulation master mounts while a cluster runs, and what a
+// production deployment would hand to its scrape infrastructure.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		// JSON has no NaN; report unevaluated metrics as null.
+		metrics := make(map[string]interface{}, len(snap))
+		for k, v := range snap {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				metrics[k] = nil
+				continue
+			}
+			metrics[k] = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Status  string                 `json:"status"`
+			Metrics map[string]interface{} `json:"metrics"`
+		}{Status: "ok", Metrics: metrics})
+	})
+	return mux
+}
+
+// MetricsServer is a live /metrics + /healthz endpoint bound to a TCP port.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (e.g. "127.0.0.1:0") and serves Handler(reg) in the
+// background until Close.
+func Serve(addr string, reg *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 10 * time.Second}
+	ms := &MetricsServer{ln: ln, srv: srv}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return ms, nil
+}
+
+// Addr returns the bound address, with any ephemeral port resolved.
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops serving and releases the port.
+func (s *MetricsServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`cmfl_uploads_total{engine="fl"}`, "Uploads.").Add(5)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `cmfl_uploads_total{engine="fl"} 5`) {
+		t.Fatalf("metrics body missing series:\n%s", body)
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c", "").Add(3)
+	reg.Gauge("acc", "").Set(0.25)
+	reg.Gauge("unset", "").Set(math.NaN())
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Status  string                 `json:"status"`
+		Metrics map[string]interface{} `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Status != "ok" {
+		t.Fatalf("status = %q", payload.Status)
+	}
+	if payload.Metrics["c"] != float64(3) || payload.Metrics["acc"] != 0.25 {
+		t.Fatalf("metrics = %v", payload.Metrics)
+	}
+	if v, present := payload.Metrics["unset"]; !present || v != nil {
+		t.Fatalf("NaN gauge should serialise as null, got %v (present=%v)", v, present)
+	}
+}
+
+func TestServeBindsEphemeralPort(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("alive", "").Inc()
+	ms, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	resp, err := http.Get("http://" + ms.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "alive 1") {
+		t.Fatalf("live endpoint missing series:\n%s", body)
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + ms.Addr() + "/metrics"); err == nil {
+		t.Fatal("endpoint should refuse connections after Close")
+	}
+}

@@ -1,0 +1,348 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics and renders them in Prometheus text format.
+// Metric names may carry an inline label set, e.g.
+// `cmfl_uploads_total{engine="fl"}`; series sharing the base name are
+// grouped under one HELP/TYPE header on exposition. Lookup-or-create is
+// guarded by a mutex, but the returned metric handles update lock-free
+// (atomics), so per-round instrumentation does not contend or allocate.
+type Registry struct {
+	mu   sync.RWMutex
+	byID map[string]metric
+	ids  []string // registration order
+}
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]metric)}
+}
+
+// metric is the common behaviour of Counter, Gauge and Histogram.
+type metric interface {
+	metricType() string
+	help() string
+	// writeSeries appends the metric's sample lines (without HELP/TYPE).
+	writeSeries(w *bufio.Writer, id string)
+	// snapshot appends flattened name->value pairs for the JSON view.
+	snapshot(id string, out map[string]float64)
+}
+
+// baseName strips an inline label set: `foo{a="b"}` -> `foo`.
+func baseName(id string) string {
+	if i := strings.IndexByte(id, '{'); i >= 0 {
+		return id[:i]
+	}
+	return id
+}
+
+// lookup returns the metric registered under id, creating it with make when
+// absent. Type mismatches between an existing metric and the requested kind
+// panic: they are programming errors, like Prometheus client libraries treat
+// them.
+func (r *Registry) lookup(id string, make func() metric) metric {
+	r.mu.RLock()
+	m, ok := r.byID[id]
+	r.mu.RUnlock()
+	if ok {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byID[id]; ok {
+		return m
+	}
+	m = make()
+	r.byID[id] = m
+	r.ids = append(r.ids, id)
+	return m
+}
+
+// Counter returns (registering on first use) the monotonically increasing
+// counter named id.
+func (r *Registry) Counter(id, help string) *Counter {
+	m := r.lookup(id, func() metric { return &Counter{helpText: help} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %s", id, m.metricType()))
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the gauge named id.
+func (r *Registry) Gauge(id, help string) *Gauge {
+	m := r.lookup(id, func() metric { return &Gauge{helpText: help} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %s", id, m.metricType()))
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the fixed-bucket histogram
+// named id. bounds are the inclusive bucket upper limits in increasing
+// order; a +Inf overflow bucket is implicit. bounds are only consulted on
+// first registration.
+func (r *Registry) Histogram(id, help string, bounds []float64) *Histogram {
+	m := r.lookup(id, func() metric { return newHistogram(help, bounds) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %s", id, m.metricType()))
+	}
+	return h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), grouping series that share a base name
+// under a single HELP/TYPE header.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	ids := append([]string(nil), r.ids...)
+	byID := make(map[string]metric, len(ids))
+	for _, id := range ids {
+		byID[id] = r.byID[id]
+	}
+	r.mu.RUnlock()
+	sort.Strings(ids)
+
+	bw := bufio.NewWriter(w)
+	lastBase := ""
+	for _, id := range ids {
+		m := byID[id]
+		if b := baseName(id); b != lastBase {
+			lastBase = b
+			if h := m.help(); h != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", b, h)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", b, m.metricType())
+		}
+		m.writeSeries(bw, id)
+	}
+	return bw.Flush()
+}
+
+// Snapshot returns a flat name->value view of every metric (histograms
+// contribute their count and sum), for the JSON health endpoint and tests.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.RLock()
+	ids := append([]string(nil), r.ids...)
+	byID := make(map[string]metric, len(ids))
+	for _, id := range ids {
+		byID[id] = r.byID[id]
+	}
+	r.mu.RUnlock()
+	out := make(map[string]float64, len(ids))
+	for _, id := range ids {
+		byID[id].snapshot(id, out)
+	}
+	return out
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// seriesName splices extra labels into an id that may already carry some:
+// seriesName(`foo{a="b"}`, `le="0.5"`) -> `foo{a="b",le="0.5"}`.
+func seriesName(id, extra string) string {
+	if extra == "" {
+		return id
+	}
+	if i := strings.IndexByte(id, '{'); i >= 0 {
+		return id[:len(id)-1] + "," + extra + "}"
+	}
+	return id + "{" + extra + "}"
+}
+
+// suffixName appends a name suffix before any label set:
+// suffixName(`foo{a="b"}`, "_bucket") -> `foo_bucket{a="b"}`.
+func suffixName(id, suffix string) string {
+	if i := strings.IndexByte(id, '{'); i >= 0 {
+		return id[:i] + suffix + id[i:]
+	}
+	return id + suffix
+}
+
+// ---- Counter ----
+
+// Counter is a monotonically increasing int64 metric (bytes, uploads,
+// rounds). All methods are lock-free and allocation-free.
+type Counter struct {
+	v        atomic.Int64
+	helpText string
+}
+
+// Add increases the counter; negative deltas are ignored to keep the
+// counter monotonic.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) metricType() string { return "counter" }
+func (c *Counter) help() string       { return c.helpText }
+
+func (c *Counter) writeSeries(w *bufio.Writer, id string) {
+	fmt.Fprintf(w, "%s %d\n", id, c.Value())
+}
+
+func (c *Counter) snapshot(id string, out map[string]float64) {
+	out[id] = float64(c.Value())
+}
+
+// ---- Gauge ----
+
+// Gauge is a float64 metric that can move in both directions (accuracy,
+// thresholds, queue depths). All methods are lock-free and allocation-free.
+type Gauge struct {
+	bits     atomic.Uint64
+	helpText string
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value (zero before the first Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) metricType() string { return "gauge" }
+func (g *Gauge) help() string       { return g.helpText }
+
+func (g *Gauge) writeSeries(w *bufio.Writer, id string) {
+	fmt.Fprintf(w, "%s %s\n", id, formatValue(g.Value()))
+}
+
+func (g *Gauge) snapshot(id string, out map[string]float64) {
+	out[id] = g.Value()
+}
+
+// ---- Histogram ----
+
+// Histogram counts observations into fixed buckets (cumulative on
+// exposition, like Prometheus). Observe is lock-free and allocation-free;
+// the bucket layout is fixed at registration, which is what keeps the hot
+// path cheap.
+type Histogram struct {
+	bounds   []float64
+	counts   []atomic.Int64 // one per bound, plus +Inf overflow at the end
+	sumBits  atomic.Uint64
+	total    atomic.Int64
+	helpText string
+}
+
+func newHistogram(help string, bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{
+		bounds:   b,
+		counts:   make([]atomic.Int64, len(b)+1),
+		helpText: help,
+	}
+}
+
+// RelevanceBuckets covers CMFL's Eq. 9 sign-agreement fraction in [0, 1]
+// at 0.05 resolution — the distribution behind Fig. 2b.
+func RelevanceBuckets() []float64 {
+	b := make([]float64, 21)
+	for i := range b {
+		b[i] = float64(i) * 0.05
+	}
+	return b
+}
+
+// LatencyBuckets is an exponential grid from 1ms to ~65s, for round or
+// client wall-clock durations expressed in seconds.
+func LatencyBuckets() []float64 {
+	b := make([]float64, 17)
+	v := 0.001
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}
+
+// Observe records one sample. NaN samples are dropped (they carry no
+// distributional information and would poison the sum).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	// Binary search keeps wide grids cheap; bounds are sorted ascending.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) metricType() string { return "histogram" }
+func (h *Histogram) help() string       { return h.helpText }
+
+func (h *Histogram) writeSeries(w *bufio.Writer, id string) {
+	bucket := suffixName(id, "_bucket")
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s %d\n", seriesName(bucket, fmt.Sprintf("le=%q", formatValue(bound))), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s %d\n", seriesName(bucket, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s %s\n", suffixName(id, "_sum"), formatValue(h.Sum()))
+	fmt.Fprintf(w, "%s %d\n", suffixName(id, "_count"), h.Count())
+}
+
+func (h *Histogram) snapshotKeys(id string) (count, sum string) {
+	return suffixName(id, "_count"), suffixName(id, "_sum")
+}
+
+func (h *Histogram) snapshot(id string, out map[string]float64) {
+	count, sum := h.snapshotKeys(id)
+	out[count] = float64(h.Count())
+	out[sum] = h.Sum()
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("requests_total", "Total requests.")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := reg.Counter("requests_total", ""); again != c {
+		t.Fatal("lookup did not return the registered counter")
+	}
+
+	g := reg.Gauge("accuracy", "Current accuracy.")
+	g.Set(0.75)
+	if got := g.Value(); got != 0.75 {
+		t.Fatalf("gauge = %v, want 0.75", got)
+	}
+	g.Set(0.5)
+	if got := g.Value(); got != 0.5 {
+		t.Fatalf("gauge = %v, want 0.5", got)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as gauge should panic")
+		}
+	}()
+	reg.Gauge("m", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("rel", "", []float64{0.25, 0.5, 0.75, 1})
+	for _, v := range []float64{0.1, 0.3, 0.3, 0.6, 0.9, 2, math.NaN()} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 { // NaN dropped
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if math.Abs(h.Sum()-4.2) > 1e-12 {
+		t.Fatalf("sum = %v, want 4.2", h.Sum())
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`rel_bucket{le="0.25"} 1`,
+		`rel_bucket{le="0.5"} 3`,
+		`rel_bucket{le="0.75"} 4`,
+		`rel_bucket{le="1"} 5`,
+		`rel_bucket{le="+Inf"} 6`,
+		`rel_count 6`,
+		"# TYPE rel histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusGroupsLabeledSeries(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`uploads_total{engine="fl"}`, "Uploads.").Add(3)
+	reg.Counter(`uploads_total{engine="emu"}`, "Uploads.").Add(9)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "# TYPE uploads_total counter") != 1 {
+		t.Fatalf("want exactly one TYPE header for the family:\n%s", out)
+	}
+	if !strings.Contains(out, `uploads_total{engine="emu"} 9`) ||
+		!strings.Contains(out, `uploads_total{engine="fl"} 3`) {
+		t.Fatalf("missing labeled series:\n%s", out)
+	}
+}
+
+func TestLabeledHistogramSeriesNames(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram(`lat{engine="fl"}`, "", []float64{1})
+	h.Observe(0.5)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lat_bucket{engine="fl",le="1"} 1`,
+		`lat_bucket{engine="fl",le="+Inf"} 1`,
+		`lat_sum{engine="fl"} 0.5`,
+		`lat_count{engine="fl"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c", "").Add(2)
+	reg.Gauge("g", "").Set(1.5)
+	reg.Histogram("h", "", []float64{1}).Observe(0.25)
+	snap := reg.Snapshot()
+	if snap["c"] != 2 || snap["g"] != 1.5 || snap["h_count"] != 1 || snap["h_sum"] != 0.25 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c", "")
+	h := reg.Histogram("h", "", RelevanceBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("counter = %d, histogram count = %d, want 8000", c.Value(), h.Count())
+	}
+	if math.Abs(h.Sum()-4000) > 1e-9 {
+		t.Fatalf("histogram sum = %v, want 4000", h.Sum())
+	}
+}
+
+func TestObserveIsAllocationFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c", "")
+	g := reg.Gauge("g", "")
+	h := reg.Histogram("h", "", RelevanceBuckets())
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		g.Set(0.5)
+		h.Observe(0.7)
+	})
+	if allocs != 0 {
+		t.Fatalf("metric updates allocate %v times per round, want 0", allocs)
+	}
+}
