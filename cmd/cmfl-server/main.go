@@ -76,7 +76,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
+	defer func() {
+		if err := srv.Close(); err != nil {
+			log.Printf("server close: %v", err)
+		}
+	}()
 	log.Printf("listening on %s, waiting for %d clients", srv.Addr(), *clients)
 	if ma := srv.MetricsAddr(); ma != "" {
 		log.Printf("telemetry on http://%s/metrics and /healthz", ma)

@@ -1,0 +1,78 @@
+// Command cmfl-vet runs the repo's static-analysis suite (internal/lint):
+// repo-specific analyzers that machine-check the invariants the benchmarks
+// and telemetry schema rely on — allocation-free hot paths, deterministic
+// aggregation order, the cmfl_* metric contract, handled errors, and
+// epsilon float comparisons.
+//
+// Usage:
+//
+//	cmfl-vet [-json] [-list] [packages]
+//
+// Packages default to ./... (every buildable package of the module,
+// excluding testdata). Directories may be named explicitly — including
+// testdata fixture packages, which is how the suite tests itself.
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
+// load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cmfl/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON document")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cmfl-vet [-json] [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-20s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	targets, mod, err := lint.Load(cwd, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	res := lint.Run(mod, targets, lint.All())
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Println(f)
+		}
+		if len(res.Findings) > 0 || res.Suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "cmfl-vet: %d finding(s), %d suppressed\n", len(res.Findings), res.Suppressed)
+		}
+	}
+	if len(res.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cmfl-vet:", err)
+	os.Exit(2)
+}

@@ -48,7 +48,7 @@ func (f *AdaptiveFilter) Threshold() float64 {
 
 // Check implements the fl.UploadFilter interface.
 func (f *AdaptiveFilter) Check(local, model, prevGlobal []float64, t int) (Decision, error) {
-	if isZero(prevGlobal) {
+	if AllZero(prevGlobal) {
 		return Decision{Upload: true, Metric: 1}, nil
 	}
 	rel, err := Relevance(local, prevGlobal)

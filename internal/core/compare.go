@@ -1,0 +1,46 @@
+package core
+
+import "math"
+
+// Float comparison helpers. The floateq analyzer (internal/lint) bans raw
+// ==/!= on floats outside tests; these are the sanctioned alternatives.
+// The two bit-exact loops below are the audited exceptions: the "no
+// feedback yet" sentinel is *defined* as the all-exact-zeros vector, so an
+// epsilon there would misclassify genuinely tiny first-round updates.
+
+// DefaultTol is a practical tolerance for comparing accumulated float64
+// quantities (losses, accuracies, relevance fractions): large enough to
+// absorb reassociation noise, far below any decision threshold.
+const DefaultTol = 1e-9
+
+// ApproxEqual reports |a-b| <= tol, scaled by the magnitude of the larger
+// operand once values leave the unit range (mixed absolute/relative
+// tolerance). NaN compares unequal to everything, matching IEEE intent.
+//
+//cmfl:hotpath
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { //cmfl:lint-ignore floateq bit-exact shortcut also catches equal infinities
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= tol*scale
+}
+
+// AllZero reports whether every coordinate of v is exactly zero. This is
+// the engines' shared "no feedback yet" test: the bootstrap feedback
+// vector is all zeros by construction, so the comparison is bit-exact on
+// purpose.
+//
+//cmfl:hotpath
+func AllZero(v []float64) bool {
+	for _, x := range v {
+		if x != 0 { //cmfl:lint-ignore floateq the bootstrap sentinel is defined as exact zeros
+			return false
+		}
+	}
+	return true
+}

@@ -39,8 +39,10 @@ func (f *Filter) Name() string {
 // the current global update, Sec. IV-A). In the very first round there is no
 // feedback yet — prevGlobal is all zeros or empty — and every update is
 // uploaded, matching the paper's bootstrap.
+//
+//cmfl:hotpath
 func (f *Filter) Check(local, model, prevGlobal []float64, t int) (Decision, error) {
-	if isZero(prevGlobal) {
+	if AllZero(prevGlobal) {
 		return Decision{Upload: true, Metric: 1}, nil
 	}
 	var (
@@ -56,13 +58,4 @@ func (f *Filter) Check(local, model, prevGlobal []float64, t int) (Decision, err
 		return Decision{}, err
 	}
 	return Decision{Upload: rel >= f.threshold.At(t), Metric: rel}, nil
-}
-
-func isZero(v []float64) bool {
-	for _, x := range v {
-		if x != 0 {
-			return false
-		}
-	}
-	return true
 }

@@ -68,6 +68,7 @@ func CosineRelevance(local, global []float64) (float64, error) {
 		nl += v * v
 		ng += global[i] * global[i]
 	}
+	//cmfl:lint-ignore floateq exact-zero norm guard against division by zero
 	if nl == 0 || ng == 0 {
 		return 0.5, nil
 	}
@@ -88,6 +89,7 @@ func DeltaUpdate(prev, next []float64) (float64, error) {
 		diff += d * d
 		norm += p * p
 	}
+	//cmfl:lint-ignore floateq exact-zero norm guard: +Inf is the defined result for a zero prev
 	if norm == 0 {
 		return math.Inf(1), nil
 	}

@@ -12,8 +12,11 @@ package core
 // SignsInto writes the sign (-1, 0, +1) of every coordinate of v into dst,
 // growing dst as needed, and returns the resized slice. Pass dst[:0] (or
 // nil) to reuse a buffer across rounds.
+//
+//cmfl:hotpath
 func SignsInto(dst []int8, v []float64) []int8 {
 	if cap(dst) < len(v) {
+		//cmfl:lint-ignore hotpathalloc amortized grow: runs only when the caller-supplied buffer is too small
 		dst = make([]int8, len(v))
 	}
 	dst = dst[:len(v)]
@@ -33,6 +36,8 @@ func SignsInto(dst []int8, v []float64) []int8 {
 // SignAgreement computes Eq. 9 against a precomputed feedback sign vector:
 // the fraction of coordinates of local whose sign equals signs[i]. It equals
 // Relevance(local, v) when signs was built from v.
+//
+//cmfl:hotpath
 func SignAgreement(local []float64, signs []int8) (float64, error) {
 	if len(local) != len(signs) {
 		return 0, ErrLengthMismatch
@@ -60,6 +65,8 @@ func SignAgreement(local []float64, signs []int8) (float64, error) {
 // mean "no feedback yet" (bootstrap: always upload). The second return is
 // false when this filter cannot use the fast path (cosine ablation needs
 // feedback magnitudes) and the caller must fall back to Check.
+//
+//cmfl:hotpath
 func (f *Filter) CheckSigns(local []float64, feedbackSigns []int8, t int) (Decision, bool, error) {
 	if f.UseCosine {
 		return Decision{}, false, nil
@@ -75,6 +82,8 @@ func (f *Filter) CheckSigns(local []float64, feedbackSigns []int8, t int) (Decis
 }
 
 // CheckSigns is AdaptiveFilter.Check on the precomputed-sign fast path.
+//
+//cmfl:hotpath
 func (f *AdaptiveFilter) CheckSigns(local []float64, feedbackSigns []int8, t int) (Decision, bool, error) {
 	if len(feedbackSigns) == 0 {
 		return Decision{Upload: true, Metric: 1}, true, nil

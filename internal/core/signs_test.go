@@ -91,7 +91,7 @@ func TestCheckSignsMatchesCheck(t *testing.T) {
 			}
 		}
 		var signs []int8
-		if !isZero(feedback) {
+		if !AllZero(feedback) {
 			signs = SignsInto(nil, feedback)
 		}
 		tRound := 1 + rng.Intn(50)

@@ -119,6 +119,7 @@ func GenerateHAR(cfg HARConfig) (*HAR, error) {
 // unit normalises v to Euclidean length 1 in place and returns it.
 func unit(v []float64) []float64 {
 	n := tensor.Norm2(v)
+	//cmfl:lint-ignore floateq exact-zero norm guard against division by zero
 	if n == 0 {
 		return v
 	}

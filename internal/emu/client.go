@@ -55,6 +55,8 @@ type ClientResult struct {
 // RunClient connects to the server and participates until the server sends
 // the done message. It derives the feedback update locally from two
 // consecutive model broadcasts — no extra downlink traffic, as in the paper.
+//
+//cmfl:deterministic
 func RunClient(cfg ClientConfig) (*ClientResult, error) {
 	if err := validateClient(&cfg); err != nil {
 		return nil, err
@@ -67,9 +69,10 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("emu: dial %s: %w", cfg.Addr, err)
 	}
-	defer conn.Close()
+	defer closeQuietly(conn)
 
 	res := &ClientResult{}
+	//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters training or accumulation
 	if err := conn.SetWriteDeadline(time.Now().Add(cfg.RoundTimeout)); err != nil {
 		return nil, err
 	}
@@ -84,6 +87,7 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 
 	var prevParams, feedback []float64
 	for {
+		//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters training or accumulation
 		if err := conn.SetReadDeadline(time.Now().Add(cfg.RoundTimeout)); err != nil {
 			return nil, err
 		}
@@ -105,14 +109,10 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 			// the model unchanged and carries no new direction information.
 			if prevParams != nil {
 				diff := make([]float64, len(params))
-				nonzero := false
 				for j := range params {
 					diff[j] = params[j] - prevParams[j]
-					if diff[j] != 0 {
-						nonzero = true
-					}
 				}
-				if nonzero {
+				if !core.AllZero(diff) {
 					feedback = diff
 				}
 			}
@@ -129,6 +129,7 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 			if err != nil {
 				return nil, fmt.Errorf("emu: client %d filter: %w", cfg.ID, err)
 			}
+			//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters training or accumulation
 			if err := conn.SetWriteDeadline(time.Now().Add(cfg.RoundTimeout)); err != nil {
 				return nil, err
 			}

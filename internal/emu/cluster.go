@@ -81,7 +81,7 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer srv.Close()
+	defer closeQuietly(srv)
 
 	type serverOut struct {
 		res *ServerResult

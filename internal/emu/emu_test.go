@@ -342,7 +342,8 @@ func TestFaultToleranceSurvivesDeadClient(t *testing.T) {
 		done <- out{res, err}
 	}()
 
-	// Two healthy clients.
+	// Two healthy clients; their errors are asserted after the server run.
+	clientErrs := make(chan error, 2)
 	for i := 0; i < 2; i++ {
 		go func(i int) {
 			_, err := RunClient(ClientConfig{
@@ -355,9 +356,7 @@ func TestFaultToleranceSurvivesDeadClient(t *testing.T) {
 				LR:     cfg.LR,
 				Seed:   cfg.Seed,
 			})
-			// The healthy clients finish normally; a late error here would
-			// surface through the server result below anyway.
-			_ = err
+			clientErrs <- err
 		}(i)
 	}
 	// One client that says hello and immediately dies.
@@ -388,6 +387,12 @@ func TestFaultToleranceSurvivesDeadClient(t *testing.T) {
 	if last.Uploaded != 2 {
 		t.Fatalf("final round uploads = %d, want 2 survivors", last.Uploaded)
 	}
+	// The healthy clients must have finished cleanly.
+	for i := 0; i < 2; i++ {
+		if err := <-clientErrs; err != nil {
+			t.Fatalf("healthy client failed: %v", err)
+		}
+	}
 }
 
 func TestStrictModeAbortsOnDeadClient(t *testing.T) {
@@ -409,6 +414,7 @@ func TestStrictModeAbortsOnDeadClient(t *testing.T) {
 		_, err := srv.Run()
 		done <- err
 	}()
+	clientErr := make(chan error, 1)
 	go func() {
 		_, err := RunClient(ClientConfig{
 			Addr:   srv.Addr(),
@@ -420,7 +426,7 @@ func TestStrictModeAbortsOnDeadClient(t *testing.T) {
 			LR:     cfg.LR,
 			Seed:   cfg.Seed,
 		})
-		_ = err // the server aborts mid-run; the client error is expected
+		clientErr <- err
 	}()
 	conn, err := net.Dial("tcp", srv.Addr())
 	if err != nil {
@@ -432,6 +438,11 @@ func TestStrictModeAbortsOnDeadClient(t *testing.T) {
 	conn.Close()
 	if err := <-done; err == nil {
 		t.Fatal("strict server should abort when a client dies")
+	}
+	// The surviving client's connection dies with the aborting server; it
+	// must observe that as an error, not a clean finish.
+	if err := <-clientErr; err == nil {
+		t.Fatal("client finished cleanly although the server aborted mid-run")
 	}
 }
 
@@ -503,6 +514,7 @@ func TestServerRejectsCodecMismatch(t *testing.T) {
 		_, err := srv.Run()
 		done <- err
 	}()
+	clientErrs := make(chan error, 2)
 	for i := 0; i < 2; i++ {
 		go func(i int) {
 			_, err := RunClient(ClientConfig{
@@ -516,10 +528,17 @@ func TestServerRejectsCodecMismatch(t *testing.T) {
 				Compressor: compress.Uniform8{}, // mismatch
 				Seed:       cfg.Seed,
 			})
-			_ = err // server aborts; client error expected
+			clientErrs <- err
 		}(i)
 	}
 	if err := <-done; err == nil {
 		t.Fatal("server should reject mismatched codec")
+	}
+	// Both clients lose their connection when the server rejects the codec;
+	// neither may report a clean finish.
+	for i := 0; i < 2; i++ {
+		if err := <-clientErrs; err == nil {
+			t.Fatal("client finished cleanly although the server rejected its codec")
+		}
 	}
 }

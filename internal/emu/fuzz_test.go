@@ -55,6 +55,34 @@ func TestReadFrameNeverPanicsOnGarbageStream(t *testing.T) {
 	}
 }
 
+// FuzzProtocol is the native fuzz target behind CI's fuzz-smoke step
+// (`go test -fuzz Fuzz -fuzztime 10s ./internal/emu`): raw bytes go through
+// the framing layer and every decoder. Nothing may panic or allocate
+// proportionally to a lying length field; returning an error is the correct
+// answer for garbage. Keep this the only Fuzz* function in the package —
+// `go test -fuzz` refuses to run when the pattern matches more than one
+// target.
+func FuzzProtocol(f *testing.F) {
+	f.Add(encodeHello(3))
+	f.Add(encodeModel(7, []float64{1, 2, 3}))
+	f.Add(encodeUpdate(1, 2, 0.5, []float64{4, 5}))
+	f.Add(encodeSkip(2, 9, 0.75))
+	f.Add(encodeCompressedUpdate(1, 2, 0.5, 4, "uniform8", []byte{1, 2, 3}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decodeHello(data)
+		decodeModel(data)
+		decodeUpdate(data)
+		decodeSkip(data)
+		decodeCompressedUpdate(data)
+		r := bytes.NewReader(data)
+		for {
+			if _, err := readFrame(r); err != nil {
+				break
+			}
+		}
+	})
+}
+
 // TestUpdateDecodeRejectsLyingDim guards against a malicious client
 // declaring a huge dim with a short payload.
 func TestUpdateDecodeRejectsLyingDim(t *testing.T) {

@@ -3,6 +3,7 @@ package emu
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"sync"
@@ -174,7 +175,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MetricsAddr != "" {
 		ms, err := telemetry.Serve(cfg.MetricsAddr, s.reg)
 		if err != nil {
-			ln.Close()
+			closeQuietly(ln)
 			return nil, err
 		}
 		s.metrics = ms
@@ -211,9 +212,16 @@ func (s *Server) Close() error {
 	return err
 }
 
+// closeQuietly is the audited discard for best-effort teardown: closing a
+// socket whose session already failed (or already delivered everything it
+// had to) has no caller that could act on the error.
+func closeQuietly(c io.Closer) {
+	_ = c.Close() //cmfl:lint-ignore errcheck best-effort close on an already-failed or finished path
+}
+
 // closeConns releases the listener and client connections, leaving the
 // metrics endpoint (if any) scrapeable until Close. Idempotent: Run defers
-// it and Close calls it again.
+// it and Close calls it again; secondary net.ErrClosed noise is filtered.
 func (s *Server) closeConns() error {
 	err := s.ln.Close()
 	if errors.Is(err, net.ErrClosed) {
@@ -222,7 +230,9 @@ func (s *Server) closeConns() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, c := range s.conns {
-		c.Close()
+		if cerr := c.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+			err = errors.Join(err, cerr)
+		}
 	}
 	s.conns = nil
 	return err
@@ -244,15 +254,23 @@ func (s *Server) syncWireCounters(res *ServerResult) {
 // training rounds and returns the collected result. It closes all client
 // connections before returning; the metrics endpoint (if configured) keeps
 // serving the final totals until Close.
-func (s *Server) Run() (*ServerResult, error) {
-	defer s.closeConns()
+//
+//cmfl:deterministic
+func (s *Server) Run() (res *ServerResult, err error) {
+	defer func() {
+		// A clean run must also tear down cleanly; surface the close error
+		// unless the round loop already failed.
+		if cerr := s.closeConns(); cerr != nil && err == nil && res != nil {
+			res, err = nil, cerr
+		}
+	}()
 	if err := s.acceptClients(); err != nil {
 		return nil, err
 	}
 
 	global := s.cfg.Model()
 	params := global.ParamVector()
-	res := &ServerResult{SkipCounts: make([]int, s.cfg.Clients)}
+	res = &ServerResult{SkipCounts: make([]int, s.cfg.Clients)}
 
 	cumUploads := 0
 	var cumAppBytes int64 // paper-metric bytes: payload sizes only
@@ -381,26 +399,26 @@ func (s *Server) acceptClients() error {
 			return fmt.Errorf("emu: accept (have %d of %d clients): %w", len(byID), s.cfg.Clients, err)
 		}
 		if err := conn.SetReadDeadline(deadline); err != nil {
-			conn.Close()
+			closeQuietly(conn)
 			return fmt.Errorf("emu: set hello deadline: %w", err)
 		}
 		f, err := readFrame(conn)
 		if err != nil || f.kind != msgHello {
-			conn.Close()
+			closeQuietly(conn)
 			return fmt.Errorf("emu: bad hello (kind %d): %w", f.kindOrZero(), err)
 		}
 		id, err := decodeHello(f.payload)
 		if err != nil {
-			conn.Close()
+			closeQuietly(conn)
 			return err
 		}
 		if id < 0 || id >= s.cfg.Clients {
-			conn.Close()
+			closeQuietly(conn)
 			return fmt.Errorf("emu: client id %d outside [0, %d)", id, s.cfg.Clients)
 		}
 		if prev, dup := byID[id]; dup {
-			prev.Close()
-			conn.Close()
+			closeQuietly(prev)
+			closeQuietly(conn)
 			return fmt.Errorf("emu: duplicate client id %d", id)
 		}
 		byID[id] = conn
@@ -425,7 +443,7 @@ func (s *Server) dropClient(i, round int, res *ServerResult, err error) error {
 	s.mu.Lock()
 	if s.alive[i] {
 		s.alive[i] = false
-		s.conns[i].Close()
+		closeQuietly(s.conns[i])
 		if res.DroppedClients == nil {
 			res.DroppedClients = make(map[int]int)
 		}
@@ -467,6 +485,8 @@ func (f *frame) kindOrZero() byte {
 }
 
 // broadcast writes the same frame to every live client in parallel.
+//
+//cmfl:deterministic
 func (s *Server) broadcast(kind byte, payload []byte, round int, res *ServerResult) error {
 	live := s.liveClients()
 	var wg sync.WaitGroup
@@ -478,6 +498,7 @@ func (s *Server) broadcast(kind byte, payload []byte, round int, res *ServerResu
 		wg.Add(1)
 		go func(li, i int, conn net.Conn) {
 			defer wg.Done()
+			//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters aggregation
 			if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.RoundTimeout)); err != nil {
 				errs[li] = clientError{client: i, err: err}
 				return
@@ -531,6 +552,8 @@ type skipMsg struct {
 }
 
 // gather reads exactly one update or skip frame from every live client.
+//
+//cmfl:deterministic
 func (s *Server) gather(round int, res *ServerResult) (updates []updateMsg, skips []skipMsg, wireBytes int64, err error) {
 	live := s.liveClients()
 	var wg sync.WaitGroup
@@ -546,6 +569,7 @@ func (s *Server) gather(round int, res *ServerResult) (updates []updateMsg, skip
 		wg.Add(1)
 		go func(i int, conn net.Conn) {
 			defer wg.Done()
+			//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters aggregation
 			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.RoundTimeout)); err != nil {
 				replies[i] = reply{err: err}
 				return

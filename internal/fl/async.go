@@ -114,6 +114,7 @@ type completionQueue []completion
 
 func (q completionQueue) Len() int { return len(q) }
 func (q completionQueue) Less(i, j int) bool {
+	//cmfl:lint-ignore floateq bit-exact compare keeps the completion heap strictly ordered and deterministic
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
@@ -130,6 +131,8 @@ func (q *completionQueue) Pop() interface{} {
 }
 
 // RunAsync executes the asynchronous simulation.
+//
+//cmfl:deterministic
 func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 	if err := validateAsync(&cfg); err != nil {
 		return nil, err
@@ -194,7 +197,7 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 			return nil, fmt.Errorf("fl: async client %d filter: %w", k, err)
 		}
 		rel := math.NaN()
-		if !allZero(feedback) {
+		if !core.AllZero(feedback) {
 			if r, err := core.Relevance(delta, feedback); err == nil {
 				rel = r
 			}

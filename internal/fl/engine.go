@@ -38,6 +38,8 @@ type localResult struct {
 }
 
 // Run executes a synchronous federated training following Algorithm 1.
+//
+//cmfl:deterministic
 func Run(cfg Config) (*Result, error) {
 	if err := validate(&cfg); err != nil {
 		return nil, err
@@ -93,7 +95,7 @@ func Run(cfg Config) (*Result, error) {
 		// reads it concurrently (read-only) for the Eq. 9 check and trace.
 		// nil signs signal "no feedback yet".
 		var feedbackSigns []int8
-		if !allZero(staleFeedback) {
+		if !core.AllZero(staleFeedback) {
 			signBuf = core.SignsInto(signBuf[:0], staleFeedback)
 			feedbackSigns = signBuf
 		}
@@ -297,6 +299,8 @@ func LocalTrainProx(net *nn.Network, data *dataset.Set, global []float64, lr flo
 // privatize applies client-level differential privacy to an update in
 // place: clip the L2 norm to clip (if positive), then add per-coordinate
 // Gaussian noise with stddev sigma (if positive).
+//
+//cmfl:hotpath
 func privatize(delta []float64, clip, sigma float64, rng *xrand.Stream) {
 	if clip > 0 {
 		if norm := tensor.Norm2(delta); norm > clip {
@@ -346,6 +350,8 @@ func (c *client) trainRound(global, feedback []float64, feedbackSigns []int8, lr
 
 // checkUpload routes the upload decision through the precomputed-sign fast
 // path when the filter supports it, falling back to the general Check.
+//
+//cmfl:hotpath
 func checkUpload(filter UploadFilter, delta, global, feedback []float64, feedbackSigns []int8, t int) (core.Decision, error) {
 	if sc, ok := filter.(SignChecker); ok {
 		if dec, handled, err := sc.CheckSigns(delta, feedbackSigns, t); handled || err != nil {
@@ -393,15 +399,6 @@ func sampleClients(clients []*client, fraction float64, rng *xrand.Stream) []int
 		k = 1
 	}
 	return rng.Perm(d)[:k]
-}
-
-func allZero(v []float64) bool {
-	for _, x := range v {
-		if x != 0 {
-			return false
-		}
-	}
-	return true
 }
 
 func validate(cfg *Config) error {

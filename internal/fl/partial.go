@@ -65,6 +65,8 @@ func (r *PartialResult) FinalAccuracy() float64 {
 }
 
 // RunPartial executes synchronous training with layerwise relevance gating.
+//
+//cmfl:deterministic
 func RunPartial(cfg PartialConfig) (*PartialResult, error) {
 	if err := validate(&cfg.Config); err != nil {
 		return nil, err
@@ -168,7 +170,7 @@ func RunPartial(cfg PartialConfig) (*PartialResult, error) {
 			roundBytes += clientBytes[i]
 		}
 		tensor.Axpy(1, globalUpdate, params)
-		if !allZero(globalUpdate) {
+		if !core.AllZero(globalUpdate) {
 			feedback = globalUpdate
 		}
 
@@ -245,7 +247,7 @@ func partialTrain(c *client, global, feedback []float64, segOff []int, lr, thr f
 	}
 	nSeg := len(segOff) - 1
 	upload := make([]bool, nSeg)
-	bootstrap := allZero(feedback)
+	bootstrap := core.AllZero(feedback)
 	for s := 0; s < nSeg; s++ {
 		lo, hi := segOff[s], segOff[s+1]
 		if bootstrap || hi-lo < minSegment {

@@ -29,6 +29,7 @@ func Significance(update, model []float64) (float64, error) {
 		nu += u * u
 		nm += model[i] * model[i]
 	}
+	//cmfl:lint-ignore floateq exact-zero norm guard: +Inf significance for a zero model
 	if nm == 0 {
 		return math.Inf(1), nil
 	}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Annotation and suppression conventions. Both are ordinary //-comments so
+// they survive gofmt and need no build-system support:
+//
+//	//cmfl:hotpath
+//	    On a function's doc comment: the body (and module callees one
+//	    level deep) must be allocation-free. Checked by hotpathalloc.
+//
+//	//cmfl:deterministic
+//	    On a function's doc comment: the body must not iterate maps, read
+//	    wall-clock time, or draw from the global math/rand source — float
+//	    accumulation order there is part of the reproducibility contract.
+//	    Checked by deterministicorder.
+//
+//	//cmfl:lint-ignore <analyzer> <reason>
+//	    Silences <analyzer>'s findings on the comment's line and the line
+//	    below it. The reason is mandatory; a marker without one is itself
+//	    reported.
+
+const (
+	markerHotPath       = "cmfl:hotpath"
+	markerDeterministic = "cmfl:deterministic"
+	markerIgnore        = "cmfl:lint-ignore"
+)
+
+// funcHasMarker reports whether a function declaration's doc comment
+// carries the given //cmfl: directive.
+func funcHasMarker(decl *ast.FuncDecl, marker string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(text)
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// generatedRe is the Go convention for generated files
+// (https://go.dev/s/generatedcode).
+var generatedRe = regexp.MustCompile(`^// Code generated .* DO NOT EDIT\.$`)
+
+// isGenerated reports whether the file carries the standard generated-code
+// marker; such files are never analyzed.
+func isGenerated(f *ast.File) bool {
+	for _, group := range f.Comments {
+		if group.End() >= f.Package {
+			break
+		}
+		for _, c := range group.List {
+			if generatedRe.MatchString(c.Text) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// suppressionIndex maps (file, line, analyzer) to lint-ignore markers.
+type suppressionIndex struct {
+	byKey map[suppressionKey]bool
+}
+
+type suppressionKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+func newSuppressionIndex() *suppressionIndex {
+	return &suppressionIndex{byKey: make(map[suppressionKey]bool)}
+}
+
+// addFile scans a file's comments for lint-ignore markers. Malformed
+// markers (no analyzer, no reason) are appended to findings under the
+// pseudo-analyzer name "lint".
+func (s *suppressionIndex) addFile(fset *token.FileSet, f *ast.File, findings *[]Finding) {
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, markerIgnore)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				*findings = append(*findings, Finding{
+					Analyzer: "lint",
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Column:   pos.Column,
+					Message:  "malformed //cmfl:lint-ignore: want `//cmfl:lint-ignore <analyzer> <reason>`",
+				})
+				continue
+			}
+			s.byKey[suppressionKey{pos.Filename, pos.Line, fields[0]}] = true
+		}
+	}
+}
+
+// matches reports whether a finding is silenced: a marker for its analyzer
+// sits on the same line or the line directly above.
+func (s *suppressionIndex) matches(f Finding) bool {
+	return s.byKey[suppressionKey{f.File, f.Line, f.Analyzer}] ||
+		s.byKey[suppressionKey{f.File, f.Line - 1, f.Analyzer}]
+}

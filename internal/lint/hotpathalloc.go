@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc enforces the PR-1 contract: functions annotated
+// //cmfl:hotpath are on the per-batch/per-coordinate training or
+// aggregation path and must not allocate. The analyzer flags the Go
+// constructs that heap-allocate —
+//
+//   - make, new, append (except the sanctioned reuse idiom
+//     `append(buf[:0], ...)`, whose amortized cost is zero),
+//   - slice and map composite literals, and &T{...} (value struct
+//     literals stay on the stack and are allowed),
+//   - string concatenation that is not constant-folded,
+//   - string<->[]byte/[]rune conversions,
+//   - func literals (closures),
+//
+// — both directly in the annotated body and inside module callees one
+// level deep, so a hot function cannot launder an append through a helper.
+// Callees that are themselves annotated are skipped here (they are checked
+// in their own right); lines inside a callee marked
+// //cmfl:lint-ignore hotpathalloc (e.g. amortized grow-only resizes) do
+// not propagate to callers.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "//cmfl:hotpath functions must not allocate, including module callees one level deep",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) {
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcHasMarker(fd, markerHotPath) {
+				continue
+			}
+			scanAllocs(pass, pass.Pkg, fd.Body, func(pos token.Pos, what string) {
+				pass.Reportf(pos, "%s in hot path %s", what, fd.Name.Name)
+			})
+			scanHotCallees(pass, fd)
+		}
+	}
+}
+
+// scanHotCallees checks every resolvable module callee of the annotated
+// function for direct allocations and reports them at the call site.
+func scanHotCallees(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Pkg, call)
+		if fn == nil || !pass.InModule(fn) {
+			return true
+		}
+		decl, declPkg := pass.Mod.FuncDecl(fn)
+		if decl == nil || decl.Body == nil || funcHasMarker(decl, markerHotPath) {
+			return true
+		}
+		reported := false
+		scanAllocs(pass, declPkg, decl.Body, func(pos token.Pos, what string) {
+			if reported || suppressedAt(pass, pos) {
+				return
+			}
+			reported = true
+			position := pass.Fset().Position(pos)
+			pass.Reportf(call.Pos(), "hot path %s calls %s, which allocates (%s at %s:%d)",
+				fd.Name.Name, fn.Name(), what, position.Filename, position.Line)
+		})
+		return true
+	})
+}
+
+// suppressedAt reports whether a hotpathalloc lint-ignore marker covers pos
+// in the callee's file — used so an amortized allocation justified inside a
+// helper does not re-surface at every annotated caller.
+func suppressedAt(pass *Pass, pos token.Pos) bool {
+	position := pass.Fset().Position(pos)
+	for _, pkg := range pass.Mod.Pkgs {
+		for _, f := range pkg.Files {
+			ff := pass.Fset().File(f.Pos())
+			if ff == nil || ff.Name() != position.Filename {
+				continue
+			}
+			idx := newSuppressionIndex()
+			var scratch []Finding
+			idx.addFile(pass.Fset(), f, &scratch)
+			return idx.matches(Finding{Analyzer: pass.Analyzer.Name, File: position.Filename, Line: position.Line})
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call expression to its static *types.Func, or nil
+// for builtins, conversions, function-typed variables and interface
+// methods (dynamic dispatch cannot be scanned).
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// scanAllocs walks a function body and invokes report for every
+// allocating construct. pkg supplies the type info governing body (the
+// callee scan crosses packages).
+func scanAllocs(pass *Pass, pkg *Package, body *ast.BlockStmt, report func(pos token.Pos, what string)) {
+	info := pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if what := allocatingCall(info, n); what != "" {
+				report(n.Pos(), what)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "address-of composite literal")
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal")
+			case *types.Map:
+				report(n.Pos(), "map literal")
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(info, n) {
+				report(n.Pos(), "string concatenation")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
+				report(n.Pos(), "string concatenation")
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "func literal (closure)")
+			return false // the closure body is the closure's problem
+		}
+		return true
+	})
+}
+
+// allocatingCall classifies a call as an allocation: the make/new/append
+// builtins and string conversions. It returns "" for harmless calls.
+func allocatingCall(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				return "make"
+			case "new":
+				return "new"
+			case "append":
+				if !isReuseAppend(call) {
+					return "append"
+				}
+			}
+			return ""
+		}
+	}
+	// Type conversion string([]byte), []byte(string), string([]rune), ...
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := info.TypeOf(call.Fun)
+		src := info.TypeOf(call.Args[0])
+		if dst != nil && src != nil {
+			dstStr, srcStr := isStringType(dst), isStringType(src)
+			if dstStr != srcStr && (dstStr || srcStr) && !isNumeric(dst) && !isNumeric(src) {
+				return "string conversion"
+			}
+		}
+	}
+	return ""
+}
+
+// isReuseAppend recognizes `append(buf[:0], ...)` — the repo's sanctioned
+// buffer-reuse idiom whose amortized allocation cost is zero.
+func isReuseAppend(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	slice, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr)
+	if !ok || slice.Low != nil || slice.High == nil {
+		return false
+	}
+	lit, ok := slice.High.(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+func isNonConstString(info *types.Info, e *ast.BinaryExpr) bool {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return false // constant-folded at compile time
+	}
+	return isStringType(info.TypeOf(e.X)) || isStringType(info.TypeOf(e.Y))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check over a type-checked package. Analyzers are
+// repo-specific: they enforce invariants of this codebase (hot-path
+// allocation freedom, deterministic aggregation order, the cmfl_* metric
+// schema) rather than general Go style.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Finding is one reported violation, positioned for editors and CI logs.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Column, f.Analyzer, f.Message)
+}
+
+// Result is the machine-readable outcome of a run: every surviving finding
+// plus how many were silenced by //cmfl:lint-ignore comments. It is the
+// JSON document cmfl-vet emits with -json.
+type Result struct {
+	Findings   []Finding `json:"findings"`
+	Suppressed int       `json:"suppressed"`
+}
+
+// Pass is the per-(analyzer, package) invocation context.
+type Pass struct {
+	Analyzer *Analyzer
+	Mod      *Module
+	Pkg      *Package
+
+	// Shared is runner-wide scratch state keyed by analyzer name, for
+	// checks that span packages (metric family uniqueness).
+	Shared map[string]any
+
+	findings *[]Finding
+}
+
+// Fset returns the run's file set.
+func (p *Pass) Fset() *token.FileSet { return p.Mod.Fset }
+
+// TypeOf returns the type of an expression in this package, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf resolves an identifier in this package.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Uses[id]
+}
+
+// InModule reports whether obj is declared inside the module under
+// analysis (as opposed to the standard library).
+func (p *Pass) InModule(obj types.Object) bool {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == p.Mod.Path || hasPathPrefix(path, p.Mod.Path)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Mod.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Column:   position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// SourceFiles yields the package files an analyzer should inspect:
+// generated files are skipped wholesale (test files never reach the loader).
+func (p *Pass) SourceFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Pkg.Files {
+		if isGenerated(f) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// All returns every analyzer of the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		HotPathAlloc,
+		DeterministicOrder,
+		MetricSchema,
+		ErrCheck,
+		FloatEq,
+	}
+}
+
+// Run executes the analyzers over the target packages, applies
+// //cmfl:lint-ignore suppressions, and returns the surviving findings
+// sorted by position. Malformed suppression comments (missing analyzer
+// name or justification) are themselves findings: the whole point of the
+// marker is an auditable reason.
+func Run(mod *Module, targets []*Package, analyzers []*Analyzer) Result {
+	var findings []Finding
+	shared := make(map[string]any)
+	for _, a := range analyzers {
+		for _, pkg := range targets {
+			pass := &Pass{Analyzer: a, Mod: mod, Pkg: pkg, Shared: shared, findings: &findings}
+			a.Run(pass)
+		}
+	}
+
+	// Collect suppressions from the target packages and any module package
+	// hosting a finding (the callee scan can report against other files).
+	supp := newSuppressionIndex()
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			supp.addFile(mod.Fset, f, &findings)
+		}
+	}
+
+	kept := findings[:0]
+	suppressed := 0
+	for _, f := range findings {
+		if supp.matches(f) {
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Message < b.Message
+	})
+	return Result{Findings: kept, Suppressed: suppressed}
+}
+
+func hasPathPrefix(path, prefix string) bool {
+	return len(path) > len(prefix) && path[:len(prefix)] == prefix && path[len(prefix)] == '/'
+}

@@ -1,0 +1,41 @@
+// Package errcheck is a lint fixture for discarded-error detection.
+package errcheck
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func bare(f *os.File) {
+	f.Close() // want "call discards its error result"
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want "deferred call discards its error result"
+}
+
+func spawned(f *os.File) {
+	go f.Close() // want "spawned call discards its error result"
+}
+
+func blank(f *os.File) {
+	_ = f.Close() // want "error assigned to _"
+}
+
+func tupleBlank() *os.File {
+	f, _ := os.Open("x") // want "error result assigned to _"
+	return f
+}
+
+func excluded(sb *strings.Builder) {
+	fmt.Println("ok")    // ok: fmt printers are excluded by policy
+	sb.WriteString("ok") // ok: strings.Builder errors are documented nil
+}
+
+func handled(f *os.File) error {
+	if err := f.Close(); err != nil { // ok: error is read
+		return err
+	}
+	return nil
+}

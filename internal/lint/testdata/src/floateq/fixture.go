@@ -1,0 +1,30 @@
+// Package floateq is a lint fixture for float equality detection.
+package floateq
+
+func bad(a, b float64) bool {
+	if a == b { // want "float == comparison"
+		return true
+	}
+	return a != b // want "float != comparison"
+}
+
+func bad32(f, g float32) bool {
+	return f == g // want "float == comparison"
+}
+
+func badSwitch(x float64) int {
+	switch x { // want "switch on float value"
+	case 0:
+		return 0
+	}
+	return 1
+}
+
+func ok(a, b float64, n, m int) bool {
+	if n == m { // ok: integer comparison
+		return true
+	}
+	const folded = 1.5 == 1.5 // ok: both operands are constants
+	d := a - b
+	return folded && d < 1e-9 && d > -1e-9 // ok: epsilon comparison
+}

@@ -1,0 +1,10 @@
+// Package generated proves generated and test files are skipped: gen.go
+// (generated header) and skipped_test.go are full of violations, yet only
+// the single finding below may surface.
+package generated
+
+import "os"
+
+func handwritten(f *os.File) {
+	f.Close() // want "call discards its error result"
+}

@@ -1,0 +1,71 @@
+// Package hotpathalloc is a lint fixture. Every `want` expectation comment
+// marks an expected hotpathalloc finding on its line; unmarked lines must
+// stay silent.
+package hotpathalloc
+
+type pair struct{ a, b float64 }
+
+//cmfl:hotpath
+func injectedAppend(dst []float64, x float64) []float64 {
+	dst = append(dst, x) // want "append in hot path injectedAppend"
+	return dst
+}
+
+//cmfl:hotpath
+func directAllocs(n int, s string) string {
+	buf := make([]float64, n) // want "make in hot path directAllocs"
+	_ = buf
+	p := new(int) // want "new in hot path directAllocs"
+	_ = p
+	pp := &pair{} // want "address-of composite literal in hot path directAllocs"
+	_ = pp
+	ids := []int{1, 2} // want "slice literal in hot path directAllocs"
+	_ = ids
+	m := map[string]int{} // want "map literal in hot path directAllocs"
+	_ = m
+	cb := func() {} // want "func literal .closure. in hot path directAllocs"
+	cb()
+	b := []byte(s) // want "string conversion in hot path directAllocs"
+	_ = b
+	return s + "!" // want "string concatenation in hot path directAllocs"
+}
+
+//cmfl:hotpath
+func sanctioned(dst, src []float64) []float64 {
+	v := pair{a: 1}               // ok: value struct literal stays on the stack
+	const greeting = "a" + "b"    // ok: constant-folded concatenation
+	dst = append(dst[:0], src...) // ok: sanctioned reuse idiom
+	_, _ = v, greeting
+	return dst
+}
+
+// helperGrow is NOT annotated; its append must surface at annotated callers.
+func helperGrow(dst []float64) []float64 {
+	return append(dst, 1)
+}
+
+//cmfl:hotpath
+func viaHelper(dst []float64) []float64 {
+	return helperGrow(dst) // want "hot path viaHelper calls helperGrow, which allocates"
+}
+
+// helperJustified carries its own suppression, so annotated callers stay
+// quiet — the amortized cost was audited where the allocation lives.
+func helperJustified(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		//cmfl:lint-ignore hotpathalloc fixture: amortized grow audited here
+		dst = make([]float64, n)
+	}
+	return dst[:n]
+}
+
+//cmfl:hotpath
+func viaJustifiedHelper(dst []float64) []float64 {
+	return helperJustified(dst, 8) // ok: callee-internal suppression honored
+}
+
+//cmfl:hotpath
+func suppressedDirect(dst []float64) []float64 {
+	//cmfl:lint-ignore hotpathalloc fixture: direct suppression must count toward Result.Suppressed
+	return append(dst, 0)
+}

@@ -1,0 +1,28 @@
+// Package metricschema is a lint fixture for the telemetry naming contract.
+package metricschema
+
+import "cmfl/internal/telemetry"
+
+const rounds = "cmfl_fixture_rounds_total"
+
+func register(r *telemetry.Registry, engine, dynamic string) {
+	r.Counter(rounds, "rounds served") // ok: constant, cmfl_-prefixed
+	r.Gauge("cmfl_fixture_loss", "train loss")
+	label := `{engine="` + engine + `"}`
+	r.Counter("cmfl_fixture_uploads_total"+label, "uploads") // ok: dynamic label VALUE
+
+	r.Counter("fixture_bad_prefix_total", "x")  // want "must match"
+	r.Gauge("cmfl_fixture_g"+dynamic, "x")      // want "metric family name must be a compile-time constant"
+	r.Counter(dynamic, "x")                     // want "metric family name must be a compile-time constant"
+	r.Counter(buildName(), "x")                 // want "not statically analyzable"
+	r.Counter(`cmfl_fixture_s{shard="3"}`, "x") // want "not in the allowlist"
+	key := `{` + dynamic + `="x"}`
+	r.Counter("cmfl_fixture_k_total"+key, "x") // want "label key on .cmfl_fixture_k_total. must be a compile-time constant"
+}
+
+func buildName() string { return "cmfl_fixture_built" }
+
+func duplicate(r *telemetry.Registry) {
+	r.Counter("cmfl_fixture_dup_total", "first site")  // ok: first registration wins
+	r.Counter("cmfl_fixture_dup_total", "second site") // want "already registered"
+}

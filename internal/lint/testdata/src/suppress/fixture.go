@@ -1,0 +1,27 @@
+// Package suppress is a lint fixture for the //cmfl:lint-ignore contract:
+// valid markers silence and are counted, malformed markers are findings
+// themselves, and markers never silence a different analyzer. Expectations
+// are asserted explicitly in lint_test.go (no want comments here — the
+// malformed-marker line cannot carry one without becoming well-formed).
+package suppress
+
+import "os"
+
+func valid(f *os.File) {
+	_ = f.Close() //cmfl:lint-ignore errcheck fixture: same-line marker silences and is counted
+}
+
+func lineAbove(f *os.File) {
+	//cmfl:lint-ignore errcheck fixture: marker on the line above also silences
+	_ = f.Close()
+}
+
+func missingReason(f *os.File) {
+	//cmfl:lint-ignore errcheck
+	_ = f.Close()
+}
+
+func wrongAnalyzer(f *os.File) {
+	//cmfl:lint-ignore floateq fixture: misdirected marker must not silence errcheck
+	_ = f.Close()
+}

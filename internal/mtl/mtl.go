@@ -133,6 +133,8 @@ type task struct {
 }
 
 // Run executes federated multi-task training.
+//
+//cmfl:deterministic
 func Run(cfg Config) (*Result, error) {
 	if err := validate(&cfg); err != nil {
 		return nil, err
@@ -198,7 +200,7 @@ func Run(cfg Config) (*Result, error) {
 					}
 					upload = dec.Upload
 					rel = dec.Metric
-				} else if !allZero(feedback) {
+				} else if !core.AllZero(feedback) {
 					if r, err := core.Relevance(delta, feedback); err == nil {
 						rel = r
 					}
@@ -452,15 +454,6 @@ func splitTask(set *dataset.Set, testFraction float64, rng *xrand.Stream) *task 
 		test:  set.Subset(perm[:nTest]),
 		rng:   rng,
 	}
-}
-
-func allZero(v []float64) bool {
-	for _, x := range v {
-		if x != 0 {
-			return false
-		}
-	}
-	return true
 }
 
 func validate(cfg *Config) error {

@@ -53,6 +53,8 @@ func NewNetwork(layers ...Layer) *Network {
 func (n *Network) Layers() []Layer { return n.layers }
 
 // Forward runs all layers in order.
+//
+//cmfl:hotpath
 func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
 	for _, l := range n.layers {
 		x = l.Forward(x)
@@ -69,6 +71,8 @@ type inputGradSkipper interface {
 }
 
 // Backward propagates the output gradient through all layers in reverse.
+//
+//cmfl:hotpath
 func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if len(n.layers) > 0 {
 		if s, ok := n.layers[0].(inputGradSkipper); ok {
@@ -145,6 +149,8 @@ func (n *Network) GradVector() []float64 {
 }
 
 // ZeroGrads resets all accumulated gradients.
+//
+//cmfl:hotpath
 func (n *Network) ZeroGrads() {
 	for _, l := range n.layers {
 		for _, g := range l.Grads() {
@@ -154,6 +160,8 @@ func (n *Network) ZeroGrads() {
 }
 
 // SGDStep applies one vanilla SGD update: p -= lr * grad.
+//
+//cmfl:hotpath
 func (n *Network) SGDStep(lr float64) {
 	for _, l := range n.layers {
 		params, grads := l.Params(), l.Grads()

@@ -37,6 +37,7 @@ func (o *SGD) Step(net *Network) {
 		params, grads := l.Params(), l.Grads()
 		for i, p := range params {
 			g := grads[i]
+			//cmfl:lint-ignore floateq exact 0 is the config sentinel disabling the term
 			if o.Momentum == 0 && o.WeightDecay == 0 {
 				p.AxpyInPlace(-o.LR, g)
 				idx++

@@ -16,6 +16,8 @@ import "cmfl/internal/tensor"
 
 // ensure returns a tensor of the given shape, reusing *buf's backing array
 // when it has capacity and allocating (and storing into *buf) otherwise.
+//
+//cmfl:hotpath
 func ensure(buf **tensor.Tensor, shape ...int) *tensor.Tensor {
 	n := 1
 	for _, d := range shape {
@@ -26,6 +28,7 @@ func ensure(buf **tensor.Tensor, shape ...int) *tensor.Tensor {
 		// Construct inline rather than via tensor.New: New's panic path
 		// hands shape to fmt, which would force the variadic slice onto
 		// the heap at every ensure call site.
+		//cmfl:lint-ignore hotpathalloc cold grow path: allocates once when the scratch buffer first appears or outgrows its cap
 		t = &tensor.Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
 		*buf = t
 		return t
@@ -37,8 +40,11 @@ func ensure(buf **tensor.Tensor, shape ...int) *tensor.Tensor {
 
 // ensureSeq resizes a slice of per-timestep buffers to count tensors of the
 // given shape, reusing existing entries.
+//
+//cmfl:hotpath
 func ensureSeq(bufs []*tensor.Tensor, count int, shape ...int) []*tensor.Tensor {
 	for len(bufs) < count {
+		//cmfl:lint-ignore hotpathalloc amortized grow of the per-timestep buffer list; steady state reuses it
 		bufs = append(bufs, nil)
 	}
 	bufs = bufs[:count]
@@ -50,9 +56,12 @@ func ensureSeq(bufs []*tensor.Tensor, count int, shape ...int) []*tensor.Tensor 
 
 // viewAs points the reusable view *buf at data with the given shape, without
 // copying. The view shares data's backing array.
+//
+//cmfl:hotpath
 func viewAs(buf **tensor.Tensor, data []float64, shape ...int) *tensor.Tensor {
 	t := *buf
 	if t == nil {
+		//cmfl:lint-ignore hotpathalloc one-time allocation of the reusable view header
 		t = &tensor.Tensor{}
 		*buf = t
 	}

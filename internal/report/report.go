@@ -81,9 +81,11 @@ func Plot(title string, width, height int, series ...Series) string {
 	if !any {
 		return title + "\n(no data)\n"
 	}
+	//cmfl:lint-ignore floateq degenerate plot range guard; widened to a bit-identical span
 	if maxX == minX {
 		maxX = minX + 1
 	}
+	//cmfl:lint-ignore floateq degenerate plot range guard; widened to a bit-identical span
 	if maxY == minY {
 		maxY = minY + 1
 	}

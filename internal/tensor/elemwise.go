@@ -5,6 +5,8 @@ package tensor
 // kernels. The Go loops are the reference semantics.
 
 // Axpy computes y[i] += alpha*x[i]. Slices must have equal length.
+//
+//cmfl:hotpath
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("tensor: Axpy length mismatch")
@@ -22,6 +24,8 @@ func Axpy(alpha float64, x, y []float64) {
 }
 
 // ReLUFwd computes dst[i] = max(x[i], 0).
+//
+//cmfl:hotpath
 func ReLUFwd(dst, x []float64) {
 	if len(dst) != len(x) {
 		panic("tensor: ReLUFwd length mismatch")
@@ -43,6 +47,8 @@ func ReLUFwd(dst, x []float64) {
 }
 
 // ReLUBwd computes dst[i] = grad[i] where x[i] > 0 and 0 elsewhere.
+//
+//cmfl:hotpath
 func ReLUBwd(dst, grad, x []float64) {
 	if len(dst) != len(grad) || len(dst) != len(x) {
 		panic("tensor: ReLUBwd length mismatch")

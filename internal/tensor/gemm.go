@@ -54,6 +54,7 @@ func gemmTB(dst, a, b []float64, k, n, lo, hi int, accum bool) {
 
 func checkMatMulShapes(op string, dst, a, b *Tensor, m, n int) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		//cmfl:lint-ignore hotpathalloc panic path: the message is built only when a shape bug aborts the run
 		panic("tensor: " + op + " requires 2-D operands")
 	}
 	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
@@ -72,6 +73,7 @@ func AddMatMul(dst, a, b *Tensor) *Tensor {
 	return matMulNNInto(dst, a, b, true)
 }
 
+//cmfl:hotpath
 func matMulNNInto(dst, a, b *Tensor, accum bool) *Tensor {
 	m, k := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
@@ -85,6 +87,7 @@ func matMulNNInto(dst, a, b *Tensor, accum bool) *Tensor {
 		gemmNN(dst.Data, a.Data, b.Data, k, n, 0, m, accum)
 		return dst
 	}
+	//cmfl:lint-ignore hotpathalloc parallel path: one closure per GEMM call, amortized over the m*k*n tile loop
 	run(m, k, n, func(lo, hi int) {
 		gemmNN(dst.Data, a.Data, b.Data, k, n, lo, hi, accum)
 	})
@@ -94,6 +97,8 @@ func matMulNNInto(dst, a, b *Tensor, accum bool) *Tensor {
 // gemmNNGo computes rows [lo,hi) of dst = a·b (+= when accum) with a 4×2
 // register tile: eight accumulators live in registers across the k-loop, so
 // every pair of b loads feeds eight multiply-adds.
+//
+//cmfl:hotpath
 func gemmNNGo(dst, a, b []float64, k, n, lo, hi int, accum bool) {
 	if !accum {
 		zeroRange(dst, lo*n, hi*n)
@@ -194,6 +199,7 @@ func AddMatMulTransA(dst, a, b *Tensor) *Tensor {
 	return matMulTAInto(dst, a, b, true)
 }
 
+//cmfl:hotpath
 func matMulTAInto(dst, a, b *Tensor, accum bool) *Tensor {
 	k, m := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
@@ -205,6 +211,7 @@ func matMulTAInto(dst, a, b *Tensor, accum bool) *Tensor {
 		gemmTA(dst.Data, a.Data, b.Data, k, m, n, 0, m, accum)
 		return dst
 	}
+	//cmfl:lint-ignore hotpathalloc parallel path: one closure per GEMM call, amortized over the m*k*n tile loop
 	run(m, k, n, func(lo, hi int) {
 		gemmTA(dst.Data, a.Data, b.Data, k, m, n, lo, hi, accum)
 	})
@@ -214,6 +221,8 @@ func matMulTAInto(dst, a, b *Tensor, accum bool) *Tensor {
 // gemmTAGo computes rows [lo,hi) of dst = aᵀ·b (+= when accum) with a 4×2
 // register tile. Rows of dst correspond to columns of a, so the four a loads
 // per k-step are consecutive in memory.
+//
+//cmfl:hotpath
 func gemmTAGo(dst, a, b []float64, k, m, n, lo, hi int, accum bool) {
 	if !accum {
 		zeroRange(dst, lo*n, hi*n)
@@ -310,6 +319,7 @@ func AddMatMulTransB(dst, a, b *Tensor) *Tensor {
 	return matMulTBInto(dst, a, b, true)
 }
 
+//cmfl:hotpath
 func matMulTBInto(dst, a, b *Tensor, accum bool) *Tensor {
 	m, k := a.Shape[0], a.Shape[1]
 	n, k2 := b.Shape[0], b.Shape[1]
@@ -321,6 +331,7 @@ func matMulTBInto(dst, a, b *Tensor, accum bool) *Tensor {
 		gemmTB(dst.Data, a.Data, b.Data, k, n, 0, m, accum)
 		return dst
 	}
+	//cmfl:lint-ignore hotpathalloc parallel path: one closure per GEMM call, amortized over the m*k*n tile loop
 	run(m, k, n, func(lo, hi int) {
 		gemmTB(dst.Data, a.Data, b.Data, k, n, lo, hi, accum)
 	})
@@ -331,6 +342,8 @@ func matMulTBInto(dst, a, b *Tensor, accum bool) *Tensor {
 // of row·row dot products. Every element follows dot2's even/odd partial-sum
 // order, so results are identical whether an element lands in the tiled or
 // the remainder path (and hence across parallel row splits).
+//
+//cmfl:hotpath
 func gemmTBGo(dst, a, b []float64, k, n, lo, hi int, accum bool) {
 	i := lo
 	for ; i+2 <= hi; i += 2 {
@@ -412,6 +425,8 @@ func gemmTBGo(dst, a, b []float64, k, n, lo, hi int, accum bool) {
 // axpyUnrolled computes y += alpha*x with a 4-way unrolled loop. len(x)
 // must not exceed len(y); accumulation order is left-to-right, matching the
 // naive loop bitwise.
+//
+//cmfl:hotpath
 func axpyUnrolled(alpha float64, x, y []float64) {
 	y = y[:len(x)]
 	i := 0
@@ -429,6 +444,8 @@ func axpyUnrolled(alpha float64, x, y []float64) {
 // dot2 returns ⟨x, y⟩ using even/odd partial sums — the exact accumulation
 // order gemmTB's tiled path follows per element (reassociates relative to a
 // naive loop; covered by the 1e-12 equivalence tests).
+//
+//cmfl:hotpath
 func dot2(x, y []float64) float64 {
 	y = y[:len(x)]
 	var sa, sb float64
@@ -444,6 +461,7 @@ func dot2(x, y []float64) float64 {
 	return s
 }
 
+//cmfl:hotpath
 func zeroRange(v []float64, lo, hi int) {
 	v = v[lo:hi]
 	for i := range v {

@@ -80,6 +80,8 @@ func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Shape[1]+j] }
 func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.Shape[1]+j] = v }
 
 // Zero resets all elements to 0 in place.
+//
+//cmfl:hotpath
 func (t *Tensor) Zero() {
 	for i := range t.Data {
 		t.Data[i] = 0
@@ -87,6 +89,8 @@ func (t *Tensor) Zero() {
 }
 
 // AddInPlace computes t += other elementwise. Shapes must have equal length.
+//
+//cmfl:hotpath
 func (t *Tensor) AddInPlace(other *Tensor) {
 	if len(t.Data) != len(other.Data) {
 		panic(fmt.Sprintf("tensor: AddInPlace length mismatch %d vs %d", len(t.Data), len(other.Data)))
@@ -97,6 +101,8 @@ func (t *Tensor) AddInPlace(other *Tensor) {
 }
 
 // AxpyInPlace computes t += alpha*other elementwise.
+//
+//cmfl:hotpath
 func (t *Tensor) AxpyInPlace(alpha float64, other *Tensor) {
 	if len(t.Data) != len(other.Data) {
 		panic(fmt.Sprintf("tensor: AxpyInPlace length mismatch %d vs %d", len(t.Data), len(other.Data)))
@@ -105,6 +111,8 @@ func (t *Tensor) AxpyInPlace(alpha float64, other *Tensor) {
 }
 
 // Scale multiplies every element by alpha in place.
+//
+//cmfl:hotpath
 func (t *Tensor) Scale(alpha float64) {
 	for i := range t.Data {
 		t.Data[i] *= alpha
@@ -154,6 +162,8 @@ func Transpose(a *Tensor) *Tensor {
 }
 
 // Norm2 returns the Euclidean norm of v.
+//
+//cmfl:hotpath
 func Norm2(v []float64) float64 {
 	var s float64
 	for _, x := range v {
@@ -163,6 +173,8 @@ func Norm2(v []float64) float64 {
 }
 
 // Dot returns the inner product of a and b.
+//
+//cmfl:hotpath
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
@@ -187,6 +199,8 @@ func Sub(a, b []float64) []float64 {
 }
 
 // ScaleVec multiplies v by alpha in place.
+//
+//cmfl:hotpath
 func ScaleVec(alpha float64, v []float64) {
 	for i := range v {
 		v[i] *= alpha

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# lint.sh — run the full static-analysis gate locally, exactly as CI does.
+#
+# Three layers, cheapest first:
+#   1. gofmt      — formatting drift,
+#   2. go vet     — the stock toolchain checks,
+#   3. cmfl-vet   — this repo's own analyzer suite (internal/lint): hot-path
+#                   allocation freedom, deterministic aggregation order, the
+#                   cmfl_* metric schema, discarded errors, float equality.
+#
+# Usage:
+#   scripts/lint.sh                  # whole module
+#   scripts/lint.sh ./internal/fl    # restrict cmfl-vet to some packages
+#
+# cmfl-vet exits 1 on findings, 2 on load errors; pass -json through
+# `go run ./cmd/cmfl-vet -json ./...` when you want the machine-readable
+# findings document instead.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PKGS=("${@:-./...}")
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needs to be run on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet "${PKGS[@]}"
+
+echo "== cmfl-vet"
+go run ./cmd/cmfl-vet "${PKGS[@]}"
