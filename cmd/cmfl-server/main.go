@@ -43,6 +43,9 @@ func main() {
 	imageSize := flag.Int("image-size", 12, "digit image side (must match clients)")
 	seed := flag.Int64("seed", 7, "experiment seed (must match clients)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-message network timeout")
+	roundDeadline := flag.Duration("round-deadline", 0, "per-round aggregation cut-off; stragglers past it are excluded (0 = timeout)")
+	minQuorum := flag.Int("min-quorum", 0, "minimum replies to aggregate a round at the deadline (0 = all clients, or 1 with -fault-tolerant)")
+	faultTolerant := flag.Bool("fault-tolerant", false, "survive client connection failures and accept rejoins instead of aborting")
 	codecName := flag.String("compress", "none", "update codec: none|quantize8|top<k> (must match the clients)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and JSON /healthz on this address (e.g. 127.0.0.1:9090; empty = off)")
 	flag.Parse()
@@ -69,8 +72,11 @@ func main() {
 		Rounds:         *rounds,
 		TargetAccuracy: *target,
 		Compressor:     codec,
+		RoundDeadline:  *roundDeadline,
+		MinQuorum:      *minQuorum,
 		RoundTimeout:   *timeout,
 		AcceptTimeout:  *timeout,
+		FaultTolerant:  *faultTolerant,
 		MetricsAddr:    *metricsAddr,
 	})
 	if err != nil {
@@ -100,12 +106,13 @@ func main() {
 			fmt.Sprintf("%d", h.Round),
 			fmt.Sprintf("%d", h.Uploaded),
 			fmt.Sprintf("%d", h.Skipped),
+			fmt.Sprintf("%d", h.Dropped),
 			fmt.Sprintf("%d", h.CumUploads),
 			fmt.Sprintf("%d", h.CumUplinkBytes),
 			acc,
 		})
 	}
-	fmt.Print(report.Table([]string{"round", "uploads", "skips", "cum uploads", "cum bytes", "accuracy"}, rows))
+	fmt.Print(report.Table([]string{"round", "uploads", "skips", "dropped", "cum uploads", "cum bytes", "accuracy"}, rows))
 	fmt.Printf("final accuracy %.3f, uplink wire bytes %d, downlink wire bytes %d\n",
 		res.FinalAccuracy(), res.UplinkWireBytes, res.DownlinkWireBytes)
 }

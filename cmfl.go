@@ -406,6 +406,39 @@ type ClusterResult = emu.ClusterResult
 // RunCluster runs a full master+slaves emulation over localhost TCP.
 func RunCluster(cfg ClusterConfig) (*ClusterResult, error) { return emu.RunCluster(cfg) }
 
+// FaultPlan schedules deterministic transport faults for an emulated
+// cluster (at most one per client per round); the same plan value drives
+// arbitrarily many runs to bit-identical global models.
+type FaultPlan = emu.FaultPlan
+
+// Fault is one scheduled transport failure.
+type Fault = emu.Fault
+
+// FaultKind enumerates the injectable failure classes.
+type FaultKind = emu.FaultKind
+
+// FaultRates configures RandomFaultPlan's per-cell fault probabilities.
+type FaultRates = emu.FaultRates
+
+// Fault classes injectable at the emulated clients' connection layer.
+const (
+	FaultNone         = emu.FaultNone
+	FaultDropUpdate   = emu.FaultDropUpdate
+	FaultDelay        = emu.FaultDelay
+	FaultDisconnect   = emu.FaultDisconnect
+	FaultCrashRejoin  = emu.FaultCrashRejoin
+	FaultCorruptFrame = emu.FaultCorruptFrame
+)
+
+// NewFaultPlan returns an empty fault plan; populate it with Add.
+func NewFaultPlan() *FaultPlan { return emu.NewFaultPlan() }
+
+// RandomFaultPlan draws a reproducible fault plan over clients×rounds from
+// a seeded stream.
+func RandomFaultPlan(seed int64, clients, rounds int, rates FaultRates) *FaultPlan {
+	return emu.RandomFaultPlan(seed, clients, rounds, rates)
+}
+
 // ---- Secure aggregation (internal/secagg) ----
 
 // SecureRound is the outcome of one pairwise-mask secure-aggregation round.

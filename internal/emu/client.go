@@ -36,12 +36,32 @@ type ClientConfig struct {
 	// nil sends raw float64 updates.
 	Compressor fl.UpdateCodec
 
-	// Seed drives the client's batch shuffling.
+	// Seed drives the client's batch shuffling; the reconnect jitter uses a
+	// separate stream derived from the same seed, so fault timing never
+	// perturbs the training draws.
 	Seed int64
-	// DialTimeout bounds the initial connect (default 30s).
+	// DialTimeout bounds the initial connect and each redial (default 30s).
 	DialTimeout time.Duration
 	// RoundTimeout bounds any single read/write (default 120s).
 	RoundTimeout time.Duration
+
+	// Faults injects this client's share of a deterministic FaultPlan into
+	// the connection's write path; nil runs fault-free. A non-nil plan
+	// implies Reconnect.
+	Faults *FaultPlan
+	// Reconnect redials with capped exponential backoff after a connection
+	// failure, re-greets, and resends the reply that was in flight (the
+	// server deduplicates). Off by default to keep strict tests strict.
+	Reconnect bool
+	// MaxRedials bounds consecutive failed dial attempts per recovery, and
+	// the number of recovery cycles without an intervening successful read
+	// (default 5).
+	MaxRedials int
+	// BackoffBase / BackoffMax shape the reconnect backoff: attempt k waits
+	// min(BackoffBase<<k, BackoffMax) scaled by a jitter factor in
+	// [0.5, 1.5) drawn from (Seed, "emu-backoff", ID). Defaults 10ms / 1s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
 }
 
 // ClientResult summarises one client's participation.
@@ -49,7 +69,11 @@ type ClientResult struct {
 	Rounds   int
 	Uploads  int
 	Skips    int
-	SentWire int64 // bytes this client wrote on the wire (hello + updates/skips)
+	SentWire int64 // bytes this client wrote on the wire (hellos + updates/skips)
+	// Reconnects counts successful redial+hello recoveries.
+	Reconnects int
+	// FaultsInjected counts FaultPlan entries this client executed.
+	FaultsInjected int
 }
 
 // RunClient connects to the server and participates until the server sends
@@ -65,38 +89,30 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 	if filter == nil {
 		filter = fl.Vanilla{}
 	}
-	conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("emu: dial %s: %w", cfg.Addr, err)
-	}
-	defer closeQuietly(conn)
-
 	res := &ClientResult{}
-	//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters training or accumulation
-	if err := conn.SetWriteDeadline(time.Now().Add(cfg.RoundTimeout)); err != nil {
+	sess := &clientSession{
+		cfg: &cfg,
+		res: res,
+		inj: newFaultInjector(cfg.Faults, cfg.ID),
+		rng: xrand.Derive(cfg.Seed, "emu-backoff", cfg.ID),
+	}
+	if err := sess.connect(); err != nil {
 		return nil, err
 	}
-	n, err := writeFrame(conn, msgHello, encodeHello(cfg.ID))
-	if err != nil {
-		return nil, err
-	}
-	res.SentWire += n
+	defer sess.close()
 
 	network := cfg.Model()
 	rng := xrand.Derive(cfg.Seed, "fl-client", cfg.ID)
 
 	var prevParams, feedback []float64
 	for {
-		//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters training or accumulation
-		if err := conn.SetReadDeadline(time.Now().Add(cfg.RoundTimeout)); err != nil {
-			return nil, err
-		}
-		f, err := readFrame(conn)
+		f, err := sess.nextFrame()
 		if err != nil {
 			return nil, fmt.Errorf("emu: client %d receive: %w", cfg.ID, err)
 		}
 		switch f.kind {
 		case msgDone:
+			res.FaultsInjected = sess.faultsInjected()
 			return res, nil
 		case msgModel:
 			round, params, err := decodeModel(f.payload)
@@ -121,6 +137,7 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 			}
 			prevParams = params
 
+			sess.inj.beginRound(round)
 			delta, _, err := fl.LocalTrain(network, cfg.Data, params, cfg.LR.At(round), cfg.Epochs, cfg.Batch, rng)
 			if err != nil {
 				return nil, fmt.Errorf("emu: client %d local training: %w", cfg.ID, err)
@@ -129,37 +146,196 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 			if err != nil {
 				return nil, fmt.Errorf("emu: client %d filter: %w", cfg.ID, err)
 			}
-			//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters training or accumulation
-			if err := conn.SetWriteDeadline(time.Now().Add(cfg.RoundTimeout)); err != nil {
-				return nil, err
-			}
-			var sent int64
 			if dec.Upload {
 				if cfg.Compressor != nil {
-					var payload []byte
-					payload, err = cfg.Compressor.Encode(delta)
+					payload, err := cfg.Compressor.Encode(delta)
 					if err != nil {
 						return nil, fmt.Errorf("emu: client %d encode: %w", cfg.ID, err)
 					}
-					sent, err = writeFrame(conn, msgUpdateC,
-						encodeCompressedUpdate(cfg.ID, round, dec.Metric, len(delta), cfg.Compressor.Name(), payload))
+					sess.stage(msgUpdateC, encodeCompressedUpdate(cfg.ID, round, dec.Metric, len(delta), cfg.Compressor.Name(), payload))
 				} else {
-					sent, err = writeFrame(conn, msgUpdate, encodeUpdate(cfg.ID, round, dec.Metric, delta))
+					sess.stage(msgUpdate, encodeUpdate(cfg.ID, round, dec.Metric, delta))
 				}
 				res.Uploads++
 			} else {
-				sent, err = writeFrame(conn, msgSkip, encodeSkip(cfg.ID, round, dec.Metric))
+				sess.stage(msgSkip, encodeSkip(cfg.ID, round, dec.Metric))
 				res.Skips++
 			}
-			if err != nil {
+			if err := sess.flush(); err != nil {
 				return nil, fmt.Errorf("emu: client %d send round %d: %w", cfg.ID, round, err)
 			}
-			res.SentWire += sent
 			res.Rounds++
 		default:
 			return nil, fmt.Errorf("emu: client %d: unexpected frame kind %d", cfg.ID, f.kind)
 		}
 	}
+}
+
+// pendingReply is the staged round reply, held until a write succeeds so a
+// reconnect can resend it (at-least-once; the server deduplicates).
+type pendingReply struct {
+	kind    byte
+	payload []byte
+}
+
+// clientSession owns the client's connection lifecycle: dial, hello,
+// injector wrapping, and reconnect-with-resend.
+type clientSession struct {
+	cfg *ClientConfig
+	res *ClientResult
+	inj *faultInjector
+	rng *xrand.Stream // backoff jitter — separate from the training stream
+
+	conn    net.Conn // injector-wrapped
+	pending *pendingReply
+}
+
+func (s *clientSession) close() {
+	if s.conn != nil {
+		closeQuietly(s.conn)
+	}
+}
+
+func (s *clientSession) faultsInjected() int {
+	if s.inj == nil {
+		return 0
+	}
+	return s.inj.injected
+}
+
+// connect dials and greets for the first time.
+func (s *clientSession) connect() error {
+	conn, err := net.DialTimeout("tcp", s.cfg.Addr, s.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("emu: dial %s: %w", s.cfg.Addr, err)
+	}
+	s.conn = s.inj.wrap(conn)
+	return s.hello()
+}
+
+// hello introduces this client on the current connection.
+func (s *clientSession) hello() error {
+	//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters training or accumulation
+	if err := s.conn.SetWriteDeadline(time.Now().Add(s.cfg.RoundTimeout)); err != nil {
+		return err
+	}
+	n, err := writeFrame(s.conn, msgHello, encodeHello(s.cfg.ID))
+	if err != nil {
+		return err
+	}
+	s.res.SentWire += n
+	return nil
+}
+
+// stage records the round's reply for flush (and any resend after a fault).
+func (s *clientSession) stage(kind byte, payload []byte) {
+	s.pending = &pendingReply{kind: kind, payload: payload}
+}
+
+// flush writes the staged reply, recovering the connection on failure.
+func (s *clientSession) flush() error {
+	for cycle := 0; ; cycle++ {
+		err := s.writePending()
+		if err == nil {
+			return nil
+		}
+		if rerr := s.recover(err, cycle); rerr != nil {
+			return rerr
+		}
+	}
+}
+
+// writePending sends the staged reply on the current connection; the stage
+// is cleared only on success.
+func (s *clientSession) writePending() error {
+	if s.pending == nil {
+		return nil
+	}
+	//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters training or accumulation
+	if err := s.conn.SetWriteDeadline(time.Now().Add(s.cfg.RoundTimeout)); err != nil {
+		return err
+	}
+	n, err := writeFrame(s.conn, s.pending.kind, s.pending.payload)
+	if err != nil {
+		return err
+	}
+	s.res.SentWire += n
+	s.pending = nil
+	return nil
+}
+
+// nextFrame reads the next server frame, transparently recovering the
+// connection (and resending any pending reply) when reconnection is on.
+func (s *clientSession) nextFrame() (*frame, error) {
+	for cycle := 0; ; cycle++ {
+		//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters training or accumulation
+		if err := s.conn.SetReadDeadline(time.Now().Add(s.cfg.RoundTimeout)); err != nil {
+			if rerr := s.recover(err, cycle); rerr != nil {
+				return nil, rerr
+			}
+			continue
+		}
+		f, err := readFrame(s.conn)
+		if err == nil {
+			return f, nil
+		}
+		if rerr := s.recover(err, cycle); rerr != nil {
+			return nil, rerr
+		}
+	}
+}
+
+// recover redials with capped exponential backoff and jitter, re-greets,
+// and resends the pending reply. cycle caps repeated recoveries without an
+// intervening successful operation.
+func (s *clientSession) recover(cause error, cycle int) error {
+	if !s.cfg.Reconnect || cycle >= s.cfg.MaxRedials {
+		return cause
+	}
+	closeQuietly(s.conn)
+	// A crash fault's downtime is served before the first redial attempt.
+	if d := s.inj.takeRejoinDelay(); d > 0 {
+		time.Sleep(d)
+	}
+	lastErr := cause
+	for attempt := 0; attempt < s.cfg.MaxRedials; attempt++ {
+		time.Sleep(s.backoff(attempt))
+		conn, err := net.DialTimeout("tcp", s.cfg.Addr, s.cfg.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		s.conn = s.inj.wrap(conn)
+		if err := s.hello(); err != nil {
+			lastErr = err
+			closeQuietly(s.conn)
+			continue
+		}
+		s.res.Reconnects++
+		if s.pending != nil {
+			if err := s.writePending(); err != nil {
+				lastErr = err
+				closeQuietly(s.conn)
+				continue
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("emu: client %d reconnect gave up after %d attempts: %w",
+		s.cfg.ID, s.cfg.MaxRedials, errors.Join(cause, lastErr))
+}
+
+// backoff is the capped exponential delay before dial attempt k, jittered
+// by the session's seeded stream.
+func (s *clientSession) backoff(attempt int) time.Duration {
+	d := s.cfg.BackoffBase
+	for i := 0; i < attempt && d < s.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > s.cfg.BackoffMax {
+		d = s.cfg.BackoffMax
+	}
+	return time.Duration(float64(d) * (0.5 + s.rng.Float64()))
 }
 
 func validateClient(cfg *ClientConfig) error {
@@ -184,6 +360,18 @@ func validateClient(cfg *ClientConfig) error {
 	}
 	if cfg.RoundTimeout <= 0 {
 		cfg.RoundTimeout = 120 * time.Second
+	}
+	if cfg.Faults != nil {
+		cfg.Reconnect = true
+	}
+	if cfg.MaxRedials <= 0 {
+		cfg.MaxRedials = 5
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 10 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = time.Second
 	}
 	return nil
 }

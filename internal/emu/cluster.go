@@ -31,8 +31,36 @@ type ClusterConfig struct {
 	TargetAccuracy float64
 	EvalEvery      int
 
-	Seed    int64
-	Timeout time.Duration // per-message bound for the whole cluster (default 120s)
+	Seed int64
+
+	// Timeout is the deprecated flat per-message bound that used to govern
+	// dialing, accepting, and round I/O alike.
+	//
+	// Deprecated: set DialTimeout and RoundDeadline instead. When Timeout is
+	// non-zero it seeds whichever of the two is unset, preserving the old
+	// behaviour for existing callers.
+	Timeout time.Duration
+	// DialTimeout bounds client dials and the server's accept barrier
+	// (default 30s, or Timeout when set).
+	DialTimeout time.Duration
+	// RoundDeadline is the server's per-round aggregation cut-off: rounds
+	// where every reachable client replies finish immediately, and a hung
+	// client costs at most this long before being excluded as a straggler
+	// (default 60s, or Timeout when set).
+	RoundDeadline time.Duration
+
+	// MinQuorum is the minimum replies needed to aggregate at the deadline
+	// (default: all clients, or 1 when FaultTolerant/Faults are set).
+	MinQuorum int
+	// FaultTolerant lets the server survive client transport failures
+	// instead of aborting the run. Implied by Faults.
+	FaultTolerant bool
+	// Faults wires a deterministic FaultPlan into every client, enables
+	// client reconnection, and implies FaultTolerant. Client errors are
+	// then collected into ClusterResult.ClientErrs instead of failing
+	// RunCluster (a faulty run may legitimately end with a client
+	// mid-recovery).
+	Faults *FaultPlan
 
 	// Observers receive the master's live telemetry (see ServerConfig).
 	Observers []telemetry.Observer
@@ -49,6 +77,10 @@ type ClusterConfig struct {
 type ClusterResult struct {
 	Server  *ServerResult
 	Clients []*ClientResult
+	// ClientErrs holds per-client terminal errors when a FaultPlan was
+	// active (nil entries for clean exits). Without a plan, any client
+	// error fails RunCluster instead.
+	ClientErrs []error
 	// Registry is the master's metrics registry (nil unless MetricsAddr or
 	// Registry was configured).
 	Registry *telemetry.Registry
@@ -60,9 +92,24 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	if len(cfg.ClientData) == 0 {
 		return nil, errors.New("emu: cluster needs at least one client shard")
 	}
-	if cfg.Timeout <= 0 {
-		cfg.Timeout = 120 * time.Second
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = cfg.Timeout
 	}
+	if cfg.RoundDeadline <= 0 {
+		cfg.RoundDeadline = cfg.Timeout
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 30 * time.Second
+	}
+	if cfg.RoundDeadline <= 0 {
+		cfg.RoundDeadline = 60 * time.Second
+	}
+	if cfg.Faults != nil {
+		cfg.FaultTolerant = true
+	}
+	// The raw I/O safety net sits well above the aggregation deadline so it
+	// only ever fires on a truly wedged transport.
+	roundTimeout := 2 * cfg.RoundDeadline
 	srv, err := NewServer(ServerConfig{
 		Addr:           "127.0.0.1:0",
 		Clients:        len(cfg.ClientData),
@@ -72,8 +119,11 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		Rounds:         cfg.Rounds,
 		TargetAccuracy: cfg.TargetAccuracy,
 		Compressor:     cfg.Compressor,
-		RoundTimeout:   cfg.Timeout,
-		AcceptTimeout:  cfg.Timeout,
+		RoundDeadline:  cfg.RoundDeadline,
+		MinQuorum:      cfg.MinQuorum,
+		RoundTimeout:   roundTimeout,
+		AcceptTimeout:  cfg.DialTimeout,
+		FaultTolerant:  cfg.FaultTolerant,
 		Observers:      cfg.Observers,
 		MetricsAddr:    cfg.MetricsAddr,
 		Registry:       cfg.Registry,
@@ -111,8 +161,9 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 				Filter:       cfg.Filter,
 				Compressor:   cfg.Compressor,
 				Seed:         cfg.Seed,
-				RoundTimeout: cfg.Timeout,
-				DialTimeout:  cfg.Timeout,
+				RoundTimeout: roundTimeout,
+				DialTimeout:  cfg.DialTimeout,
+				Faults:       cfg.Faults,
 			})
 			clients[i], clientErrs[i] = res, err
 		}(i, data)
@@ -122,8 +173,11 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	if out.err != nil {
 		return nil, fmt.Errorf("emu: server: %w", out.err)
 	}
-	if err := errors.Join(clientErrs...); err != nil {
-		return nil, fmt.Errorf("emu: clients: %w", err)
+	if cfg.Faults == nil {
+		if err := errors.Join(clientErrs...); err != nil {
+			return nil, fmt.Errorf("emu: clients: %w", err)
+		}
+		clientErrs = nil
 	}
-	return &ClusterResult{Server: out.res, Clients: clients, Registry: srv.Registry()}, nil
+	return &ClusterResult{Server: out.res, Clients: clients, ClientErrs: clientErrs, Registry: srv.Registry()}, nil
 }

@@ -55,19 +55,36 @@ func TestReadFrameNeverPanicsOnGarbageStream(t *testing.T) {
 	}
 }
 
-// FuzzProtocol is the native fuzz target behind CI's fuzz-smoke step
-// (`go test -fuzz Fuzz -fuzztime 10s ./internal/emu`): raw bytes go through
-// the framing layer and every decoder. Nothing may panic or allocate
-// proportionally to a lying length field; returning an error is the correct
-// answer for garbage. Keep this the only Fuzz* function in the package —
-// `go test -fuzz` refuses to run when the pattern matches more than one
-// target.
+// FuzzProtocol is one of the native fuzz targets behind CI's fuzz-smoke
+// step: raw bytes go through the framing layer and every decoder. Nothing
+// may panic or allocate proportionally to a lying length field; returning
+// an error is the correct answer for garbage. The package now has two
+// Fuzz* functions (see FuzzQuorum), so `go test -fuzz` needs an anchored
+// pattern selecting exactly one: `-fuzz '^FuzzProtocol$'`.
 func FuzzProtocol(f *testing.F) {
 	f.Add(encodeHello(3))
 	f.Add(encodeModel(7, []float64{1, 2, 3}))
 	f.Add(encodeUpdate(1, 2, 0.5, []float64{4, 5}))
 	f.Add(encodeSkip(2, 9, 0.75))
 	f.Add(encodeCompressedUpdate(1, 2, 0.5, 4, "uniform8", []byte{1, 2, 3}))
+
+	// Injector-shaped corpus: the wire damage the fault classes actually
+	// produce (see faults.go), so the fuzzer starts from realistic wrecks.
+	frame := func(kind byte, payload []byte) []byte {
+		var buf bytes.Buffer
+		if _, err := writeFrame(&buf, kind, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	full := frame(msgUpdate, encodeUpdate(0, 3, 0.9, []float64{1, -2, 3}))
+	f.Add(full[:2]) // FaultDisconnect: truncated length prefix, stream ends
+	oversize := append([]byte(nil), full...)
+	oversize[0], oversize[1], oversize[2], oversize[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	f.Add(oversize) // FaultCorruptFrame: absurd declared length
+	flipped := append([]byte(nil), full...)
+	flipped[frameOverhead+8] ^= 0x40 // bit-flip inside the payload body
+	f.Add(flipped)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decodeHello(data)
 		decodeModel(data)
@@ -79,6 +96,38 @@ func FuzzProtocol(f *testing.F) {
 			if _, err := readFrame(r); err != nil {
 				break
 			}
+		}
+	})
+}
+
+// FuzzQuorum drives the round-reply state machine with arbitrary operation
+// sequences — begin-round with fuzz-chosen expected masks, classify with
+// in- and out-of-range client ids and rounds before, at, and past the
+// current one — and checks the bookkeeping invariants after every step
+// (the same ones TestQuorumInvariants spells out deterministically).
+// Run with `go test -fuzz '^FuzzQuorum$'`.
+func FuzzQuorum(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 0x07, 1, 0x00, 5, 0x01, 9, 0x02})
+	f.Add(uint8(1), []byte{0, 0xFF, 4, 0x10, 0, 0x01, 8, 0x00})
+	f.Fuzz(func(t *testing.T, nClients uint8, ops []byte) {
+		clients := int(nClients%8) + 1
+		q := newQuorumState(clients)
+		round := 0
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i], ops[i+1]
+			if op%4 == 0 {
+				round++
+				expected := make([]bool, clients)
+				for j := range expected {
+					expected[j] = arg&(1<<(j%8)) != 0
+				}
+				q.beginRound(round, expected)
+			} else {
+				// Client ids straddle [0, clients); rounds straddle the
+				// current one in both directions.
+				q.classify(int(arg%16)-4, round+int(op%5)-2)
+			}
+			checkQuorumInvariants(t, q)
 		}
 	})
 }

@@ -1,0 +1,126 @@
+package emu
+
+import "sort"
+
+// frameVerdict classifies one reply frame against the current round.
+type frameVerdict uint8
+
+const (
+	// verdictAccept: a first reply for the current round — aggregate it.
+	verdictAccept frameVerdict = iota
+	// verdictDuplicate: the client already replied this round (e.g. a
+	// resend after reconnect whose original did arrive). Drained, counted,
+	// never aggregated twice.
+	verdictDuplicate
+	// verdictLate: a reply to an earlier round whose deadline already cut
+	// the sender off. Drained and counted; the aggregate is immutable.
+	verdictLate
+	// verdictFuture: a reply to a round the server has not broadcast yet —
+	// a protocol violation, the connection cannot be trusted.
+	verdictFuture
+	// verdictUnknown: client id outside [0, clients).
+	verdictUnknown
+)
+
+func (v frameVerdict) String() string {
+	switch v {
+	case verdictAccept:
+		return "accept"
+	case verdictDuplicate:
+		return "duplicate"
+	case verdictLate:
+		return "late"
+	case verdictFuture:
+		return "future"
+	}
+	return "unknown"
+}
+
+// quorumState is the master's per-round reply bookkeeping: which clients the
+// round's model broadcast reached, which have replied, and what to do with
+// frames that arrive outside their round. It is a pure state machine — no
+// I/O, no clock — so the FuzzQuorum target can drive it with arbitrary
+// sequences and check its invariants directly.
+type quorumState struct {
+	clients int
+	round   int
+
+	// expected marks clients whose round-t model write succeeded; only they
+	// owe a reply. A current-round reply from an unexpected client is
+	// promoted into the set (its update is valid) so the accounting
+	// invariant accepted ≤ expectedCount always holds.
+	expected      []bool
+	replied       []bool
+	expectedCount int
+	accepted      int
+
+	// lateFrames / dupFrames accumulate across rounds: drained frames that
+	// were received but never aggregated.
+	lateFrames int
+	dupFrames  int
+}
+
+func newQuorumState(clients int) *quorumState {
+	return &quorumState{
+		clients:  clients,
+		expected: make([]bool, clients),
+		replied:  make([]bool, clients),
+	}
+}
+
+// beginRound arms the tracker for the given round. expected[i] reports
+// whether the model broadcast reached client i (missing entries are false).
+func (q *quorumState) beginRound(round int, expected []bool) {
+	q.round = round
+	q.expectedCount = 0
+	q.accepted = 0
+	for i := range q.replied {
+		q.replied[i] = false
+		q.expected[i] = i < len(expected) && expected[i]
+		if q.expected[i] {
+			q.expectedCount++
+		}
+	}
+}
+
+// classify routes one reply frame tagged (client, round).
+func (q *quorumState) classify(client, round int) frameVerdict {
+	if client < 0 || client >= q.clients {
+		return verdictUnknown
+	}
+	switch {
+	case round < q.round:
+		q.lateFrames++
+		return verdictLate
+	case round > q.round:
+		return verdictFuture
+	}
+	if q.replied[client] {
+		q.dupFrames++
+		return verdictDuplicate
+	}
+	if !q.expected[client] {
+		q.expected[client] = true
+		q.expectedCount++
+	}
+	q.replied[client] = true
+	q.accepted++
+	return verdictAccept
+}
+
+// complete reports whether every expected client has replied — the fast
+// path that lets healthy rounds finish without waiting for the deadline.
+func (q *quorumState) complete() bool { return q.accepted >= q.expectedCount }
+
+// stragglers lists the expected clients that have not replied, ascending —
+// the set excluded when the deadline fires.
+func (q *quorumState) stragglers() []int {
+	var out []int
+	for i := range q.expected {
+		if q.expected[i] && !q.replied[i] {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out) // already ascending by construction; keep the contract explicit
+	return out
+}

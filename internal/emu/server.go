@@ -40,18 +40,31 @@ type ServerConfig struct {
 	// the clients were configured with. Nil accepts only raw updates.
 	Compressor fl.UpdateCodec
 
-	// RoundTimeout bounds waiting for any single client message
-	// (default 60s).
+	// RoundDeadline is the aggregation cut-off: once it elapses, the round
+	// aggregates whatever arrived (if it meets MinQuorum) and marks the
+	// missing clients as stragglers. Rounds where every expected client
+	// replies finish immediately, so healthy clusters never pay it.
+	// Default: RoundTimeout.
+	RoundDeadline time.Duration
+	// MinQuorum is the minimum number of replies required to aggregate when
+	// the deadline fires; below it the round (and the run) fails. Default:
+	// 1 when FaultTolerant, else all clients.
+	MinQuorum int
+	// RoundTimeout is the raw I/O safety net bounding any single write to a
+	// client (default 60s, raised to RoundDeadline when the deadline is
+	// longer). Reads deliberately carry no deadline: slow or silent clients
+	// are the quorum deadline's concern, not a transport fault.
 	RoundTimeout time.Duration
 	// AcceptTimeout bounds waiting for all clients to connect
 	// (default 60s).
 	AcceptTimeout time.Duration
 
-	// FaultTolerant makes the server survive client failures: a client
-	// whose connection errors or times out is dropped for the rest of the
-	// run and its missing updates count as skips. Training aborts only
-	// when every client is gone. Without it (the default) any failure
-	// aborts the run, which keeps tests strict.
+	// FaultTolerant makes the server survive client transport failures: a
+	// client whose connection errors is marked down, its round counts it as
+	// a straggler, and it may redial and rejoin (resent replies are
+	// deduplicated). Training aborts only when every client is gone or a
+	// round misses MinQuorum. Without it (the default) any failure aborts
+	// the run, which keeps tests strict.
 	FaultTolerant bool
 
 	// Observers receive live telemetry: one telemetry.ClientEvent per
@@ -67,7 +80,9 @@ type ServerConfig struct {
 	// Registry receives the master's metrics. Optional: when nil and
 	// MetricsAddr is set, the server creates its own. Wire-byte counters
 	// (cmfl_emu_uplink_wire_bytes_total, cmfl_emu_downlink_wire_bytes_total)
-	// are pinned to the exact TCP payload accounting of ServerResult.
+	// are pinned to the exact TCP payload accounting of ServerResult, and
+	// the fault families (cmfl_fault_rejoins_total,
+	// cmfl_straggler_late_frames_total) to its fault accounting.
 	Registry *telemetry.Registry
 }
 
@@ -86,6 +101,13 @@ type RoundStats struct {
 	// bytes (frames incl. framing overhead) observed through this round.
 	CumUplinkWireBytes   int64
 	CumDownlinkWireBytes int64
+	// Stragglers lists the clients cut off by this round's deadline,
+	// ascending. Their replies, if they ever arrive, are drained as late
+	// frames — never aggregated.
+	Stragglers []int
+	// LateFrames counts frames drained during this round that belonged to
+	// an earlier round.
+	LateFrames int
 }
 
 // ServerResult extends the round history with wire-level byte counts.
@@ -99,9 +121,20 @@ type ServerResult struct {
 	DownlinkWireBytes int64
 	// SkipCounts per client over the run.
 	SkipCounts []int
-	// DroppedClients lists clients removed by fault tolerance, with the
-	// round in which they failed.
+	// StragglerCounts per client: rounds in which the client was expected
+	// to reply but was cut off by the deadline.
+	StragglerCounts []int
+	// DroppedClients maps clients whose connection failed to the first
+	// round in which it happened. With reconnection enabled a listed
+	// client may still have rejoined later (see Rejoins).
 	DroppedClients map[int]int
+	// LateFrames / DupFrames count uplink frames that were received and
+	// drained but never aggregated: replies to already-closed rounds and
+	// redundant resends.
+	LateFrames int
+	DupFrames  int
+	// Rejoins counts connections re-accepted after training started.
+	Rejoins int
 }
 
 // FinalAccuracy returns the last evaluated accuracy, or NaN.
@@ -112,6 +145,17 @@ func (r *ServerResult) FinalAccuracy() float64 {
 		}
 	}
 	return math.NaN()
+}
+
+// connEvent is what a connection reader hands to the round loop: one frame
+// or one terminal error, tagged with the connection generation so stale
+// readers can never corrupt a successor's accounting.
+type connEvent struct {
+	client int
+	gen    int
+	f      *frame
+	wire   int64
+	err    error
 }
 
 // Server is the master of Algorithm 1's GlobalOptimization, run over TCP.
@@ -126,12 +170,29 @@ type Server struct {
 	metrics      *telemetry.MetricsServer
 	uplinkWire   *telemetry.Counter
 	downlinkWire *telemetry.Counter
+	lateFrames   *telemetry.Counter
+	rejoins      *telemetry.Counter
 	lastUpWire   int64
 	lastDownWire int64
+	lastLate     int64
+	lastRejoins  int64
 
-	mu    sync.Mutex
-	conns []net.Conn
-	alive []bool
+	// events carries frames and connection errors from the per-connection
+	// readers into the round loop; stop unblocks them at teardown.
+	events   chan connEvent
+	ready    chan struct{} // closed once all Clients completed their first hello
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	mu      sync.Mutex
+	closed  bool
+	conns   []net.Conn
+	alive   []bool
+	gens    []int // connection generation per client (1 = first join)
+	downGen []int // highest generation already accounted as down
+	joined  int   // distinct clients that ever completed a hello
+	started bool  // initial accept barrier passed
+	rejoin  int   // hellos accepted after the barrier
 }
 
 // NewServer validates the configuration and binds the listen socket, so the
@@ -146,6 +207,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Rounds <= 0 {
 		return nil, errors.New("emu: Rounds must be positive")
 	}
+	if cfg.MinQuorum < 0 || cfg.MinQuorum > cfg.Clients {
+		return nil, fmt.Errorf("emu: MinQuorum %d outside [0, %d]", cfg.MinQuorum, cfg.Clients)
+	}
 	if cfg.EvalEvery <= 0 {
 		cfg.EvalEvery = 1
 	}
@@ -155,6 +219,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.RoundTimeout <= 0 {
 		cfg.RoundTimeout = 60 * time.Second
 	}
+	if cfg.RoundDeadline <= 0 {
+		cfg.RoundDeadline = cfg.RoundTimeout
+	}
+	if cfg.RoundTimeout < cfg.RoundDeadline {
+		// The raw I/O net must never fire before the aggregation deadline.
+		cfg.RoundTimeout = cfg.RoundDeadline
+	}
 	if cfg.AcceptTimeout <= 0 {
 		cfg.AcceptTimeout = 60 * time.Second
 	}
@@ -162,7 +233,18 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("emu: listen %s: %w", cfg.Addr, err)
 	}
-	s := &Server{cfg: cfg, ln: ln, obs: cfg.Observers}
+	s := &Server{
+		cfg:     cfg,
+		ln:      ln,
+		obs:     cfg.Observers,
+		events:  make(chan connEvent, cfg.Clients*8),
+		ready:   make(chan struct{}),
+		stop:    make(chan struct{}),
+		conns:   make([]net.Conn, cfg.Clients),
+		alive:   make([]bool, cfg.Clients),
+		gens:    make([]int, cfg.Clients),
+		downGen: make([]int, cfg.Clients),
+	}
 	if cfg.Registry != nil || cfg.MetricsAddr != "" {
 		s.reg = cfg.Registry
 		if s.reg == nil {
@@ -171,6 +253,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		s.obs = append(append([]telemetry.Observer(nil), cfg.Observers...), telemetry.NewCollector(s.reg))
 		s.uplinkWire = s.reg.Counter(`cmfl_emu_uplink_wire_bytes_total`, "TCP payload bytes received from clients (frames incl. framing overhead).")
 		s.downlinkWire = s.reg.Counter(`cmfl_emu_downlink_wire_bytes_total`, "TCP payload bytes sent to clients (frames incl. framing overhead).")
+		s.lateFrames = s.reg.Counter(`cmfl_straggler_late_frames_total`, "Uplink frames drained after their round's deadline (received, never aggregated).")
+		s.rejoins = s.reg.Counter(`cmfl_fault_rejoins_total`, "Client connections re-accepted after training started.")
 	}
 	if cfg.MetricsAddr != "" {
 		ms, err := telemetry.Serve(cfg.MetricsAddr, s.reg)
@@ -223,24 +307,31 @@ func closeQuietly(c io.Closer) {
 // metrics endpoint (if any) scrapeable until Close. Idempotent: Run defers
 // it and Close calls it again; secondary net.ErrClosed noise is filtered.
 func (s *Server) closeConns() error {
+	s.stopOnce.Do(func() { close(s.stop) })
 	err := s.ln.Close()
 	if errors.Is(err, net.ErrClosed) {
 		err = nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, c := range s.conns {
+	s.closed = true
+	for i, c := range s.conns {
+		if c == nil {
+			continue
+		}
 		if cerr := c.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
 			err = errors.Join(err, cerr)
 		}
+		s.conns[i] = nil
+		s.alive[i] = false
 	}
-	s.conns = nil
 	return err
 }
 
-// syncWireCounters pins the registry's wire-byte counters to the exact
-// accounting in res — bit-for-bit, since both sides add the same deltas.
-func (s *Server) syncWireCounters(res *ServerResult) {
+// syncCounters pins the registry's wire-byte and fault counters to the
+// exact accounting in res — bit-for-bit, since both sides add the same
+// deltas.
+func (s *Server) syncCounters(res *ServerResult) {
 	if s.uplinkWire == nil {
 		return
 	}
@@ -248,6 +339,21 @@ func (s *Server) syncWireCounters(res *ServerResult) {
 	s.lastUpWire = res.UplinkWireBytes
 	s.downlinkWire.Add(res.DownlinkWireBytes - s.lastDownWire)
 	s.lastDownWire = res.DownlinkWireBytes
+	s.lateFrames.Add(int64(res.LateFrames) - s.lastLate)
+	s.lastLate = int64(res.LateFrames)
+	s.rejoins.Add(int64(res.Rejoins) - s.lastRejoins)
+	s.lastRejoins = int64(res.Rejoins)
+}
+
+// minQuorum is the effective reply minimum at the deadline.
+func (s *Server) minQuorum() int {
+	if s.cfg.MinQuorum > 0 {
+		return s.cfg.MinQuorum
+	}
+	if s.cfg.FaultTolerant {
+		return 1
+	}
+	return s.cfg.Clients
 }
 
 // Run accepts the configured number of clients, drives the synchronous
@@ -264,31 +370,59 @@ func (s *Server) Run() (res *ServerResult, err error) {
 			res, err = nil, cerr
 		}
 	}()
-	if err := s.acceptClients(); err != nil {
+	go s.acceptLoop()
+	if err := s.awaitClients(); err != nil {
 		return nil, err
 	}
 
 	global := s.cfg.Model()
 	params := global.ParamVector()
-	res = &ServerResult{SkipCounts: make([]int, s.cfg.Clients)}
+	res = &ServerResult{
+		SkipCounts:      make([]int, s.cfg.Clients),
+		StragglerCounts: make([]int, s.cfg.Clients),
+	}
+	q := newQuorumState(s.cfg.Clients)
 
 	cumUploads := 0
 	var cumAppBytes int64 // paper-metric bytes: payload sizes only
 
 	for t := 1; t <= s.cfg.Rounds; t++ {
 		// Broadcast the model (Algorithm 1: distribute x_{t-1}; clients
-		// derive the feedback update from consecutive broadcasts).
+		// derive the feedback update from consecutive broadcasts). Clients
+		// the write reached owe this round a reply.
 		payload := encodeModel(t, params)
-		if err := s.broadcast(msgModel, payload, t, res); err != nil {
+		expected, roundFaults, err := s.broadcast(msgModel, payload, t, res)
+		if err != nil {
 			return nil, fmt.Errorf("emu: round %d broadcast: %w", t, err)
 		}
+		q.beginRound(t, expected)
 
-		// Gather one update or skip from every live client.
-		updates, skips, wire, err := s.gather(t, res)
+		// Gather replies until every expected client answered or the
+		// deadline fires with at least MinQuorum replies in hand.
+		box, stragglers, err := s.gather(t, q, res)
 		if err != nil {
 			return nil, fmt.Errorf("emu: round %d gather: %w", t, err)
 		}
-		res.UplinkWireBytes += wire
+		box.faults += roundFaults
+		res.UplinkWireBytes += box.wire
+		res.LateFrames += box.late
+		res.DupFrames += box.dups
+		for _, id := range stragglers {
+			res.StragglerCounts[id]++
+		}
+
+		// Flatten the inbox in ascending client order: float accumulation
+		// order is part of the determinism contract.
+		var updates []updateMsg
+		var skips []skipMsg
+		for id := 0; id < s.cfg.Clients; id++ {
+			if u := box.updates[id]; u != nil {
+				updates = append(updates, *u)
+			}
+			if sk := box.skips[id]; sk != nil {
+				skips = append(skips, *sk)
+			}
+		}
 
 		globalUpdate := make([]float64, len(params))
 		for _, u := range updates {
@@ -322,11 +456,15 @@ func (s *Server) Run() (res *ServerResult, err error) {
 				Skipped:        len(skips),
 				CumUploads:     cumUploads,
 				CumUplinkBytes: cumAppBytes,
+				Dropped:        len(stragglers),
+				Faults:         box.faults,
 				Accuracy:       math.NaN(),
 			},
 			MeanRelevance:        math.NaN(),
 			CumUplinkWireBytes:   res.UplinkWireBytes,
 			CumDownlinkWireBytes: res.DownlinkWireBytes,
+			Stragglers:           stragglers,
+			LateFrames:           box.late,
 		}
 		if n := len(updates) + len(skips); n > 0 {
 			var msum float64
@@ -345,7 +483,8 @@ func (s *Server) Run() (res *ServerResult, err error) {
 			stats.Accuracy = accuracyOf(global, s.cfg.TestData, s.cfg.EvalBatch)
 		}
 		res.History = append(res.History, stats)
-		s.syncWireCounters(res)
+		res.Rejoins = s.rejoinCount()
+		s.syncCounters(res)
 		if len(s.obs) > 0 {
 			for _, u := range updates {
 				telemetry.EmitClient(s.obs, telemetry.ClientEvent{
@@ -374,106 +513,168 @@ func (s *Server) Run() (res *ServerResult, err error) {
 		}
 	}
 
-	// Tell the surviving clients training is over.
-	if err := s.broadcast(msgDone, nil, s.cfg.Rounds+1, res); err != nil {
-		return nil, fmt.Errorf("emu: final done broadcast: %w", err)
-	}
+	// Tell the surviving clients training is over. Best-effort: a failure
+	// here carries no information the aggregate depends on, and counting it
+	// as a fault would make the counters hostage to teardown races.
+	s.broadcastBestEffort(msgDone, nil, res)
 	res.FinalParams = params
-	// The done broadcast is downlink traffic too; pin the counters to the
-	// final totals so a post-run scrape matches ServerResult bit-for-bit.
-	s.syncWireCounters(res)
+	res.Rejoins = s.rejoinCount()
+	// Pin the counters to the final totals so a post-run scrape matches
+	// ServerResult bit-for-bit.
+	s.syncCounters(res)
 	return res, nil
 }
 
-func (s *Server) acceptClients() error {
-	deadline := time.Now().Add(s.cfg.AcceptTimeout)
-	byID := make(map[int]net.Conn, s.cfg.Clients)
-	for len(byID) < s.cfg.Clients {
-		if dl, ok := s.ln.(*net.TCPListener); ok {
-			if err := dl.SetDeadline(deadline); err != nil {
-				return fmt.Errorf("emu: set accept deadline: %w", err)
-			}
-		}
+// acceptLoop admits connections for the whole run: the initial barrier and
+// any rejoins after a fault. It exits when the listener closes.
+func (s *Server) acceptLoop() {
+	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return fmt.Errorf("emu: accept (have %d of %d clients): %w", len(byID), s.cfg.Clients, err)
+			return
 		}
-		if err := conn.SetReadDeadline(deadline); err != nil {
-			closeQuietly(conn)
-			return fmt.Errorf("emu: set hello deadline: %w", err)
-		}
-		f, err := readFrame(conn)
-		if err != nil || f.kind != msgHello {
-			closeQuietly(conn)
-			return fmt.Errorf("emu: bad hello (kind %d): %w", f.kindOrZero(), err)
-		}
-		id, err := decodeHello(f.payload)
-		if err != nil {
-			closeQuietly(conn)
-			return err
-		}
-		if id < 0 || id >= s.cfg.Clients {
-			closeQuietly(conn)
-			return fmt.Errorf("emu: client id %d outside [0, %d)", id, s.cfg.Clients)
-		}
-		if prev, dup := byID[id]; dup {
-			closeQuietly(prev)
-			closeQuietly(conn)
-			return fmt.Errorf("emu: duplicate client id %d", id)
-		}
-		byID[id] = conn
+		go s.admit(conn)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.conns = make([]net.Conn, s.cfg.Clients)
-	s.alive = make([]bool, s.cfg.Clients)
-	for id, conn := range byID {
-		s.conns[id] = conn
-		s.alive[id] = true
-	}
-	return nil
 }
 
-// dropClient removes a failed client under fault tolerance. It returns the
-// original error when fault tolerance is off or no live client remains.
-func (s *Server) dropClient(i, round int, res *ServerResult, err error) error {
-	if !s.cfg.FaultTolerant {
-		return err
+// admit performs the hello handshake and registers the connection. A bad
+// hello just burns that connection — the dialer can retry — while a valid
+// one replaces any previous connection for the same id (latest wins).
+func (s *Server) admit(conn net.Conn) {
+	//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters aggregation
+	if err := conn.SetReadDeadline(time.Now().Add(s.cfg.AcceptTimeout)); err != nil {
+		closeQuietly(conn)
+		return
+	}
+	f, err := readFrame(conn)
+	if err != nil || f.kind != msgHello {
+		closeQuietly(conn)
+		return
+	}
+	id, err := decodeHello(f.payload)
+	if err != nil || id < 0 || id >= s.cfg.Clients {
+		closeQuietly(conn)
+		return
 	}
 	s.mu.Lock()
-	if s.alive[i] {
-		s.alive[i] = false
-		closeQuietly(s.conns[i])
-		if res.DroppedClients == nil {
-			res.DroppedClients = make(map[int]int)
-		}
-		res.DroppedClients[i] = round
+	if s.closed {
+		s.mu.Unlock()
+		closeQuietly(conn)
+		return
 	}
-	anyAlive := false
-	for _, a := range s.alive {
-		if a {
-			anyAlive = true
-			break
+	if prev := s.conns[id]; prev != nil && s.alive[id] {
+		// The client redialed; its old connection is stale. Its reader will
+		// surface an error that markDown attributes to the old generation.
+		closeQuietly(prev)
+	}
+	s.gens[id]++
+	gen := s.gens[id]
+	s.conns[id] = conn
+	s.alive[id] = true
+	if gen == 1 {
+		s.joined++
+		if s.joined == s.cfg.Clients {
+			close(s.ready)
 		}
+	} else if s.started {
+		s.rejoin++
 	}
 	s.mu.Unlock()
-	if !anyAlive {
-		return fmt.Errorf("emu: all clients failed (last: %w)", err)
+	go s.readLoop(id, gen, conn)
+}
+
+// awaitClients blocks until every client completed its first hello.
+func (s *Server) awaitClients() error {
+	timer := time.NewTimer(s.cfg.AcceptTimeout)
+	defer timer.Stop()
+	select {
+	case <-s.ready:
+	case <-timer.C:
+		s.mu.Lock()
+		have := s.joined
+		s.mu.Unlock()
+		return fmt.Errorf("emu: accept (have %d of %d clients): timeout after %v", have, s.cfg.Clients, s.cfg.AcceptTimeout)
 	}
+	s.mu.Lock()
+	s.started = true
+	s.mu.Unlock()
 	return nil
 }
 
-// liveClients snapshots the indices of clients still participating.
-func (s *Server) liveClients() []int {
+// rejoinCount snapshots the number of post-barrier rejoins.
+func (s *Server) rejoinCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]int, 0, len(s.conns))
-	for i, a := range s.alive {
-		if a {
-			out = append(out, i)
+	return s.rejoin
+}
+
+// readLoop forwards frames from one connection generation into the round
+// loop until the connection dies or the server stops. Reads carry no
+// deadline on purpose: a connected client that merely has nothing to say
+// (e.g. its reply was lost upstream) can be silent for many rounds without
+// being a transport failure — slowness is the quorum deadline's problem,
+// not the socket's. Blocked reads are released by closeConns.
+func (s *Server) readLoop(id, gen int, conn net.Conn) {
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			s.post(connEvent{client: id, gen: gen, err: err})
+			return
+		}
+		s.post(connEvent{client: id, gen: gen, f: f, wire: f.wireSize()})
+	}
+}
+
+// post delivers a reader event unless the server is shutting down.
+func (s *Server) post(ev connEvent) {
+	select {
+	case s.events <- ev:
+	case <-s.stop:
+	}
+}
+
+// markDown accounts one connection death exactly once per generation and
+// tears the connection down. It reports whether this call did the
+// accounting (callers count a fault then, and only then).
+func (s *Server) markDown(id, gen int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if gen <= s.downGen[id] {
+		return false
+	}
+	s.downGen[id] = gen
+	if s.gens[id] == gen && !s.closed {
+		s.alive[id] = false
+		if s.conns[id] != nil {
+			closeQuietly(s.conns[id])
 		}
 	}
-	return out
+	return true
+}
+
+// connDown routes a connection failure through fault accounting: one fault
+// per generation, DroppedClients keyed to the first failing round, and an
+// abort in strict mode.
+func (s *Server) connDown(id, gen, round int, cause error, box *roundInbox, res *ServerResult) error {
+	if !s.markDown(id, gen) {
+		return nil
+	}
+	if box != nil {
+		box.faults++
+	}
+	if res.DroppedClients == nil {
+		res.DroppedClients = make(map[int]int)
+	}
+	if _, ok := res.DroppedClients[id]; !ok {
+		res.DroppedClients[id] = round
+	}
+	if !s.cfg.FaultTolerant {
+		if cause == nil {
+			cause = errors.New("connection down")
+		}
+		return clientError{client: id, err: cause}
+	}
+	return nil
 }
 
 // kindOrZero lets error paths print a frame kind even when f is nil.
@@ -484,58 +685,116 @@ func (f *frame) kindOrZero() byte {
 	return f.kind
 }
 
-// broadcast writes the same frame to every live client in parallel.
+// broadcast writes the same frame to every live client in parallel and
+// reports which clients it reached (by id) plus the number of fresh faults.
 //
 //cmfl:deterministic
-func (s *Server) broadcast(kind byte, payload []byte, round int, res *ServerResult) error {
-	live := s.liveClients()
+func (s *Server) broadcast(kind byte, payload []byte, round int, res *ServerResult) (expected []bool, faults int, err error) {
+	targets := s.liveTargets()
 	var wg sync.WaitGroup
-	errs := make([]error, len(live))
+	errs := make([]error, len(targets))
 	var sent int64
 	var mu sync.Mutex
-	for li, i := range live {
-		conn := s.conns[i]
+	for li, tgt := range targets {
 		wg.Add(1)
-		go func(li, i int, conn net.Conn) {
+		go func(li int, conn net.Conn) {
 			defer wg.Done()
 			//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters aggregation
 			if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.RoundTimeout)); err != nil {
-				errs[li] = clientError{client: i, err: err}
+				errs[li] = err
 				return
 			}
 			n, err := writeFrame(conn, kind, payload)
 			if err != nil {
-				errs[li] = clientError{client: i, err: err}
+				errs[li] = err
 				return
 			}
 			mu.Lock()
 			sent += n
 			mu.Unlock()
-		}(li, i, conn)
+		}(li, tgt.conn)
 	}
 	wg.Wait()
 	res.DownlinkWireBytes += sent
-	for _, err := range errs {
-		if err == nil {
+	expected = make([]bool, s.cfg.Clients)
+	for li, tgt := range targets {
+		if errs[li] == nil {
+			expected[tgt.id] = true
 			continue
 		}
-		ce := err.(clientError)
-		if derr := s.dropClient(ce.client, round, res, ce.err); derr != nil {
-			return derr
+		if s.markDown(tgt.id, tgt.gen) {
+			faults++
+			if res.DroppedClients == nil {
+				res.DroppedClients = make(map[int]int)
+			}
+			if _, ok := res.DroppedClients[tgt.id]; !ok {
+				res.DroppedClients[tgt.id] = round
+			}
+			if !s.cfg.FaultTolerant {
+				return nil, faults, clientError{client: tgt.id, err: errs[li]}
+			}
 		}
 	}
-	return nil
+	if !anyTrue(expected) {
+		return nil, faults, errors.New("emu: all clients failed")
+	}
+	return expected, faults, nil
 }
 
-// clientError tags a transport error with the client it came from.
-type clientError struct {
-	client int
-	err    error
+// broadcastBestEffort writes a frame to every live client, counting bytes
+// but ignoring failures (used for the final done message).
+func (s *Server) broadcastBestEffort(kind byte, payload []byte, res *ServerResult) {
+	targets := s.liveTargets()
+	var wg sync.WaitGroup
+	var sent int64
+	var mu sync.Mutex
+	for _, tgt := range targets {
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters aggregation
+			if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.RoundTimeout)); err != nil {
+				return
+			}
+			if n, err := writeFrame(conn, kind, payload); err == nil {
+				mu.Lock()
+				sent += n
+				mu.Unlock()
+			}
+		}(tgt.conn)
+	}
+	wg.Wait()
+	res.DownlinkWireBytes += sent
 }
 
-func (e clientError) Error() string { return fmt.Sprintf("client %d: %v", e.client, e.err) }
+// liveTarget pins (id, generation, conn) at snapshot time so later rejoins
+// cannot be blamed for an older connection's failure.
+type liveTarget struct {
+	id, gen int
+	conn    net.Conn
+}
 
-func (e clientError) Unwrap() error { return e.err }
+// liveTargets snapshots the live connections in ascending client order.
+func (s *Server) liveTargets() []liveTarget {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]liveTarget, 0, len(s.conns))
+	for i, a := range s.alive {
+		if a && s.conns[i] != nil {
+			out = append(out, liveTarget{id: i, gen: s.gens[i], conn: s.conns[i]})
+		}
+	}
+	return out
+}
+
+func anyTrue(bs []bool) bool {
+	for _, b := range bs {
+		if b {
+			return true
+		}
+	}
+	return false
+}
 
 type updateMsg struct {
 	clientID int
@@ -551,100 +810,132 @@ type skipMsg struct {
 	metric   float64
 }
 
-// gather reads exactly one update or skip frame from every live client.
+// roundInbox accumulates one round's accepted replies (indexed by client)
+// and its drain/fault tallies.
+type roundInbox struct {
+	updates []*updateMsg
+	skips   []*skipMsg
+	wire    int64
+	faults  int
+	late    int
+	dups    int
+}
+
+// gather consumes reader events until every expected client replied, or the
+// round deadline fires with at least MinQuorum replies in hand (the missing
+// clients become this round's stragglers). Replies arriving for earlier
+// rounds are drained and counted; duplicates are never aggregated twice.
 //
 //cmfl:deterministic
-func (s *Server) gather(round int, res *ServerResult) (updates []updateMsg, skips []skipMsg, wireBytes int64, err error) {
-	live := s.liveClients()
-	var wg sync.WaitGroup
-	type reply struct {
-		upd  *updateMsg
-		skip *skipMsg
-		wire int64
-		err  error
+func (s *Server) gather(round int, q *quorumState, res *ServerResult) (*roundInbox, []int, error) {
+	if q.expectedCount == 0 {
+		return nil, nil, errors.New("emu: all clients failed")
 	}
-	replies := make([]reply, len(s.conns))
-	for _, i := range live {
-		conn := s.conns[i]
-		wg.Add(1)
-		go func(i int, conn net.Conn) {
-			defer wg.Done()
-			//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters aggregation
-			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.RoundTimeout)); err != nil {
-				replies[i] = reply{err: err}
-				return
-			}
-			f, err := readFrame(conn)
-			if err != nil {
-				replies[i] = reply{err: err}
-				return
-			}
-			switch f.kind {
-			case msgUpdate:
-				id, r, metric, delta, err := decodeUpdate(f.payload)
-				if err != nil {
-					replies[i] = reply{err: err}
-					return
-				}
-				if r != round {
-					replies[i] = reply{err: fmt.Errorf("emu: client %d answered round %d during round %d", id, r, round)}
-					return
-				}
-				replies[i] = reply{upd: &updateMsg{clientID: id, metric: metric, delta: delta, appBytes: int64(len(delta)) * 8}, wire: f.wireSize()}
-			case msgUpdateC:
-				id, r, metric, dim, codec, payload, err := decodeCompressedUpdate(f.payload)
-				if err != nil {
-					replies[i] = reply{err: err}
-					return
-				}
-				if r != round {
-					replies[i] = reply{err: fmt.Errorf("emu: client %d answered round %d during round %d", id, r, round)}
-					return
-				}
-				if s.cfg.Compressor == nil || codec != s.cfg.Compressor.Name() {
-					replies[i] = reply{err: fmt.Errorf("emu: client %d used codec %q, server expects %v", id, codec, s.cfg.Compressor)}
-					return
-				}
-				delta, err := s.cfg.Compressor.Decode(payload, dim)
-				if err != nil {
-					replies[i] = reply{err: fmt.Errorf("emu: client %d payload: %w", id, err)}
-					return
-				}
-				replies[i] = reply{upd: &updateMsg{clientID: id, metric: metric, delta: delta, appBytes: int64(len(payload))}, wire: f.wireSize()}
-			case msgSkip:
-				id, r, metric, err := decodeSkip(f.payload)
-				if err != nil {
-					replies[i] = reply{err: err}
-					return
-				}
-				if r != round {
-					replies[i] = reply{err: fmt.Errorf("emu: client %d answered round %d during round %d", id, r, round)}
-					return
-				}
-				replies[i] = reply{skip: &skipMsg{clientID: id, metric: metric}, wire: f.wireSize()}
-			default:
-				replies[i] = reply{err: fmt.Errorf("emu: unexpected frame kind %d in round %d", f.kind, round)}
-			}
-		}(i, conn)
+	box := &roundInbox{
+		updates: make([]*updateMsg, s.cfg.Clients),
+		skips:   make([]*skipMsg, s.cfg.Clients),
 	}
-	wg.Wait()
-	for i, r := range replies {
-		if r.err != nil {
-			if derr := s.dropClient(i, round, res, r.err); derr != nil {
-				return nil, nil, 0, derr
+	minQ := s.minQuorum()
+	timer := time.NewTimer(s.cfg.RoundDeadline)
+	defer timer.Stop()
+	for !q.complete() {
+		select {
+		case ev := <-s.events:
+			if err := s.handleEvent(round, ev, q, box, res); err != nil {
+				return nil, nil, err
 			}
-			continue
-		}
-		wireBytes += r.wire
-		if r.upd != nil {
-			updates = append(updates, *r.upd)
-		}
-		if r.skip != nil {
-			skips = append(skips, *r.skip)
+		case <-timer.C:
+			if q.accepted >= minQ {
+				return box, q.stragglers(), nil
+			}
+			return nil, nil, fmt.Errorf("emu: round %d: quorum not met at deadline %v: %d of %d replies (minimum %d)",
+				round, s.cfg.RoundDeadline, q.accepted, q.expectedCount, minQ)
 		}
 	}
-	return updates, skips, wireBytes, nil
+	if q.accepted < minQ {
+		return nil, nil, fmt.Errorf("emu: round %d: only %d replies possible (minimum %d)", round, q.accepted, minQ)
+	}
+	return box, q.stragglers(), nil
 }
+
+// handleEvent processes one reader event inside gather.
+func (s *Server) handleEvent(round int, ev connEvent, q *quorumState, box *roundInbox, res *ServerResult) error {
+	if ev.err != nil {
+		return s.connDown(ev.client, ev.gen, round, ev.err, box, res)
+	}
+	id, r, upd, skip, err := s.decodeReply(ev.f)
+	if err == nil && id != ev.client {
+		err = fmt.Errorf("emu: connection of client %d delivered a frame claiming client %d", ev.client, id)
+	}
+	if err != nil {
+		// A malformed or mis-attributed frame means the stream cannot be
+		// trusted; kill the connection (the client may redial).
+		return s.connDown(ev.client, ev.gen, round, err, box, res)
+	}
+	box.wire += ev.wire
+	switch q.classify(id, r) {
+	case verdictAccept:
+		if upd != nil {
+			box.updates[id] = upd
+		} else {
+			box.skips[id] = skip
+		}
+	case verdictLate:
+		box.late++
+	case verdictDuplicate:
+		box.dups++
+	case verdictFuture:
+		return s.connDown(ev.client, ev.gen, round,
+			fmt.Errorf("emu: client %d answered future round %d during round %d", id, r, round), box, res)
+	case verdictUnknown:
+		return s.connDown(ev.client, ev.gen, round,
+			fmt.Errorf("emu: reply from unknown client %d", id), box, res)
+	}
+	return nil
+}
+
+// decodeReply parses an uplink frame into an update or a skip.
+func (s *Server) decodeReply(f *frame) (id, round int, upd *updateMsg, skip *skipMsg, err error) {
+	switch f.kind {
+	case msgUpdate:
+		id, r, metric, delta, err := decodeUpdate(f.payload)
+		if err != nil {
+			return 0, 0, nil, nil, err
+		}
+		return id, r, &updateMsg{clientID: id, metric: metric, delta: delta, appBytes: int64(len(delta)) * 8}, nil, nil
+	case msgUpdateC:
+		id, r, metric, dim, codec, payload, err := decodeCompressedUpdate(f.payload)
+		if err != nil {
+			return 0, 0, nil, nil, err
+		}
+		if s.cfg.Compressor == nil || codec != s.cfg.Compressor.Name() {
+			return 0, 0, nil, nil, fmt.Errorf("emu: client %d used codec %q, server expects %v", id, codec, s.cfg.Compressor)
+		}
+		delta, err := s.cfg.Compressor.Decode(payload, dim)
+		if err != nil {
+			return 0, 0, nil, nil, fmt.Errorf("emu: client %d payload: %w", id, err)
+		}
+		return id, r, &updateMsg{clientID: id, metric: metric, delta: delta, appBytes: int64(len(payload))}, nil, nil
+	case msgSkip:
+		id, r, metric, err := decodeSkip(f.payload)
+		if err != nil {
+			return 0, 0, nil, nil, err
+		}
+		return id, r, nil, &skipMsg{clientID: id, metric: metric}, nil
+	default:
+		return 0, 0, nil, nil, fmt.Errorf("emu: unexpected frame kind %d", f.kind)
+	}
+}
+
+// clientError tags a transport error with the client it came from.
+type clientError struct {
+	client int
+	err    error
+}
+
+func (e clientError) Error() string { return fmt.Sprintf("client %d: %v", e.client, e.err) }
+
+func (e clientError) Unwrap() error { return e.err }
 
 // accuracyOf evaluates classification accuracy in bounded batches.
 func accuracyOf(net *nn.Network, test *dataset.Set, evalBatch int) float64 {

@@ -9,6 +9,7 @@ import (
 	"cmfl/internal/core"
 	"cmfl/internal/telemetry"
 	"cmfl/internal/tensor"
+	"cmfl/internal/xrand"
 )
 
 // PartialConfig extends the synchronous engine with *layerwise* CMFL: the
@@ -28,6 +29,13 @@ type PartialConfig struct {
 	// bias vector is too quantised to be a meaningful relevance signal,
 	// and such segments are negligible in bytes anyway. Default 32.
 	MinSegment int
+	// DropoutRate is the per-round probability that a client sits the round
+	// out entirely — no training, no upload, not even a skip notification —
+	// simulating the unreliable mobile population the paper targets (§I).
+	// Draws come from a dedicated stream derived from (Seed,
+	// "partial-dropout"), one per client per round in client order, so a
+	// given seed always drops the same clients. 0 disables; must be < 1.
+	DropoutRate float64
 }
 
 // segmentUploadBytes is the framing cost of announcing one uploaded
@@ -77,6 +85,9 @@ func RunPartial(cfg PartialConfig) (*PartialResult, error) {
 	if cfg.MinSegment <= 0 {
 		cfg.MinSegment = 32
 	}
+	if cfg.DropoutRate < 0 || cfg.DropoutRate >= 1 {
+		return nil, fmt.Errorf("fl: DropoutRate %v outside [0, 1)", cfg.DropoutRate)
+	}
 
 	global := cfg.Model()
 	params := global.ParamVector()
@@ -108,13 +119,32 @@ func RunPartial(cfg PartialConfig) (*PartialResult, error) {
 
 	results := make([]partialResult, len(clients))
 	clientBytes := make([]int64, len(clients)) // per-round uplink cost per client
+	active := make([]bool, len(clients))
+	var dropRng *xrand.Stream
+	if cfg.DropoutRate > 0 {
+		dropRng = xrand.Derive(cfg.Seed, "partial-dropout", 0)
+	}
 	sem := make(chan struct{}, cfg.Parallelism)
 
 	for t := 1; t <= cfg.Rounds; t++ {
 		lr := cfg.LR.At(t)
 		thr := cfg.Threshold.At(t)
+		// Dropout draws happen up front in client order: one Float64 per
+		// client per round, so the participation pattern is a pure function
+		// of the seed regardless of goroutine scheduling.
+		activeCount := 0
+		for i := range clients {
+			active[i] = dropRng == nil || dropRng.Float64() >= cfg.DropoutRate
+			if active[i] {
+				activeCount++
+			}
+		}
 		var wg sync.WaitGroup
 		for i := range clients {
+			if !active[i] {
+				results[i] = partialResult{}
+				continue
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(i int) {
@@ -124,8 +154,14 @@ func RunPartial(cfg PartialConfig) (*PartialResult, error) {
 			}(i)
 		}
 		wg.Wait()
+		for i := range results {
+			if active[i] && results[i].err != nil {
+				return nil, fmt.Errorf("fl: partial round %d client %d: %w", t, i, results[i].err)
+			}
+		}
 
-		// Per-segment averaging over the clients that uploaded the segment.
+		// Per-segment averaging over the active clients that uploaded the
+		// segment; dropped clients contribute nothing this round.
 		globalUpdate := make([]float64, dim)
 		segUp, segTot := 0, 0
 		var roundBytes int64
@@ -136,10 +172,10 @@ func RunPartial(cfg PartialConfig) (*PartialResult, error) {
 			lo, hi := segOff[s], segOff[s+1]
 			count := 0
 			for i := range results {
-				r := &results[i]
-				if r.err != nil {
-					return nil, fmt.Errorf("fl: partial round %d client %d: %w", t, i, r.err)
+				if !active[i] {
+					continue
 				}
+				r := &results[i]
 				segTot++
 				if !r.upload[s] {
 					continue
@@ -158,10 +194,13 @@ func RunPartial(cfg PartialConfig) (*PartialResult, error) {
 				}
 			}
 		}
-		// Clients that uploaded nothing still send a skip notification;
-		// everyone else's cost is the sum of their framed segments.
+		// Active clients that uploaded nothing still send a skip
+		// notification; dropped clients send nothing at all.
 		clientsUploaded := 0
 		for i := range results {
+			if !active[i] {
+				continue
+			}
 			if clientBytes[i] == 0 {
 				clientBytes[i] = SkipNotificationBytes
 			} else {
@@ -182,11 +221,12 @@ func RunPartial(cfg PartialConfig) (*PartialResult, error) {
 			RoundEvent: telemetry.RoundEvent{
 				Engine:         telemetry.EnginePartial,
 				Round:          t,
-				Participants:   len(clients),
+				Participants:   activeCount,
 				Uploaded:       clientsUploaded,
-				Skipped:        len(clients) - clientsUploaded,
+				Skipped:        activeCount - clientsUploaded,
 				CumUploads:     cumUploads,
 				CumUplinkBytes: cumBytes,
+				Dropped:        len(clients) - activeCount,
 				Accuracy:       math.NaN(),
 			},
 			SegmentsUploaded: segUp,
@@ -201,6 +241,9 @@ func RunPartial(cfg PartialConfig) (*PartialResult, error) {
 		res.History = append(res.History, st)
 		if len(cfg.Observers) > 0 {
 			for i := range results {
+				if !active[i] {
+					continue
+				}
 				uploadedAny := false
 				for _, u := range results[i].upload {
 					if u {

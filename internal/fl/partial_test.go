@@ -94,6 +94,61 @@ func TestPartialValidation(t *testing.T) {
 	if _, err := RunPartial(cfg); err == nil {
 		t.Fatal("expected validation error from embedded config")
 	}
+	cfg = partialConfig(t)
+	cfg.DropoutRate = 1.0
+	if _, err := RunPartial(cfg); err == nil {
+		t.Fatal("expected error for DropoutRate 1.0 (nobody would ever train)")
+	}
+	cfg = partialConfig(t)
+	cfg.DropoutRate = -0.1
+	if _, err := RunPartial(cfg); err == nil {
+		t.Fatal("expected error for negative DropoutRate")
+	}
+}
+
+// TestPartialDropoutDeterministic pins the dropout stream contract: the
+// participation pattern is a pure function of the seed (one draw per client
+// per round, in client order, from the dedicated "partial-dropout" stream),
+// so two runs of the same config produce bit-identical models and identical
+// round accounting.
+func TestPartialDropoutDeterministic(t *testing.T) {
+	run := func() *PartialResult {
+		cfg := partialConfig(t)
+		cfg.Rounds = 8
+		cfg.DropoutRate = 0.3
+		res, err := RunPartial(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.FinalParams) != len(b.FinalParams) {
+		t.Fatalf("param dims differ: %d vs %d", len(a.FinalParams), len(b.FinalParams))
+	}
+	for j := range a.FinalParams {
+		if math.Float64bits(a.FinalParams[j]) != math.Float64bits(b.FinalParams[j]) {
+			t.Fatalf("param %d differs between runs: %v vs %v", j, a.FinalParams[j], b.FinalParams[j])
+		}
+	}
+	clients := len(partialConfig(t).ClientData)
+	sawDropout := false
+	for i, h := range a.History {
+		if h.Participants+h.Dropped != clients {
+			t.Fatalf("round %d: participants %d + dropped %d != %d clients",
+				h.Round, h.Participants, h.Dropped, clients)
+		}
+		if h.Dropped > 0 {
+			sawDropout = true
+		}
+		if bh := b.History[i]; h.Dropped != bh.Dropped || h.Participants != bh.Participants {
+			t.Fatalf("round %d participation differs between runs: %d/%d vs %d/%d",
+				h.Round, h.Participants, h.Dropped, bh.Participants, bh.Dropped)
+		}
+	}
+	if !sawDropout {
+		t.Fatal("rate 0.3 over 8 rounds × 8 clients never dropped anyone — dropout inert")
+	}
 }
 
 func TestPartialMinSegmentBypassesSmallTensors(t *testing.T) {

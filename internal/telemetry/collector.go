@@ -31,6 +31,9 @@ type engineMetrics struct {
 	relevance   *Histogram
 	clientBytes *Counter
 
+	stragglers *Counter
+	faults     *Counter
+
 	lastCumUploads int
 	lastCumBytes   int64
 }
@@ -67,6 +70,8 @@ func (c *Collector) forEngine(engine string) *engineMetrics {
 		cumUploads:   c.reg.Gauge("cmfl_cum_uploads"+label, "Accumulated communication rounds so far."),
 		relevance:    c.reg.Histogram("cmfl_client_relevance"+label, "Per-client CMFL relevance (Eq. 9) at the upload decision.", RelevanceBuckets()),
 		clientBytes:  c.reg.Counter("cmfl_client_uplink_bytes_total"+label, "Uplink bytes attributed to individual client decisions."),
+		stragglers:   c.reg.Counter("cmfl_straggler_clients_total"+label, "Clients excluded from aggregation (deadline stragglers or dropout)."),
+		faults:       c.reg.Counter("cmfl_fault_events_total"+label, "Transport faults observed (connection failures, malformed frames)."),
 	}
 	c.engines[engine] = em
 	return em
@@ -83,6 +88,8 @@ func (c *Collector) OnRound(e RoundEvent) {
 	em.uplinkBytes.Add(e.CumUplinkBytes - em.lastCumBytes)
 	em.lastCumBytes = e.CumUplinkBytes
 	em.lastCumUploads = e.CumUploads
+	em.stragglers.Add(int64(e.Dropped))
+	em.faults.Add(int64(e.Faults))
 	em.participants.Set(float64(e.Participants))
 	em.cumUploads.Set(float64(e.CumUploads))
 	if e.Evaluated() {

@@ -49,6 +49,16 @@ type RoundEvent struct {
 	// CumUplinkBytes counts update payloads plus skip notifications at the
 	// application level (the paper's byte metric).
 	CumUplinkBytes int64
+	// Dropped is the number of clients excluded from this round's
+	// aggregation: stragglers cut at the quorum deadline (emu) or clients
+	// that sat the round out entirely (fl-partial dropout). Always 0 for
+	// engines without partial participation.
+	Dropped int
+	// Faults is the number of transport faults observed this round:
+	// connection failures, malformed frames, protocol violations. Only the
+	// emulation engine, which has a real network stack, can report nonzero
+	// values.
+	Faults int
 	// Accuracy is the global test accuracy after this round's aggregation;
 	// NaN on rounds without evaluation.
 	Accuracy float64
