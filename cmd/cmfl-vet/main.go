@@ -1,19 +1,25 @@
 // Command cmfl-vet runs the repo's static-analysis suite (internal/lint):
 // repo-specific analyzers that machine-check the invariants the benchmarks
-// and telemetry schema rely on — allocation-free hot paths, deterministic
-// aggregation order, the cmfl_* metric contract, handled errors, and
-// epsilon float comparisons.
+// and telemetry schema rely on — allocation-free hot paths (transitively,
+// through the call graph), deterministic aggregation order, the cmfl_*
+// metric contract, handled errors, epsilon float comparisons, goroutine
+// and mutex discipline in the emulated engine, and seed-provenance taint.
 //
 // Usage:
 //
-//	cmfl-vet [-json] [-list] [packages]
+//	cmfl-vet [-json] [-list] [-stats] [-pkg substr] [-cache dir]
+//	         [-budget file] [-cpuprofile file] [packages]
 //
 // Packages default to ./... (every buildable package of the module,
 // excluding testdata). Directories may be named explicitly — including
 // testdata fixture packages, which is how the suite tests itself.
 //
-// Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
-// load errors.
+// Results are cached per package under -cache (default .cmflvet-cache at
+// the module root, -cache "" to disable): when no file affecting a target
+// changed, the run replays findings without type-checking anything.
+//
+// Exit status: 0 when clean, 1 when findings were reported or the
+// suppression budget is exceeded, 2 on usage or load errors.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"cmfl/internal/lint"
 )
@@ -28,8 +35,13 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON document")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	stats := flag.Bool("stats", false, "report per-analyzer wall time and cache behavior")
+	pkgFilter := flag.String("pkg", "", "only analyze targets whose import path contains this substring")
+	cacheDir := flag.String("cache", lint.DefaultCacheDir, "cache directory (relative to the module root); empty disables caching")
+	budgetFile := flag.String("budget", "", "JSON budget file; fail when suppressions exceed its max_suppressed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cmfl-vet [-json] [-list] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: cmfl-vet [-json] [-list] [-stats] [-pkg substr] [-cache dir] [-budget file] [-cpuprofile file] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(os.Stderr, "  %-20s %s\n", a.Name, a.Doc)
 		}
@@ -43,15 +55,32 @@ func main() {
 		return
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	cwd, err := os.Getwd()
 	if err != nil {
 		fatal(err)
 	}
-	targets, mod, err := lint.Load(cwd, flag.Args())
+	res, err := lint.RunModule(cwd, flag.Args(), lint.All(), lint.RunOptions{
+		CacheDir:  *cacheDir,
+		Stats:     *stats || *jsonOut,
+		PkgFilter: *pkgFilter,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	res := lint.Run(mod, targets, lint.All())
+	if !*stats {
+		res.Stats = nil // only attach to -json output when explicitly asked
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -66,10 +95,56 @@ func main() {
 		if len(res.Findings) > 0 || res.Suppressed > 0 {
 			fmt.Fprintf(os.Stderr, "cmfl-vet: %d finding(s), %d suppressed\n", len(res.Findings), res.Suppressed)
 		}
+		if *stats && res.Stats != nil {
+			printStats(res.Stats)
+		}
 	}
+
+	exit := 0
 	if len(res.Findings) > 0 {
-		os.Exit(1)
+		exit = 1
 	}
+	if *budgetFile != "" && !checkBudget(*budgetFile, res.Suppressed) {
+		exit = 1
+	}
+	if exit != 0 {
+		// os.Exit skips deferred pprof.StopCPUProfile; flush it first.
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(exit)
+	}
+}
+
+func printStats(s *lint.RunStats) {
+	fmt.Fprintf(os.Stderr, "cmfl-vet: load %dms, wall %dms, cache %d hit / %d miss\n",
+		s.LoadMS, s.WallMS, s.CacheHits, s.CacheMisses)
+	for _, a := range s.Analyzers {
+		fmt.Fprintf(os.Stderr, "  %-20s %6dms  %d finding(s)\n", a.Name, a.MS, a.Findings)
+	}
+}
+
+// lintBudget is benchmarks/lint_budget.json: the ceiling on accepted
+// //cmfl:lint-ignore suppressions. Raising it is a reviewed change.
+type lintBudget struct {
+	MaxSuppressed int `json:"max_suppressed"`
+}
+
+func checkBudget(path string, suppressed int) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var b lintBudget
+	if err := json.Unmarshal(data, &b); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", path, err))
+	}
+	if suppressed > b.MaxSuppressed {
+		fmt.Fprintf(os.Stderr, "cmfl-vet: %d suppression(s) exceed the budget of %d in %s: fix the findings or raise the budget with justification\n",
+			suppressed, b.MaxSuppressed, path)
+		return false
+	}
+	return true
 }
 
 func fatal(err error) {

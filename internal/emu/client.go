@@ -102,7 +102,7 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 	defer sess.close()
 
 	network := cfg.Model()
-	rng := xrand.Derive(cfg.Seed, "fl-client", cfg.ID)
+	rng := fl.ClientStream(cfg.Seed, cfg.ID)
 
 	var prevParams, feedback []float64
 	for {

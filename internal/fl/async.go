@@ -156,7 +156,7 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 	durRng := xrand.Derive(cfg.Seed, "fl-async-durations", 0)
 	for k := 0; k < d; k++ {
 		nets[k] = cfg.Model()
-		rngs[k] = newClientStream(cfg.Seed, k)
+		rngs[k] = ClientStream(cfg.Seed, k)
 		speeds[k] = 0.5 + (cfg.StragglerFactor-0.5)*durRng.Float64()
 		pulled[k] = append([]float64(nil), params...)
 	}

@@ -99,7 +99,7 @@ func TestAggregationIsAverageOfUploads(t *testing.T) {
 	want := make([]float64, len(start))
 	for k := 0; k < 3; k++ {
 		net := cfg.Model()
-		delta, _, err := LocalTrain(net, cfg.ClientData[k], start, cfg.LR.At(1), cfg.Epochs, cfg.Batch, newClientStream(cfg.Seed, k))
+		delta, _, err := LocalTrain(net, cfg.ClientData[k], start, cfg.LR.At(1), cfg.Epochs, cfg.Batch, ClientStream(cfg.Seed, k))
 		if err != nil {
 			t.Fatal(err)
 		}

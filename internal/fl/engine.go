@@ -59,7 +59,7 @@ func Run(cfg Config) (*Result, error) {
 			id:   i,
 			net:  cfg.Model(),
 			data: data,
-			rng:  newClientStream(cfg.Seed, i),
+			rng:  ClientStream(cfg.Seed, i),
 		}
 	}
 

@@ -223,7 +223,9 @@ func (r *Result) FinalAccuracy() float64 {
 	return nan()
 }
 
-// newClientStream derives the engine's per-client randomness.
-func newClientStream(seed int64, client int) *xrand.Stream {
+// ClientStream derives the engine's per-client randomness. The emulated
+// engine calls this too, so both engines draw bit-identical client streams
+// from a single derivation site.
+func ClientStream(seed int64, client int) *xrand.Stream {
 	return xrand.Derive(seed, "fl-client", client)
 }

@@ -537,7 +537,7 @@ func TestProxTermLimitsClientDrift(t *testing.T) {
 	start := model.ParamVector()
 	norm := func(mu float64) float64 {
 		net := cfg.Model()
-		delta, _, err := LocalTrainProx(net, cfg.ClientData[0], start, 0.15, 4, 4, mu, newClientStream(1, 0))
+		delta, _, err := LocalTrainProx(net, cfg.ClientData[0], start, 0.15, 4, 4, mu, ClientStream(1, 0))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -595,11 +595,11 @@ func TestWeightedAggregation(t *testing.T) {
 	}
 	// Reconstruct each client's raw delta and check the weighted aggregate.
 	start := cfg.Model().ParamVector()
-	d0, _, err := LocalTrain(cfg.Model(), big, start, 0.1, 1, 8, newClientStream(93, 0))
+	d0, _, err := LocalTrain(cfg.Model(), big, start, 0.1, 1, 8, ClientStream(93, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	d1, _, err := LocalTrain(cfg.Model(), small, start, 0.1, 1, 8, newClientStream(93, 1))
+	d1, _, err := LocalTrain(cfg.Model(), small, start, 0.1, 1, 8, ClientStream(93, 1))
 	if err != nil {
 		t.Fatal(err)
 	}

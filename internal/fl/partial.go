@@ -107,7 +107,7 @@ func RunPartial(cfg PartialConfig) (*PartialResult, error) {
 			id:   i,
 			net:  cfg.Model(),
 			data: data,
-			rng:  newClientStream(cfg.Seed, i),
+			rng:  ClientStream(cfg.Seed, i),
 		}
 	}
 

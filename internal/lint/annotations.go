@@ -67,9 +67,13 @@ func isGenerated(f *ast.File) bool {
 	return false
 }
 
-// suppressionIndex maps (file, line, analyzer) to lint-ignore markers.
+// suppressionIndex maps (file, line, analyzer) to lint-ignore markers. It
+// also carries the malformed-marker findings discovered while scanning and
+// the serializable entry list the cache stores per package.
 type suppressionIndex struct {
-	byKey map[suppressionKey]bool
+	byKey     map[suppressionKey]bool
+	malformed []Finding
+	entries   []SuppressionEntry
 }
 
 type suppressionKey struct {
@@ -78,14 +82,28 @@ type suppressionKey struct {
 	analyzer string
 }
 
+// SuppressionEntry is one well-formed //cmfl:lint-ignore marker in cache
+// form.
+type SuppressionEntry struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+}
+
 func newSuppressionIndex() *suppressionIndex {
 	return &suppressionIndex{byKey: make(map[suppressionKey]bool)}
 }
 
+// add records one well-formed marker.
+func (s *suppressionIndex) add(e SuppressionEntry) {
+	s.byKey[suppressionKey{e.File, e.Line, e.Analyzer}] = true
+	s.entries = append(s.entries, e)
+}
+
 // addFile scans a file's comments for lint-ignore markers. Malformed
-// markers (no analyzer, no reason) are appended to findings under the
-// pseudo-analyzer name "lint".
-func (s *suppressionIndex) addFile(fset *token.FileSet, f *ast.File, findings *[]Finding) {
+// markers (no analyzer, no reason) become findings under the
+// pseudo-analyzer name "lint", carried on the index.
+func (s *suppressionIndex) addFile(fset *token.FileSet, f *ast.File) {
 	for _, group := range f.Comments {
 		for _, c := range group.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -97,7 +115,7 @@ func (s *suppressionIndex) addFile(fset *token.FileSet, f *ast.File, findings *[
 			pos := fset.Position(c.Pos())
 			fields := strings.Fields(rest)
 			if len(fields) < 2 {
-				*findings = append(*findings, Finding{
+				s.malformed = append(s.malformed, Finding{
 					Analyzer: "lint",
 					File:     pos.Filename,
 					Line:     pos.Line,
@@ -106,7 +124,7 @@ func (s *suppressionIndex) addFile(fset *token.FileSet, f *ast.File, findings *[
 				})
 				continue
 			}
-			s.byKey[suppressionKey{pos.Filename, pos.Line, fields[0]}] = true
+			s.add(SuppressionEntry{File: pos.Filename, Line: pos.Line, Analyzer: fields[0]})
 		}
 	}
 }

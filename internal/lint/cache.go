@@ -1,0 +1,475 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The cache makes cmfl-vet cheap enough to run on every edit: per-target
+// JSON records under .cmflvet-cache/ hold the pass-level findings (before
+// suppression), the package's suppression markers, and its merge facts.
+// When every target's record is valid, the run replays from the records
+// without parsing or type-checking a single file — Load dominates a cold
+// run, so a warm run is close to free. Merge-phase conclusions (duplicate
+// metric families, stream-purpose collisions) are deliberately NOT cached:
+// they are recomputed from the cached facts, which is what keeps them
+// correct when the set of packages contributing facts changes.
+//
+// A record's key hashes the target's own file contents plus the content
+// hashes of its transitive in-module dependencies AND its transitive
+// reverse importers. The reverse direction is load-bearing: concsafety's
+// verdict on a telemetry field depends on which emu goroutines write it,
+// so an emu edit must invalidate telemetry's record even though telemetry
+// imports nothing from emu. Any package whose code can reach a target's
+// functions transitively imports it, so the two closures bound every
+// cross-package input to the target's analysis. The key also folds in the
+// analyzer list and the full target set, because merge facts and origin
+// contexts are only comparable between runs over the same scope.
+//
+// Invalidation is per-record, re-analysis is whole-run: a single stale
+// record forces a full cold run. Partial replay is unsound in general —
+// the call graph and origin sets are module-wide — and the repo is small
+// enough that the all-or-nothing policy costs little.
+
+// cacheSchemaVersion invalidates every record when analyzer semantics or
+// the record layout change. Bump it alongside such changes.
+const cacheSchemaVersion = "cmflvet-cache-v1"
+
+// DefaultCacheDir is the conventional cache location, relative to the
+// module root.
+const DefaultCacheDir = ".cmflvet-cache"
+
+// RunOptions configures RunModule.
+type RunOptions struct {
+	// CacheDir is the cache directory (relative paths resolve against the
+	// module root). Empty disables caching.
+	CacheDir string
+	// Stats attaches a RunStats to the Result.
+	Stats bool
+	// PkgFilter, when non-empty, keeps only targets whose import path
+	// contains it as a substring.
+	PkgFilter string
+}
+
+// cacheRecord is one target package's serialized analysis. File paths are
+// stored module-root-relative (slash-separated) so records survive a
+// checkout moving — CI restores the cache into a fresh workspace.
+type cacheRecord struct {
+	Version      string             `json:"version"`
+	Key          string             `json:"key"`
+	Path         string             `json:"path"`
+	Findings     []Finding          `json:"findings,omitempty"`
+	Malformed    []Finding          `json:"malformed,omitempty"`
+	Suppressions []SuppressionEntry `json:"suppressions,omitempty"`
+	Facts        *PackageFacts      `json:"facts"`
+}
+
+// RunModule is the cmfl-vet entry point: scan the module, consult the
+// cache, and either replay warm or load-and-analyze cold. Findings are
+// identical either way.
+func RunModule(dir string, patterns []string, analyzers []*Analyzer, opts RunOptions) (Result, error) {
+	wallStart := time.Now()
+	scan, err := scanModule(dir, patterns)
+	if err != nil {
+		return Result{}, err
+	}
+	targets := scan.targets
+	if opts.PkgFilter != "" {
+		kept := targets[:0:0]
+		for _, t := range targets {
+			if strings.Contains(t, opts.PkgFilter) {
+				kept = append(kept, t)
+			}
+		}
+		targets = kept
+	}
+	stats := &RunStats{}
+	attach := func(res Result) Result {
+		if opts.Stats {
+			stats.WallMS = int64(time.Since(wallStart) / time.Millisecond)
+			res.Stats = stats
+		}
+		return res
+	}
+	if len(targets) == 0 {
+		return attach(finish(nil, newSuppressionIndex(), nil)), nil
+	}
+
+	version := cacheSchemaVersion + "|" + strings.Join(analyzerNames(analyzers), ",")
+	keys := scan.keys(version, targets)
+
+	cacheDir := ""
+	if opts.CacheDir != "" {
+		cacheDir = opts.CacheDir
+		if !filepath.IsAbs(cacheDir) {
+			cacheDir = filepath.Join(scan.root, cacheDir)
+		}
+		records := readCacheRecords(cacheDir, scan, targets, version, keys)
+		stats.CacheHits = len(records)
+		stats.CacheMisses = len(targets) - len(records)
+		if len(records) == len(targets) {
+			return attach(replayWarm(targets, analyzers, records, stats)), nil
+		}
+	}
+
+	loadStart := time.Now()
+	pkgs, mod, err := Load(dir, targets)
+	if err != nil {
+		return Result{}, err
+	}
+	stats.LoadMS = int64(time.Since(loadStart) / time.Millisecond)
+
+	perPkg, merged, tf := runPasses(mod, pkgs, analyzers, stats)
+	supp := mod.Suppressions()
+	if cacheDir != "" {
+		writeCacheRecords(cacheDir, scan, version, keys, pkgs, perPkg, tf, supp)
+	}
+	var findings []Finding
+	for _, pr := range perPkg {
+		findings = append(findings, pr.findings...)
+	}
+	findings = append(findings, merged...)
+	return attach(finish(findings, supp, nil)), nil
+}
+
+// replayWarm reconstructs the Result from cached records: pass findings
+// and suppressions verbatim, merge phase recomputed over cached facts.
+func replayWarm(targets []string, analyzers []*Analyzer, records map[string]*cacheRecord, stats *RunStats) Result {
+	supp := newSuppressionIndex()
+	var findings []Finding
+	tf := make([]*TargetFacts, 0, len(targets))
+	for _, t := range targets {
+		rec := records[t]
+		findings = append(findings, rec.Findings...)
+		supp.malformed = append(supp.malformed, rec.Malformed...)
+		for _, e := range rec.Suppressions {
+			supp.add(e)
+		}
+		facts := rec.Facts
+		if facts == nil {
+			facts = &PackageFacts{}
+		}
+		tf = append(tf, &TargetFacts{Path: t, Facts: facts})
+	}
+	durations := make([]int64, len(analyzers))
+	merged := runMerges(analyzers, tf, durations)
+	findings = append(findings, merged...)
+
+	counts := make(map[string]int)
+	for _, f := range findings {
+		counts[f.Analyzer]++
+	}
+	for ai, a := range analyzers {
+		stats.Analyzers = append(stats.Analyzers, AnalyzerStat{
+			Name:     a.Name,
+			MS:       durations[ai] / int64(time.Millisecond),
+			Findings: counts[a.Name],
+		})
+	}
+	return finish(findings, supp, nil)
+}
+
+// readCacheRecords loads the valid records: version and key must match and
+// the stored path must agree. Paths are absolutized against the module
+// root on the way in so cached and fresh findings compare equal.
+func readCacheRecords(cacheDir string, scan *moduleScan, targets []string, version string, keys map[string]string) map[string]*cacheRecord {
+	records := make(map[string]*cacheRecord)
+	for _, t := range targets {
+		data, err := os.ReadFile(filepath.Join(cacheDir, recordFileName(t)))
+		if err != nil {
+			continue
+		}
+		var rec cacheRecord
+		if json.Unmarshal(data, &rec) != nil {
+			continue
+		}
+		if rec.Version != version || rec.Key != keys[t] || rec.Path != t {
+			continue
+		}
+		for i := range rec.Findings {
+			rec.Findings[i].File = scan.abs(rec.Findings[i].File)
+		}
+		for i := range rec.Malformed {
+			rec.Malformed[i].File = scan.abs(rec.Malformed[i].File)
+		}
+		for i := range rec.Suppressions {
+			rec.Suppressions[i].File = scan.abs(rec.Suppressions[i].File)
+		}
+		if rec.Facts != nil {
+			for i := range rec.Facts.Metrics {
+				rec.Facts.Metrics[i].File = scan.abs(rec.Facts.Metrics[i].File)
+			}
+			for i := range rec.Facts.Streams {
+				rec.Facts.Streams[i].File = scan.abs(rec.Facts.Streams[i].File)
+			}
+		}
+		records[t] = &rec
+	}
+	return records
+}
+
+// writeCacheRecords persists one record per analyzed target. Suppression
+// entries and malformed markers are sliced per target by file ownership;
+// pass findings land in the record of the package whose pass produced
+// them, wherever they are positioned.
+func writeCacheRecords(cacheDir string, scan *moduleScan, version string, keys map[string]string, pkgs []*Package, perPkg []passResult, tf []*TargetFacts, supp *suppressionIndex) {
+	if os.MkdirAll(cacheDir, 0o755) != nil {
+		return // caching is best-effort; the run already has its findings
+	}
+	fileOwner := make(map[string]string)
+	for _, pkg := range pkgs {
+		if sp := scan.pkgs[pkg.Path]; sp != nil {
+			for _, f := range sp.files {
+				fileOwner[f] = pkg.Path
+			}
+		}
+	}
+	suppByPkg := make(map[string][]SuppressionEntry)
+	for _, e := range supp.entries {
+		if owner, ok := fileOwner[e.File]; ok {
+			e.File = scan.rel(e.File)
+			suppByPkg[owner] = append(suppByPkg[owner], e)
+		}
+	}
+	malByPkg := make(map[string][]Finding)
+	for _, f := range supp.malformed {
+		if owner, ok := fileOwner[f.File]; ok {
+			f.File = scan.rel(f.File)
+			malByPkg[owner] = append(malByPkg[owner], f)
+		}
+	}
+	for i, pkg := range pkgs {
+		rec := cacheRecord{
+			Version:      version,
+			Key:          keys[pkg.Path],
+			Path:         pkg.Path,
+			Malformed:    malByPkg[pkg.Path],
+			Suppressions: suppByPkg[pkg.Path],
+			Facts:        relFacts(scan, tf[i].Facts),
+		}
+		for _, f := range perPkg[i].findings {
+			f.File = scan.rel(f.File)
+			rec.Findings = append(rec.Findings, f)
+		}
+		data, err := json.Marshal(&rec)
+		if err != nil {
+			continue
+		}
+		//cmfl:lint-ignore errcheck caching is best-effort; a failed write only costs the next run a cold start
+		_ = os.WriteFile(filepath.Join(cacheDir, recordFileName(pkg.Path)), data, 0o644)
+	}
+}
+
+// relFacts returns a copy of facts with module-root-relative file paths.
+func relFacts(scan *moduleScan, facts *PackageFacts) *PackageFacts {
+	out := &PackageFacts{}
+	for _, m := range facts.Metrics {
+		m.File = scan.rel(m.File)
+		out.Metrics = append(out.Metrics, m)
+	}
+	for _, s := range facts.Streams {
+		s.File = scan.rel(s.File)
+		out.Streams = append(out.Streams, s)
+	}
+	return out
+}
+
+// recordFileName flattens an import path into one cache file name.
+func recordFileName(importPath string) string {
+	return strings.ReplaceAll(importPath, "/", "__") + ".json"
+}
+
+func analyzerNames(analyzers []*Analyzer) []string {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// scannedPkg is one package's pre-load view: just file names, contents
+// hash, and in-module imports — enough to compute cache keys without
+// type-checking anything.
+type scannedPkg struct {
+	path    string
+	dir     string
+	files   []string // absolute, sorted
+	imports []string // in-module import paths, sorted, deduped
+	hash    string   // content hash over own files
+}
+
+// moduleScan is the pre-load survey of the module: every buildable package
+// (plus explicitly named targets such as testdata fixtures, and anything
+// they transitively import) with content hashes and the import graph.
+type moduleScan struct {
+	root    string
+	modPath string
+	targets []string
+	pkgs    map[string]*scannedPkg
+}
+
+// scanModule surveys the module with parser.ImportsOnly — a small fraction
+// of full Load — resolving the same patterns Load would.
+func scanModule(dir string, patterns []string) (*moduleScan, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	ld := &loader{mod: &Module{RootDir: root, Path: modPath}, ctx: build.Default}
+	targets, err := ld.expand(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	all, err := ld.walkModule()
+	if err != nil {
+		return nil, err
+	}
+	scan := &moduleScan{root: root, modPath: modPath, targets: targets, pkgs: make(map[string]*scannedPkg)}
+	fset := token.NewFileSet()
+	queue := append(append([]string{}, all...), targets...)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if _, ok := scan.pkgs[p]; ok {
+			continue
+		}
+		d, err := ld.importPathToDir(p)
+		if err != nil {
+			return nil, err
+		}
+		names, err := ld.listGoFiles(d)
+		if err != nil {
+			return nil, err
+		}
+		if len(names) == 0 {
+			continue // a target with no files fails in Load with a better error
+		}
+		sp := &scannedPkg{path: p, dir: d}
+		h := sha256.New()
+		imports := make(map[string]bool)
+		for _, name := range names {
+			full := filepath.Join(d, name)
+			sp.files = append(sp.files, full)
+			data, err := os.ReadFile(full)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(h, "%s %d\n", name, len(data))
+			h.Write(data)
+			f, err := parser.ParseFile(fset, full, data, parser.ImportsOnly)
+			if err != nil {
+				return nil, fmt.Errorf("lint: scanning %s: %w", full, err)
+			}
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					if !imports[ip] {
+						imports[ip] = true
+						queue = append(queue, ip)
+					}
+				}
+			}
+		}
+		sp.hash = hex.EncodeToString(h.Sum(nil))
+		for ip := range imports {
+			sp.imports = append(sp.imports, ip)
+		}
+		sort.Strings(sp.imports)
+		scan.pkgs[p] = sp
+	}
+	return scan, nil
+}
+
+// keys computes one cache key per target: version, the target set, the
+// target's own content hash, and the content hashes of its forward and
+// reverse transitive closures over in-module imports.
+func (s *moduleScan) keys(version string, targets []string) map[string]string {
+	fwd := make(map[string][]string, len(s.pkgs))
+	rev := make(map[string][]string, len(s.pkgs))
+	for p, sp := range s.pkgs {
+		for _, ip := range sp.imports {
+			fwd[p] = append(fwd[p], ip)
+			rev[ip] = append(rev[ip], p)
+		}
+	}
+	sortedTargets := append([]string(nil), targets...)
+	sort.Strings(sortedTargets)
+	th := sha256.Sum256([]byte(strings.Join(sortedTargets, "\n")))
+	targetsHash := hex.EncodeToString(th[:])
+
+	keys := make(map[string]string, len(targets))
+	for _, t := range targets {
+		sp := s.pkgs[t]
+		if sp == nil {
+			keys[t] = "" // unscannable: never a cache hit
+			continue
+		}
+		deps := make(map[string]bool)
+		closure(fwd, t, deps)
+		closure(rev, t, deps)
+		delete(deps, t)
+		sorted := make([]string, 0, len(deps))
+		for d := range deps {
+			sorted = append(sorted, d)
+		}
+		sort.Strings(sorted)
+
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\n%s\n%s %s\n", version, targetsHash, t, sp.hash)
+		for _, d := range sorted {
+			dh := ""
+			if dsp := s.pkgs[d]; dsp != nil {
+				dh = dsp.hash
+			}
+			fmt.Fprintf(h, "%s %s\n", d, dh)
+		}
+		keys[t] = hex.EncodeToString(h.Sum(nil))
+	}
+	return keys
+}
+
+// closure accumulates the transitive reach of start over edges into out.
+func closure(edges map[string][]string, start string, out map[string]bool) {
+	stack := []string{start}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, q := range edges[p] {
+			if !out[q] {
+				out[q] = true
+				stack = append(stack, q)
+			}
+		}
+	}
+}
+
+// rel maps an absolute path under the module root to a slash-relative one.
+func (s *moduleScan) rel(path string) string {
+	r, err := filepath.Rel(s.root, path)
+	if err != nil || r == ".." || strings.HasPrefix(r, ".."+string(filepath.Separator)) {
+		return path
+	}
+	return filepath.ToSlash(r)
+}
+
+// abs undoes rel.
+func (s *moduleScan) abs(path string) string {
+	if filepath.IsAbs(path) {
+		return path
+	}
+	return filepath.Join(s.root, filepath.FromSlash(path))
+}

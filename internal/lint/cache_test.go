@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeCacheTestModule lays out a two-package throwaway module where b
+// imports a: the shape needed to prove both directions of invalidation.
+func writeCacheTestModule(t testing.TB) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		full := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module cachetest\n\ngo 1.24\n")
+	write("a/a.go", `package a
+
+import "os"
+
+func Touch(path string) {
+	_ = os.Remove(path)
+}
+
+func Quiet(path string) {
+	//cmfl:lint-ignore errcheck best-effort cleanup in fixture
+	_ = os.Remove(path)
+}
+`)
+	write("b/b.go", `package b
+
+import "cachetest/a"
+
+func Use() {
+	a.Touch("x")
+}
+`)
+	return dir
+}
+
+func appendToFile(t *testing.T, path, content string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(content); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheWarmReplayAndInvalidation drives the full cache lifecycle: cold
+// populate, warm replay with identical results, invalidation when an
+// importer changes (the reverse-dependency direction), and re-analysis
+// picking up a newly introduced finding.
+func TestCacheWarmReplayAndInvalidation(t *testing.T) {
+	dir := writeCacheTestModule(t)
+	analyzers := []*Analyzer{ErrCheck}
+	opts := RunOptions{CacheDir: DefaultCacheDir, Stats: true}
+
+	cold, err := RunModule(dir, []string{"./..."}, analyzers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.CacheHits != 0 || cold.Stats.CacheMisses != 2 {
+		t.Errorf("cold cache = %d hit / %d miss, want 0/2", cold.Stats.CacheHits, cold.Stats.CacheMisses)
+	}
+	if len(cold.Findings) != 1 || cold.Suppressed != 1 {
+		t.Fatalf("cold run = %d finding(s), %d suppressed, want 1 and 1: %v", len(cold.Findings), cold.Suppressed, cold.Findings)
+	}
+
+	warm, err := RunModule(dir, []string{"./..."}, analyzers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.CacheHits != 2 || warm.Stats.CacheMisses != 0 {
+		t.Errorf("warm cache = %d hit / %d miss, want 2/0", warm.Stats.CacheHits, warm.Stats.CacheMisses)
+	}
+	if !reflect.DeepEqual(cold.Findings, warm.Findings) || cold.Suppressed != warm.Suppressed {
+		t.Errorf("warm replay diverged:\n  cold: %v (%d suppressed)\n  warm: %v (%d suppressed)",
+			cold.Findings, cold.Suppressed, warm.Findings, warm.Suppressed)
+	}
+
+	// Editing the IMPORTER must invalidate the imported package's record
+	// too: reverse dependencies feed goroutine origins and field-write
+	// evidence, so b's content is part of a's key.
+	appendToFile(t, filepath.Join(dir, "b", "b.go"), "\nfunc Use2() {\n\ta.Touch(\"y\")\n}\n")
+	edited, err := RunModule(dir, []string{"./..."}, analyzers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edited.Stats.CacheMisses != 2 {
+		t.Errorf("after editing the importer: %d miss(es), want 2 (reverse deps invalidate too)", edited.Stats.CacheMisses)
+	}
+	if !reflect.DeepEqual(cold.Findings, edited.Findings) {
+		t.Errorf("findings changed after a neutral edit:\n  before: %v\n  after: %v", cold.Findings, edited.Findings)
+	}
+
+	// A new violation in a must surface on the next (invalidated) run.
+	appendToFile(t, filepath.Join(dir, "a", "a.go"), "\nfunc Touch2(path string) {\n\t_ = os.Remove(path)\n}\n")
+	after, err := RunModule(dir, []string{"./..."}, analyzers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Findings) != 2 {
+		t.Errorf("after adding a violation: %d finding(s), want 2: %v", len(after.Findings), after.Findings)
+	}
+}
+
+// TestRunModulePkgFilter: -pkg narrows the target set by substring.
+func TestRunModulePkgFilter(t *testing.T) {
+	dir := writeCacheTestModule(t)
+	res, err := RunModule(dir, []string{"./..."}, []*Analyzer{ErrCheck}, RunOptions{CacheDir: DefaultCacheDir, PkgFilter: "cachetest/b", Stats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 0 || res.Suppressed != 0 {
+		t.Errorf("filtered run over b = %d finding(s), %d suppressed, want 0 and 0: %v", len(res.Findings), res.Suppressed, res.Findings)
+	}
+	if res.Stats.CacheMisses != 1 {
+		t.Errorf("filtered run analyzed %d target(s), want 1", res.Stats.CacheMisses)
+	}
+}
+
+// TestRunModuleWarmMatchesCold runs the full suite over the real module
+// twice and demands bit-identical results from the warm replay — the
+// acceptance criterion behind the BenchmarkCmflVet pair.
+func TestRunModuleWarmMatchesCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	opts := RunOptions{CacheDir: t.TempDir(), Stats: true}
+	root := filepath.Join("..", "..")
+	cold, err := RunModule(root, []string{"./..."}, All(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunModule(root, []string{"./..."}, All(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.CacheMisses != 0 || warm.Stats.CacheHits == 0 {
+		t.Errorf("second run was not warm: %d hit / %d miss", warm.Stats.CacheHits, warm.Stats.CacheMisses)
+	}
+	if !reflect.DeepEqual(cold.Findings, warm.Findings) || cold.Suppressed != warm.Suppressed {
+		t.Errorf("warm replay diverged from cold run:\n  cold: %v (%d suppressed)\n  warm: %v (%d suppressed)",
+			cold.Findings, cold.Suppressed, warm.Findings, warm.Suppressed)
+	}
+}
+
+// BenchmarkCmflVetCold measures a full scan + load + analyze of the module
+// with caching disabled.
+func BenchmarkCmflVetCold(b *testing.B) {
+	root := filepath.Join("..", "..")
+	for i := 0; i < b.N; i++ {
+		if _, err := RunModule(root, []string{"./..."}, All(), RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCmflVetWarm measures the cache replay path: scan, key check,
+// merge phase, suppression — no parsing or type checking.
+func BenchmarkCmflVetWarm(b *testing.B) {
+	root := filepath.Join("..", "..")
+	opts := RunOptions{CacheDir: b.TempDir()}
+	if _, err := RunModule(root, []string{"./..."}, All(), opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunModule(root, []string{"./..."}, All(), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHotPathTransitiveFixture is the acceptance case for the call-graph
+// rewrite: the allocation sits two calls below the annotation and the
+// finding carries the rendered call path.
+func TestHotPathTransitiveFixture(t *testing.T) {
+	res := checkFixture(t, "hotpathtrans", []*Analyzer{HotPathAlloc})
+	// The callee-side justification pre-empts the finding inside the walk,
+	// so it does not count as a suppression of a surfaced finding.
+	if res.Suppressed != 0 {
+		t.Errorf("suppressed = %d, want 0", res.Suppressed)
+	}
+	found := false
+	for _, f := range res.Findings {
+		if strings.Contains(f.Message, "level1 → level2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no finding rendered the two-hop call path; findings: %v", res.Findings)
+	}
+}
+
+func TestConcSafetyFixture(t *testing.T) {
+	checkScopedFixture(t, "concsafety", []*Analyzer{ConcSafety}, ConcurrencyPackages)
+}
+
+// TestConcSafetyScopeGate: outside ConcurrencyPackages the same fixture
+// must stay silent — the analyzer is scoped, not global.
+func TestConcSafetyScopeGate(t *testing.T) {
+	pkg, mod := loadFixture(t, "concsafety")
+	res := Run(mod, []*Package{pkg}, []*Analyzer{ConcSafety})
+	if len(res.Findings) != 0 {
+		t.Errorf("concsafety fired outside its package scope: %v", res.Findings)
+	}
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	checkScopedFixture(t, "goroleak", []*Analyzer{GoroLeak}, ConcurrencyPackages)
+}
+
+func TestSeedTaintFixture(t *testing.T) {
+	checkScopedFixture(t, "seedtaint", []*Analyzer{SeedTaint}, SeedTaintPackages)
+}
+
+// TestSeedTaintScopeGate mirrors TestConcSafetyScopeGate.
+func TestSeedTaintScopeGate(t *testing.T) {
+	pkg, mod := loadFixture(t, "seedtaint")
+	res := Run(mod, []*Package{pkg}, []*Analyzer{SeedTaint})
+	if len(res.Findings) != 0 {
+		t.Errorf("seedtaint fired outside its package scope: %v", res.Findings)
+	}
+}

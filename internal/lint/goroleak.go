@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak flags leak candidates in the concurrency-scoped packages: a `go`
+// statement whose spawned body — followed transitively through in-module
+// callees — executes an infinite loop (`for {}` / `for true {}`) that
+// contains no return and no break. Such a goroutine has no reachable exit
+// signal: no stop-channel case that returns, no error path out of the
+// accept loop, nothing the server's Close can unblock. The heuristic is
+// deliberately syntactic (a loop that CAN exit has a return or break
+// somewhere in it); goroutines that block forever on a channel nobody
+// closes are out of scope — the race and chaos suites own liveness.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "spawned goroutines in concurrency-scoped packages must have a reachable exit (no infinite loop without return/break)",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	if !ConcurrencyPackages[pass.Pkg.Path] {
+		return
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkSpawn(pass, stmt)
+			return true
+		})
+	}
+}
+
+// checkSpawn inspects one `go` statement's transitive body for an
+// inescapable loop.
+func checkSpawn(pass *Pass, stmt *ast.GoStmt) {
+	visited := make(map[*types.Func]bool)
+	var loopAt *ast.ForStmt
+
+	var scanBody func(pkg *Package, body *ast.BlockStmt)
+	scanBody = func(pkg *Package, body *ast.BlockStmt) {
+		if loopAt != nil {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if loopAt != nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // runs on its own schedule; not this goroutine's loop
+			case *ast.GoStmt:
+				return false // nested spawns are their own findings
+			case *ast.ForStmt:
+				if isInfiniteLoop(pkg, n) && !loopHasExit(n) {
+					loopAt = n
+					return false
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(pkg, n)
+				if fn == nil || visited[fn] {
+					return true
+				}
+				visited[fn] = true
+				if decl, declPkg := pass.Mod.FuncDecl(fn); decl != nil && decl.Body != nil {
+					scanBody(declPkg, decl.Body)
+				}
+			}
+			return true
+		})
+	}
+
+	if lit, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit); ok {
+		scanBody(pass.Pkg, lit.Body)
+	} else if fn := calleeFunc(pass.Pkg, stmt.Call); fn != nil {
+		visited[fn] = true
+		if decl, declPkg := pass.Mod.FuncDecl(fn); decl != nil && decl.Body != nil {
+			scanBody(declPkg, decl.Body)
+		}
+	}
+	if loopAt != nil {
+		position := pass.Fset().Position(loopAt.Pos())
+		pass.Reportf(stmt.Pos(), "goroutine has no reachable exit: infinite loop at %s:%d contains no return or break (add a stop signal or justify with //cmfl:lint-ignore goroleak)",
+			shortFile(position.Filename), position.Line)
+	}
+}
+
+// isInfiniteLoop reports `for { ... }` and `for true { ... }`.
+func isInfiniteLoop(pkg *Package, loop *ast.ForStmt) bool {
+	if loop.Cond == nil {
+		return true
+	}
+	tv, ok := pkg.Info.Types[loop.Cond]
+	return ok && tv.Value != nil && tv.Value.String() == "true"
+}
+
+// loopHasExit reports whether the loop body contains a return or break at
+// any depth (function literals excluded — their control flow is separate).
+// A break bound to an inner loop still exits that iteration chain
+// eventually, so any break counts; the heuristic errs toward silence.
+func loopHasExit(loop *ast.ForStmt) bool {
+	exit := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if exit {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			exit = true
+			return false
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				exit = true
+				return false
+			}
+		}
+		return true
+	})
+	return exit
+}

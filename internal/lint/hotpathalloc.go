@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // HotPathAlloc enforces the PR-1 contract: functions annotated
@@ -19,81 +20,131 @@ import (
 //   - string<->[]byte/[]rune conversions,
 //   - func literals (closures),
 //
-// — both directly in the annotated body and inside module callees one
-// level deep, so a hot function cannot launder an append through a helper.
-// Callees that are themselves annotated are skipped here (they are checked
-// in their own right); lines inside a callee marked
-// //cmfl:lint-ignore hotpathalloc (e.g. amortized grow-only resizes) do
-// not propagate to callers.
+// — directly in the annotated body and transitively through the entire
+// in-module call chain (via the module call graph), so a hot function
+// cannot launder an append through any depth of helpers. Findings against
+// callees report the call path from the annotation to the allocation.
+// Callees that are themselves annotated are barriers: they are checked in
+// their own right, not re-reported at callers. Lines inside a callee marked
+// //cmfl:lint-ignore hotpathalloc (e.g. amortized grow-only resizes) do not
+// propagate to callers.
 var HotPathAlloc = &Analyzer{
 	Name: "hotpathalloc",
-	Doc:  "//cmfl:hotpath functions must not allocate, including module callees one level deep",
+	Doc:  "//cmfl:hotpath functions must be allocation-free through their entire in-module call chain",
 	Run:  runHotPathAlloc,
 }
 
 func runHotPathAlloc(pass *Pass) {
+	sums := pass.Mod.Summaries()
+	graph := pass.Mod.CallGraph()
 	for _, f := range pass.SourceFiles() {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !funcHasMarker(fd, markerHotPath) {
 				continue
 			}
-			scanAllocs(pass, pass.Pkg, fd.Body, func(pos token.Pos, what string) {
-				pass.Reportf(pos, "%s in hot path %s", what, fd.Name.Name)
-			})
-			scanHotCallees(pass, fd)
-		}
-	}
-}
-
-// scanHotCallees checks every resolvable module callee of the annotated
-// function for direct allocations and reports them at the call site.
-func scanHotCallees(pass *Pass, fd *ast.FuncDecl) {
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		fn := calleeFunc(pass.Pkg, call)
-		if fn == nil || !pass.InModule(fn) {
-			return true
-		}
-		decl, declPkg := pass.Mod.FuncDecl(fn)
-		if decl == nil || decl.Body == nil || funcHasMarker(decl, markerHotPath) {
-			return true
-		}
-		reported := false
-		scanAllocs(pass, declPkg, decl.Body, func(pos token.Pos, what string) {
-			if reported || suppressedAt(pass, pos) {
-				return
-			}
-			reported = true
-			position := pass.Fset().Position(pos)
-			pass.Reportf(call.Pos(), "hot path %s calls %s, which allocates (%s at %s:%d)",
-				fd.Name.Name, fn.Name(), what, position.Filename, position.Line)
-		})
-		return true
-	})
-}
-
-// suppressedAt reports whether a hotpathalloc lint-ignore marker covers pos
-// in the callee's file — used so an amortized allocation justified inside a
-// helper does not re-surface at every annotated caller.
-func suppressedAt(pass *Pass, pos token.Pos) bool {
-	position := pass.Fset().Position(pos)
-	for _, pkg := range pass.Mod.Pkgs {
-		for _, f := range pkg.Files {
-			ff := pass.Fset().File(f.Pos())
-			if ff == nil || ff.Name() != position.Filename {
+			fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
 				continue
 			}
-			idx := newSuppressionIndex()
-			var scratch []Finding
-			idx.addFile(pass.Fset(), f, &scratch)
-			return idx.matches(Finding{Analyzer: pass.Analyzer.Name, File: position.Filename, Line: position.Line})
+			if s := sums[fn]; s != nil {
+				for _, w := range s.Direct[EffAlloc] {
+					pass.Reportf(w.Pos, "%s in hot path %s", w.What, fd.Name.Name)
+				}
+			}
+			scanHotCallees(pass, graph, sums, fd, fn)
 		}
 	}
-	return false
+}
+
+// scanHotCallees walks the call graph from every call site of the annotated
+// function, breadth-first through non-spawn in-module edges, and reports the
+// first justification-free allocation reachable from each site together
+// with the call path that reaches it.
+func scanHotCallees(pass *Pass, graph *CallGraph, sums map[*types.Func]*EffectSummary, fd *ast.FuncDecl, fn *types.Func) {
+	node := graph.Node(fn)
+	if node == nil {
+		return
+	}
+	type item struct {
+		fn   *types.Func
+		path []*types.Func // call chain from fd to fn, inclusive
+	}
+	for _, site := range node.Sites {
+		if site.Spawn || site.Callee == nil || !pass.InModule(site.Callee) {
+			continue
+		}
+		if isHotPathBarrier(pass.Mod, site.Callee) {
+			continue
+		}
+		visited := map[*types.Func]bool{fn: true}
+		queue := []item{{site.Callee, []*types.Func{site.Callee}}}
+		for len(queue) > 0 {
+			it := queue[0]
+			queue = queue[1:]
+			if visited[it.fn] {
+				continue
+			}
+			visited[it.fn] = true
+			s := sums[it.fn]
+			if s == nil {
+				continue // no loaded body to vouch for; dynamic conservatism stops here
+			}
+			if w, ok := firstUnsuppressedAlloc(pass, s); ok {
+				position := pass.Fset().Position(w.Pos)
+				pass.Reportf(site.Call.Pos(), "hot path %s calls %s, which allocates (%s at %s:%d)",
+					fd.Name.Name, renderCallPath(it.path), w.What, position.Filename, position.Line)
+				break // one finding per call site; deeper paths add noise, not signal
+			}
+			next := graph.Node(it.fn)
+			if next == nil {
+				continue
+			}
+			for _, cs := range next.Sites {
+				if cs.Spawn || cs.Callee == nil || visited[cs.Callee] || !pass.InModule(cs.Callee) {
+					continue
+				}
+				if isHotPathBarrier(pass.Mod, cs.Callee) {
+					continue
+				}
+				path := make([]*types.Func, len(it.path), len(it.path)+1)
+				copy(path, it.path)
+				queue = append(queue, item{cs.Callee, append(path, cs.Callee)})
+			}
+		}
+	}
+}
+
+// isHotPathBarrier reports whether callee is itself annotated //cmfl:hotpath
+// (checked in its own right, so callers need not re-scan it).
+func isHotPathBarrier(mod *Module, callee *types.Func) bool {
+	decl, _ := mod.FuncDecl(callee)
+	return decl != nil && funcHasMarker(decl, markerHotPath)
+}
+
+// firstUnsuppressedAlloc returns the summary's first direct allocation not
+// covered by a callee-side //cmfl:lint-ignore hotpathalloc marker — an
+// amortized allocation justified inside a helper does not re-surface at
+// every annotated caller.
+func firstUnsuppressedAlloc(pass *Pass, s *EffectSummary) (Witness, bool) {
+	supp := pass.Mod.Suppressions()
+	for _, w := range s.Direct[EffAlloc] {
+		position := pass.Fset().Position(w.Pos)
+		if supp.matches(Finding{Analyzer: pass.Analyzer.Name, File: position.Filename, Line: position.Line}) {
+			continue
+		}
+		return w, true
+	}
+	return Witness{}, false
+}
+
+// renderCallPath renders "g" or "g → h → k" for finding messages.
+func renderCallPath(path []*types.Func) string {
+	names := make([]string, len(path))
+	for i, fn := range path {
+		names[i] = fn.Name()
+	}
+	return strings.Join(names, " → ")
 }
 
 // calleeFunc resolves a call expression to its static *types.Func, or nil
@@ -113,11 +164,10 @@ func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
 	return fn
 }
 
-// scanAllocs walks a function body and invokes report for every
-// allocating construct. pkg supplies the type info governing body (the
-// callee scan crosses packages).
-func scanAllocs(pass *Pass, pkg *Package, body *ast.BlockStmt, report func(pos token.Pos, what string)) {
-	info := pkg.Info
+// scanAllocs walks a function body and invokes report for every allocating
+// construct. info supplies the type information governing body (callers may
+// cross packages).
+func scanAllocs(info *types.Info, body *ast.BlockStmt, report func(pos token.Pos, what string)) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:

@@ -5,17 +5,29 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Analyzer is one named check over a type-checked package. Analyzers are
 // repo-specific: they enforce invariants of this codebase (hot-path
-// allocation freedom, deterministic aggregation order, the cmfl_* metric
-// schema) rather than general Go style.
+// allocation freedom, deterministic aggregation order, goroutine and mutex
+// discipline, seed provenance, the cmfl_* metric schema) rather than
+// general Go style.
+//
+// Run executes per package and may record cross-package facts on
+// pass.Facts; the optional Merge phase then runs once over every target's
+// facts — in package-path order, with no type information — which is what
+// lets merge-only conclusions (duplicate metric families, stream-purpose
+// collisions) be recomputed from the cache without reloading the module.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name  string
+	Doc   string
+	Run   func(*Pass)
+	Merge func(*MergePass)
 }
 
 // Finding is one reported violation, positioned for editors and CI logs.
@@ -33,10 +45,56 @@ func (f Finding) String() string {
 
 // Result is the machine-readable outcome of a run: every surviving finding
 // plus how many were silenced by //cmfl:lint-ignore comments. It is the
-// JSON document cmfl-vet emits with -json.
+// JSON document cmfl-vet emits with -json. Stats is present only when the
+// caller asked for it (-stats).
 type Result struct {
 	Findings   []Finding `json:"findings"`
 	Suppressed int       `json:"suppressed"`
+	Stats      *RunStats `json:"stats,omitempty"`
+}
+
+// RunStats reports where a run spent its time and how the cache behaved.
+type RunStats struct {
+	Analyzers   []AnalyzerStat `json:"analyzers"`
+	CacheHits   int            `json:"cache_hits"`
+	CacheMisses int            `json:"cache_misses"`
+	LoadMS      int64          `json:"load_ms"`
+	WallMS      int64          `json:"wall_ms"`
+}
+
+// AnalyzerStat is one analyzer's accumulated wall time across all packages
+// (passes run in parallel, so these can sum to more than WallMS).
+type AnalyzerStat struct {
+	Name     string `json:"name"`
+	MS       int64  `json:"ms"`
+	Findings int    `json:"findings"`
+}
+
+// PackageFacts is the serializable cross-package state one package
+// contributes to the merge phase. Each analyzer owns exactly one field
+// (metricschema → Metrics, seedtaint → Streams), which is what makes
+// concurrent passes over the same package race-free.
+type PackageFacts struct {
+	Metrics []MetricFact `json:"metrics,omitempty"`
+	Streams []StreamFact `json:"streams,omitempty"`
+}
+
+// MetricFact is one telemetry metric-family registration site.
+type MetricFact struct {
+	Family string `json:"family"`
+	Kind   string `json:"kind"`
+	Help   string `json:"help"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+}
+
+// StreamFact is one xrand.Derive call site with its constant purpose.
+type StreamFact struct {
+	Purpose string `json:"purpose"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
 }
 
 // Pass is the per-(analyzer, package) invocation context.
@@ -45,9 +103,10 @@ type Pass struct {
 	Mod      *Module
 	Pkg      *Package
 
-	// Shared is runner-wide scratch state keyed by analyzer name, for
-	// checks that span packages (metric family uniqueness).
-	Shared map[string]any
+	// Facts collects this package's contribution to the analyzer's merge
+	// phase. Shared by all analyzers running over the package; each writes
+	// only its own field.
+	Facts *PackageFacts
 
 	findings *[]Finding
 }
@@ -102,6 +161,34 @@ func (p *Pass) SourceFiles() []*ast.File {
 	return out
 }
 
+// TargetFacts pairs a package path with the facts its passes produced.
+type TargetFacts struct {
+	Path  string        `json:"path"`
+	Facts *PackageFacts `json:"facts"`
+}
+
+// MergePass is the cross-package phase context: every target's facts in
+// package-path order, and nothing else — no syntax, no types — so merges
+// replay identically from cached facts.
+type MergePass struct {
+	Analyzer *Analyzer
+	Targets  []*TargetFacts
+
+	findings *[]Finding
+}
+
+// Reportf records a merge finding at an explicit position (facts carry
+// file/line/column; there is no token.Pos on the warm path).
+func (mp *MergePass) Reportf(file string, line, col int, format string, args ...any) {
+	*mp.findings = append(*mp.findings, Finding{
+		Analyzer: mp.Analyzer.Name,
+		File:     file,
+		Line:     line,
+		Column:   col,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // All returns every analyzer of the suite, in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -110,7 +197,15 @@ func All() []*Analyzer {
 		MetricSchema,
 		ErrCheck,
 		FloatEq,
+		ConcSafety,
+		GoroLeak,
+		SeedTaint,
 	}
+}
+
+// passResult is the output of one (analyzer, package) pass.
+type passResult struct {
+	findings []Finding
 }
 
 // Run executes the analyzers over the target packages, applies
@@ -118,26 +213,97 @@ func All() []*Analyzer {
 // sorted by position. Malformed suppression comments (missing analyzer
 // name or justification) are themselves findings: the whole point of the
 // marker is an auditable reason.
+//
+// Passes run in parallel across (analyzer, package) pairs; the Module's
+// lazily built shared structures (call graph, summaries, suppressions) are
+// protected by sync.Once.
 func Run(mod *Module, targets []*Package, analyzers []*Analyzer) Result {
+	perPkg, merged, _ := runPasses(mod, targets, analyzers, nil)
 	var findings []Finding
-	shared := make(map[string]any)
-	for _, a := range analyzers {
-		for _, pkg := range targets {
-			pass := &Pass{Analyzer: a, Mod: mod, Pkg: pkg, Shared: shared, findings: &findings}
-			a.Run(pass)
+	for _, pr := range perPkg {
+		findings = append(findings, pr.findings...)
+	}
+	findings = append(findings, merged...)
+	return finish(findings, mod.Suppressions(), nil)
+}
+
+// runPasses executes every (analyzer, target) pass concurrently, then the
+// merge phase sequentially. It returns per-target pass findings (indexed
+// like targets; merge findings separate so the cache can store pass-level
+// findings only) and the per-target facts.
+func runPasses(mod *Module, targets []*Package, analyzers []*Analyzer, stats *RunStats) ([]passResult, []Finding, []*TargetFacts) {
+	facts := make([]*PackageFacts, len(targets))
+	for i := range facts {
+		facts[i] = &PackageFacts{}
+	}
+	buffers := make([][]Finding, len(analyzers)*len(targets))
+	durations := make([]int64, len(analyzers))
+
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for ai, a := range analyzers {
+		for ti, pkg := range targets {
+			wg.Add(1)
+			go func(ai, ti int, a *Analyzer, pkg *Package) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				start := time.Now()
+				var local []Finding
+				a.Run(&Pass{Analyzer: a, Mod: mod, Pkg: pkg, Facts: facts[ti], findings: &local})
+				buffers[ai*len(targets)+ti] = local
+				atomic.AddInt64(&durations[ai], int64(time.Since(start)))
+			}(ai, ti, a, pkg)
+		}
+	}
+	wg.Wait()
+
+	perPkg := make([]passResult, len(targets))
+	for ai := range analyzers {
+		for ti := range targets {
+			perPkg[ti].findings = append(perPkg[ti].findings, buffers[ai*len(targets)+ti]...)
 		}
 	}
 
-	// Collect suppressions from the target packages and any module package
-	// hosting a finding (the callee scan can report against other files).
-	supp := newSuppressionIndex()
-	for _, pkg := range mod.Pkgs {
-		for _, f := range pkg.Files {
-			supp.addFile(mod.Fset, f, &findings)
+	tf := make([]*TargetFacts, len(targets))
+	for i, pkg := range targets {
+		tf[i] = &TargetFacts{Path: pkg.Path, Facts: facts[i]}
+	}
+	merged := runMerges(analyzers, tf, durations)
+
+	if stats != nil {
+		fillAnalyzerStats(stats, analyzers, durations, buffers, merged)
+	}
+	return perPkg, merged, tf
+}
+
+// runMerges executes the merge phase over target facts in package-path
+// order. durations, when non-nil, accumulates merge wall time per analyzer
+// index.
+func runMerges(analyzers []*Analyzer, tf []*TargetFacts, durations []int64) []Finding {
+	ordered := make([]*TargetFacts, len(tf))
+	copy(ordered, tf)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Path < ordered[j].Path })
+
+	var merged []Finding
+	for ai, a := range analyzers {
+		if a.Merge == nil {
+			continue
+		}
+		start := time.Now()
+		a.Merge(&MergePass{Analyzer: a, Targets: ordered, findings: &merged})
+		if durations != nil {
+			durations[ai] += int64(time.Since(start))
 		}
 	}
+	return merged
+}
 
-	kept := findings[:0]
+// finish applies suppressions (including reporting malformed markers) and
+// sorts. supp may carry malformed-marker findings discovered at scan time.
+func finish(findings []Finding, supp *suppressionIndex, stats *RunStats) Result {
+	findings = append(findings, supp.malformed...)
+	kept := make([]Finding, 0, len(findings))
 	suppressed := 0
 	for _, f := range findings {
 		if supp.matches(f) {
@@ -159,7 +325,30 @@ func Run(mod *Module, targets []*Package, analyzers []*Analyzer) Result {
 		}
 		return a.Message < b.Message
 	})
-	return Result{Findings: kept, Suppressed: suppressed}
+	return Result{Findings: kept, Suppressed: suppressed, Stats: stats}
+}
+
+// fillAnalyzerStats aggregates per-analyzer durations and finding counts.
+func fillAnalyzerStats(stats *RunStats, analyzers []*Analyzer, durations []int64, buffers [][]Finding, merged []Finding) {
+	mergeCounts := make(map[string]int)
+	for _, f := range merged {
+		mergeCounts[f.Analyzer]++
+	}
+	nTargets := 0
+	if len(analyzers) > 0 {
+		nTargets = len(buffers) / len(analyzers)
+	}
+	for ai, a := range analyzers {
+		count := mergeCounts[a.Name]
+		for ti := 0; ti < nTargets; ti++ {
+			count += len(buffers[ai*nTargets+ti])
+		}
+		stats.Analyzers = append(stats.Analyzers, AnalyzerStat{
+			Name:     a.Name,
+			MS:       durations[ai] / int64(time.Millisecond),
+			Findings: count,
+		})
+	}
 }
 
 func hasPathPrefix(path, prefix string) bool {

@@ -71,7 +71,13 @@ func checkFixture(t *testing.T, name string, analyzers []*Analyzer) Result {
 	pkg, mod := loadFixture(t, name)
 	wants := collectWants(t, mod, pkg)
 	res := Run(mod, []*Package{pkg}, analyzers)
+	matchWants(t, wants, res)
+	return res
+}
 
+// matchWants pairs findings against want expectations one-to-one.
+func matchWants(t *testing.T, wants map[string][]*expectation, res Result) {
+	t.Helper()
 	for _, f := range res.Findings {
 		key := fmt.Sprintf("%s:%d", filepath.Base(f.File), f.Line)
 		matched := false
@@ -93,6 +99,22 @@ func checkFixture(t *testing.T, name string, analyzers []*Analyzer) Result {
 			}
 		}
 	}
+}
+
+// checkScopedFixture is checkFixture for analyzers gated on a package-scope
+// set (ConcurrencyPackages, SeedTaintPackages): the fixture package is
+// promoted into the scope for the duration of the run.
+func checkScopedFixture(t *testing.T, name string, analyzers []*Analyzer, scope map[string]bool) Result {
+	t.Helper()
+	pkg, mod := loadFixture(t, name)
+	if scope[pkg.Path] {
+		t.Fatalf("fixture %s unexpectedly already in scope", pkg.Path)
+	}
+	scope[pkg.Path] = true
+	defer delete(scope, pkg.Path)
+	wants := collectWants(t, mod, pkg)
+	res := Run(mod, []*Package{pkg}, analyzers)
+	matchWants(t, wants, res)
 	return res
 }
 

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // The loader turns a module checkout into type-checked syntax without
@@ -49,6 +50,35 @@ type Module struct {
 	Pkgs    map[string]*Package
 
 	funcDecls map[*types.Func]funcRef
+
+	cgOnce sync.Once
+	cg     *CallGraph
+
+	sumOnce sync.Once
+	sums    map[*types.Func]*EffectSummary
+
+	suppOnce sync.Once
+	supp     *suppressionIndex
+}
+
+// Suppressions returns the module-wide //cmfl:lint-ignore index, built once
+// and shared by concurrent passes. Malformed markers are reported by the
+// driver, not here.
+func (m *Module) Suppressions() *suppressionIndex {
+	m.suppOnce.Do(func() {
+		m.supp = newSuppressionIndex()
+		paths := make([]string, 0, len(m.Pkgs))
+		for p := range m.Pkgs {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			for _, f := range m.Pkgs[p].Files {
+				m.supp.addFile(m.Fset, f)
+			}
+		}
+	})
+	return m.supp
 }
 
 // FuncDecl returns the declaration of a module function (nil when fn is

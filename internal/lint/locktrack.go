@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The lock tracker is a small must-hold abstract interpretation: for every
+// statement of a function body it computes the set of mutexes that are
+// provably held when the statement executes. "Provably" is the must sense —
+// at control-flow joins the held sets of the merging branches are
+// intersected, and a branch that cannot fall through (return/break/
+// continue/goto) is excluded from the merge. That branch-awareness matters
+// in this repo: the emulator's admit() unlocks-and-returns early inside an
+// `if s.closed` guard, and a linear scan would wrongly conclude the mutex
+// was released on the fall-through path too.
+//
+// defer mu.Unlock() is modeled as held-to-function-end: the deferred call
+// runs only after every statement of the body.
+//
+// The tracker never descends into function literals — a literal's body runs
+// at an unknown time on an unknown goroutine, so it gets its own analysis
+// with an empty entry state.
+
+// heldLock is one provably held mutex.
+type heldLock struct {
+	// base is the root object of the mutex selector ("s" in s.mu.Lock()),
+	// used to match guards against field writes on the same receiver. Nil
+	// when the root expression is not a plain identifier chain.
+	base types.Object
+	// write distinguishes Lock (true) from RLock (false): a read lock does
+	// not license writes.
+	write bool
+}
+
+// lockState maps a rendered mutex expression ("s.mu", "mu") to its hold.
+type lockState map[string]heldLock
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps only mutexes held in both states; a Lock in one branch
+// and an RLock in the other degrades to RLock.
+func intersect(a, b lockState) lockState {
+	out := make(lockState)
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			continue
+		}
+		out[k] = heldLock{base: va.base, write: va.write && vb.write}
+	}
+	return out
+}
+
+// lockTracker runs the analysis over one function-like body.
+type lockTracker struct {
+	pkg *Package
+	// onStmt is invoked for every statement with the state holding before
+	// it executes. Nested statements get their own callbacks; the callback
+	// must not recurse into sub-statements.
+	onStmt func(stmt ast.Stmt, held lockState)
+}
+
+// trackLocks analyzes body (a FuncDecl or FuncLit body) starting from an
+// empty held set.
+func trackLocks(pkg *Package, body *ast.BlockStmt, onStmt func(ast.Stmt, lockState)) {
+	t := &lockTracker{pkg: pkg, onStmt: onStmt}
+	t.stmts(body.List, make(lockState))
+}
+
+// stmts runs the statement list sequentially, returning the exit state and
+// whether control provably does not fall through.
+func (t *lockTracker) stmts(list []ast.Stmt, st lockState) (lockState, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = t.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (t *lockTracker) stmt(s ast.Stmt, st lockState) (lockState, bool) {
+	t.onStmt(s, st)
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return t.applyMutexOp(s.X, st), false
+	case *ast.DeferStmt:
+		// defer mu.Unlock(): the mutex stays held for the rest of the body,
+		// so the state is unchanged. A (pathological) defer mu.Lock() is
+		// ignored rather than modeled.
+		return st, false
+	case *ast.BlockStmt:
+		return t.stmts(s.List, st.clone())
+	case *ast.LabeledStmt:
+		return t.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = t.stmt(s.Init, st)
+		}
+		thenSt, thenTerm := t.stmts(s.Body.List, st.clone())
+		elseSt, elseTerm := st.clone(), false
+		if s.Else != nil {
+			elseSt, elseTerm = t.stmt(s.Else, st.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, s.Else != nil // no else: cond-false path falls through
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return intersect(thenSt, elseSt), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = t.stmt(s.Init, st)
+		}
+		bodySt, _ := t.stmts(s.Body.List, st.clone())
+		if s.Cond == nil {
+			// `for { ... }` exits only via break/return; keep the entry
+			// state (any lock juggling inside stays inside).
+			return st, false
+		}
+		return intersect(st, bodySt), false
+	case *ast.RangeStmt:
+		bodySt, _ := t.stmts(s.Body.List, st.clone())
+		return intersect(st, bodySt), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return t.branches(s, st)
+	case *ast.ReturnStmt:
+		return st, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list; for merge purposes
+		// that is termination. fallthrough continues into the next case.
+		return st, s.Tok != token.FALLTHROUGH
+	}
+	return st, false
+}
+
+// branches handles switch/type-switch/select: each clause starts from the
+// entry state; the exit is the intersection over clauses that fall through,
+// plus the entry state when a switch has no default (no clause may match).
+func (t *lockTracker) branches(s ast.Stmt, st lockState) (lockState, bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = t.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = t.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var exits []lockState
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			list = c.Body
+			hasDefault = hasDefault || c.List == nil
+		case *ast.CommClause:
+			list = c.Body
+			hasDefault = hasDefault || c.Comm == nil
+		}
+		t.onStmt(c.(ast.Stmt), st)
+		exit, term := t.stmts(list, st.clone())
+		if !term {
+			exits = append(exits, exit)
+		}
+	}
+	if _, isSelect := s.(*ast.SelectStmt); !hasDefault && !isSelect {
+		exits = append(exits, st) // no case may match a valueless switch
+	}
+	if len(exits) == 0 {
+		return st, len(body.List) > 0
+	}
+	out := exits[0]
+	for _, e := range exits[1:] {
+		out = intersect(out, e)
+	}
+	return out, false
+}
+
+// applyMutexOp updates the state for mu.Lock/Unlock/RLock/RUnlock calls.
+func (t *lockTracker) applyMutexOp(e ast.Expr, st lockState) lockState {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return st
+	}
+	fn := calleeFunc(t.pkg, call)
+	if fn == nil {
+		return st
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return st
+	}
+	recv := named(sig.Recv().Type())
+	if recv != "sync.Mutex" && recv != "sync.RWMutex" {
+		return st
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return st
+	}
+	key := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock":
+		st = st.clone()
+		st[key] = heldLock{base: rootObject(t.pkg, sel.X), write: true}
+	case "RLock":
+		st = st.clone()
+		if !st[key].write {
+			st[key] = heldLock{base: rootObject(t.pkg, sel.X), write: false}
+		}
+	case "Unlock", "RUnlock":
+		st = st.clone()
+		delete(st, key)
+	}
+	return st
+}
+
+// rootObject resolves the leftmost identifier of a selector/index/deref
+// chain ("s" in s.peers[i].mu), or nil when the root is not an identifier.
+func rootObject(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

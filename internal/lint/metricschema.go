@@ -7,7 +7,6 @@ import (
 	"go/types"
 	"regexp"
 	"sort"
-	"strconv"
 	"strings"
 )
 
@@ -29,9 +28,10 @@ import (
 // `"cmfl_rounds_total" + label` — that idiom type-checks as dynamic but is
 // still fully verifiable.
 var MetricSchema = &Analyzer{
-	Name: "metricschema",
-	Doc:  "telemetry metric names are cmfl_-prefixed constants with allowlisted label keys, one registration site per family",
-	Run:  runMetricSchema,
+	Name:  "metricschema",
+	Doc:   "telemetry metric names are cmfl_-prefixed constants with allowlisted label keys, one registration site per family",
+	Run:   runMetricSchema,
+	Merge: mergeMetricSchema,
 }
 
 // LabelAllowlist is the closed set of label keys a metric may carry.
@@ -47,20 +47,7 @@ var metricNameRe = regexp.MustCompile(`^cmfl_[a-z0-9_]+$`)
 // registryMethods are the registration entry points on telemetry.Registry.
 var registryMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
 
-// familySite records where a metric family was first registered.
-type familySite struct {
-	kind string // Counter/Gauge/Histogram
-	help string
-	pos  string // file:line of first registration
-	node ast.Node
-}
-
 func runMetricSchema(pass *Pass) {
-	families, _ := pass.Shared["metricschema"].(map[string]*familySite)
-	if families == nil {
-		families = make(map[string]*familySite)
-		pass.Shared["metricschema"] = families
-	}
 	for _, f := range pass.SourceFiles() {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -76,10 +63,44 @@ func runMetricSchema(pass *Pass) {
 				if kind == "" || len(call.Args) < 1 {
 					return true
 				}
-				checkMetricID(pass, fd, call, kind, families)
+				checkMetricID(pass, fd, call, kind)
 				return true
 			})
 		}
+	}
+}
+
+// mergeMetricSchema enforces one registration site per family across every
+// analyzed package: the first site in (file, line) order owns the family;
+// later sites are findings.
+func mergeMetricSchema(mp *MergePass) {
+	var all []MetricFact
+	for _, t := range mp.Targets {
+		all = append(all, t.Facts.Metrics...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	first := make(map[string]MetricFact)
+	for _, m := range all {
+		prev, seen := first[m.Family]
+		if !seen {
+			first[m.Family] = m
+			continue
+		}
+		if prev.File == m.File && prev.Line == m.Line && prev.Column == m.Column {
+			continue // same site revisited (overlapping targets)
+		}
+		mp.Reportf(m.File, m.Line, m.Column,
+			"metric family %q already registered at %s:%d (%s, help %q): one registration site per family",
+			m.Family, prev.File, prev.Line, prev.Kind, prev.Help)
 	}
 }
 
@@ -108,8 +129,9 @@ func registryMethodName(pass *Pass, call *ast.CallExpr) string {
 // can never occur in Go source string constants.
 const dynamicHole = "\x00"
 
-// checkMetricID validates one registration call.
-func checkMetricID(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, kind string, families map[string]*familySite) {
+// checkMetricID validates one registration call and records the family
+// fact for the merge phase.
+func checkMetricID(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, kind string) {
 	tmpl, ok := flattenString(pass, fd, call.Args[0], 0)
 	if !ok {
 		pass.Reportf(call.Args[0].Pos(), "metric id is not statically analyzable: build it from string constants (label values may be dynamic)")
@@ -141,14 +163,14 @@ func checkMetricID(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, kind string
 		}
 	}
 	pos := pass.Fset().Position(call.Pos())
-	site := pos.Filename + ":" + strconv.Itoa(pos.Line)
-	if prev, ok := families[base]; ok {
-		if prev.node != call {
-			pass.Reportf(call.Pos(), "metric family %q already registered at %s (%s, help %q): one registration site per family", base, prev.pos, prev.kind, prev.help)
-		}
-		return
-	}
-	families[base] = &familySite{kind: kind, help: help, pos: site, node: call}
+	pass.Facts.Metrics = append(pass.Facts.Metrics, MetricFact{
+		Family: base,
+		Kind:   kind,
+		Help:   help,
+		File:   pos.Filename,
+		Line:   pos.Line,
+		Column: pos.Column,
+	})
 }
 
 // checkLabels parses `{key="value",...}` with dynamicHole-opaque values.

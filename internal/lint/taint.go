@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// A three-point forward taint lattice over seed values:
+//
+//	TaintNone < TaintSeed < TaintSeedArith
+//
+// TaintSeed marks an expression that IS a root experiment seed — an
+// integer identifier, selector, parameter or field whose name is `seed` or
+// ends in `Seed` (cfg.Seed, rootSeed). TaintSeedArith marks a value
+// computed FROM a seed (seed+1, seed*int64(id), -seed): still
+// seed-derived, but no longer the root — feeding it to xrand.Derive
+// silently forks the stream universe, which is exactly the bug class the
+// purpose-string discipline exists to prevent. Conversions are transparent
+// (int64(seed) keeps the taint); any other operator escalates to Arith.
+type Taint uint8
+
+const (
+	TaintNone Taint = iota
+	TaintSeed
+	TaintSeedArith
+)
+
+// seedTaint classifies e. The analysis is purely syntactic plus types: no
+// assignments are followed — a copied seed keeps its seed-like name in this
+// codebase, and the conservative miss (laundering through an innocuously
+// named local) is accepted and documented.
+func seedTaint(pkg *Package, e ast.Expr) Taint {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		if isSeedName(x.Name) && isIntegerExpr(pkg, e) {
+			return TaintSeed
+		}
+	case *ast.SelectorExpr:
+		if isSeedName(x.Sel.Name) && isIntegerExpr(pkg, e) {
+			return TaintSeed
+		}
+	case *ast.BinaryExpr:
+		if seedTaint(pkg, x.X) != TaintNone || seedTaint(pkg, x.Y) != TaintNone {
+			return TaintSeedArith
+		}
+	case *ast.UnaryExpr:
+		if seedTaint(pkg, x.X) != TaintNone {
+			return TaintSeedArith
+		}
+	case *ast.CallExpr:
+		// Conversions are transparent: int64(seed) is still the seed.
+		if tv, ok := pkg.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return seedTaint(pkg, x.Args[0])
+		}
+	}
+	return TaintNone
+}
+
+// isSeedName matches the repo's seed naming convention: `seed` itself or a
+// CamelCase `...Seed` suffix.
+func isSeedName(name string) bool {
+	return name == "seed" || name == "Seed" || strings.HasSuffix(name, "Seed")
+}
+
+func isIntegerExpr(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

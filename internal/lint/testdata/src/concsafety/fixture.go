@@ -1,0 +1,69 @@
+// Package concsafety exercises both concurrency-safety checks: shared
+// struct fields written from more than one goroutine origin without a
+// guarding mutex, and mutexes provably held across blocking operations.
+// The silent cases matter as much as the findings — guarded writes, the
+// emulator's early-unlock-and-return branch shape, and sends after the
+// critical section must not fire.
+package concsafety
+
+import "sync"
+
+type Server struct {
+	mu      sync.Mutex
+	guarded int
+	naked   int
+	done    chan struct{}
+	queue   chan int
+}
+
+// Run writes guarded and naked from both the main context and a spawned
+// goroutine: only the unguarded field is shared-and-unprotected.
+func (s *Server) Run() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			s.mu.Lock()
+			s.guarded++
+			s.mu.Unlock()
+			s.naked++ // want "field Server.naked is written from multiple goroutines"
+		}
+	}()
+	s.mu.Lock()
+	s.guarded++
+	s.mu.Unlock()
+	s.naked++ // want "field Server.naked is written from multiple goroutines"
+}
+
+// flush holds the mutex across a channel send: the classic way to stall
+// every other connection on one slow receiver.
+func (s *Server) flush(v int) {
+	s.mu.Lock()
+	s.queue <- v // want "s.mu held across channel send"
+	s.mu.Unlock()
+}
+
+func (s *Server) wait() {
+	<-s.done
+}
+
+// drain blocks transitively: wait's channel receive surfaces through its
+// effect summary with the witness position.
+func (s *Server) drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wait() // want "s.mu held across call to wait, which blocks \(channel receive"
+}
+
+// admit is the early-unlock-and-return shape from the emulator: after the
+// terminated branch the lock is still held for the guarded write, and the
+// send happens after Unlock — all silent.
+func (s *Server) admit(v int) bool {
+	s.mu.Lock()
+	if v < 0 {
+		s.mu.Unlock()
+		return false
+	}
+	s.guarded++
+	s.mu.Unlock()
+	s.queue <- v
+	return true
+}

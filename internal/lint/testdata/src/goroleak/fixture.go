@@ -1,0 +1,38 @@
+// Package goroleak exercises the goroutine-leak heuristic: spawned bodies
+// whose transitive execution reaches an infinite loop with no return and no
+// break have no exit signal.
+package goroleak
+
+func spawnAll(stop chan struct{}, work chan int) {
+	go func() { // want "goroutine has no reachable exit: infinite loop at"
+		for {
+			select {
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+	go func() { // silent: the stop case returns
+		for {
+			select {
+			case <-stop:
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+	go deep() // want "goroutine has no reachable exit: infinite loop at"
+}
+
+// deep hides the loop one call below the spawned function.
+func deep() {
+	helper()
+}
+
+func helper() {
+	n := 0
+	for {
+		n++
+	}
+}

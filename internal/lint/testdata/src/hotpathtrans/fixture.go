@@ -1,0 +1,57 @@
+// Package hotpathtrans exercises the transitive hot-path allocation rule:
+// the allocation sits two calls below the //cmfl:hotpath annotation and the
+// finding names the full call path from the annotation to the allocator.
+package hotpathtrans
+
+//cmfl:hotpath
+func hot(dst, src []float64) float64 {
+	s := level1(dst, src) // want "hot path hot calls level1 → level2, which allocates \(append"
+	s += barrier(dst)
+	s += viaJustified(dst)
+	s += float64(spin(3))
+	return s
+}
+
+// level1 is clean itself; the allocation is one more hop down.
+func level1(dst, src []float64) float64 {
+	return level2(dst, src)
+}
+
+func level2(dst, src []float64) float64 {
+	dst = append(dst, src...)
+	return dst[0]
+}
+
+// barrier is annotated in its own right: hot must not re-report through it,
+// and its own direct allocation is its own finding.
+//
+//cmfl:hotpath
+func barrier(dst []float64) float64 {
+	dst = append(dst, 1) // want "append in hot path barrier"
+	return dst[0]
+}
+
+// viaJustified reaches an allocation whose helper carries an audited
+// callee-side marker: nothing may surface at hot's call site.
+func viaJustified(dst []float64) float64 {
+	return justifiedGrow(dst)
+}
+
+func justifiedGrow(dst []float64) float64 {
+	//cmfl:lint-ignore hotpathalloc amortized grow-only resize, measured free
+	dst = append(dst, 2)
+	return dst[0]
+}
+
+// spin and spin2 form a call cycle with no allocation: the breadth-first
+// walk must terminate and stay silent.
+func spin(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return spin2(n - 1)
+}
+
+func spin2(n int) int {
+	return spin(n)
+}

@@ -1,0 +1,31 @@
+// Package deriver holds the cross-package helpers the taint rules judge:
+// blessed derivers whose seed parameter flows only into derivation slots,
+// and a tainted one that hashes the seed on the way through.
+package deriver
+
+import "cmfl/internal/lint/testdata/src/seedtaint/xrand"
+
+type Config struct {
+	Seed int64
+}
+
+// ClientStream is blessed: its seed parameter reaches only Derive's seed
+// slot, so callers may hand it a raw seed across the package boundary.
+func ClientStream(seed int64, id int) *xrand.Stream {
+	return xrand.Derive(seed, "deriver-client", id)
+}
+
+// Chain is blessed transitively, through ClientStream.
+func Chain(seed int64, id int) *xrand.Stream {
+	return ClientStream(seed, id)
+}
+
+// Mix is tainted: the seed is folded with the id before derivation.
+func Mix(seed int64, id int) *xrand.Stream {
+	return xrand.Derive(seed^int64(id), "deriver-mix", 0)
+}
+
+// Store is blessed: assigning to a Seed-named field is config plumbing.
+func Store(cfg *Config, seed int64) {
+	cfg.Seed = seed
+}

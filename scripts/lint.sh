@@ -5,16 +5,20 @@
 #   1. gofmt      — formatting drift,
 #   2. go vet     — the stock toolchain checks,
 #   3. cmfl-vet   — this repo's own analyzer suite (internal/lint): hot-path
-#                   allocation freedom, deterministic aggregation order, the
-#                   cmfl_* metric schema, discarded errors, float equality.
+#                   allocation freedom (transitively, via the call graph),
+#                   deterministic aggregation order, the cmfl_* metric
+#                   schema, discarded errors, float equality, goroutine and
+#                   mutex discipline, and seed-provenance taint.
 #
 # Usage:
 #   scripts/lint.sh                  # whole module
 #   scripts/lint.sh ./internal/fl    # restrict cmfl-vet to some packages
 #
-# cmfl-vet exits 1 on findings, 2 on load errors; pass -json through
-# `go run ./cmd/cmfl-vet -json ./...` when you want the machine-readable
-# findings document instead.
+# cmfl-vet exits 1 on findings or a blown suppression budget, 2 on load
+# errors; pass -json through `go run ./cmd/cmfl-vet -json ./...` when you
+# want the machine-readable findings document instead. Results are cached
+# under .cmflvet-cache/, so the second run is near-instant; -stats below
+# shows the hit rate and per-analyzer wall time.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,4 +37,4 @@ echo "== go vet"
 go vet "${PKGS[@]}"
 
 echo "== cmfl-vet"
-go run ./cmd/cmfl-vet "${PKGS[@]}"
+go run ./cmd/cmfl-vet -stats -budget benchmarks/lint_budget.json "${PKGS[@]}"
