@@ -8,8 +8,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"strconv"
-	"strings"
 	"time"
 
 	"cmfl/internal/compress"
@@ -37,7 +35,8 @@ func main() {
 	filterName := flag.String("filter", "vanilla", "upload filter: vanilla|cmfl|gaia")
 	threshold := flag.Float64("threshold", 0.52, "filter threshold")
 	decay := flag.Bool("decay", false, "decay the filter threshold as v0/sqrt(t)")
-	codecName := flag.String("compress", "none", "update codec: none|quantize8|top<k> (must match the server)")
+	codecName := flag.String("compress", "none", "update codec: none|quantize8|top<k>|mask<pct>|sign1bit[/<chunk>]|codebook[<k>]|<selector>+<values> (must match the server)")
+	errorFeedback := flag.Bool("error-feedback", false, "accumulate the codec's quantization error locally and fold it into the next upload (EF-SGD)")
 	seed := flag.Int64("seed", 7, "experiment seed (must match server)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-message network timeout")
 	flag.Parse()
@@ -78,47 +77,30 @@ func main() {
 		log.Fatalf("unknown -filter %q", *filterName)
 	}
 
-	codec, err := parseCodec(*codecName)
+	codec, err := compress.ParseName(*codecName)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	cfg := nn.CNNConfig{ImageSize: *imageSize, Kernel: 3, Conv1: 3, Conv2: 6, Hidden: 24, Classes: 10}
 	res, err := emu.RunClient(emu.ClientConfig{
-		Addr:         *addr,
-		ID:           *id,
-		Model:        func() *nn.Network { return nn.NewCNN(cfg, xrand.Derive(*seed, "init", 0)) },
-		Data:         shards[*id],
-		Epochs:       *epochs,
-		Batch:        *batch,
-		LR:           core.InvSqrt{V0: *eta0},
-		Filter:       filter,
-		Compressor:   codec,
-		Seed:         *seed,
-		RoundTimeout: *timeout,
-		DialTimeout:  *timeout,
+		Addr:          *addr,
+		ID:            *id,
+		Model:         func() *nn.Network { return nn.NewCNN(cfg, xrand.Derive(*seed, "init", 0)) },
+		Data:          shards[*id],
+		Epochs:        *epochs,
+		Batch:         *batch,
+		LR:            core.InvSqrt{V0: *eta0},
+		Filter:        filter,
+		Compressor:    codec,
+		ErrorFeedback: *errorFeedback,
+		Seed:          *seed,
+		RoundTimeout:  *timeout,
+		DialTimeout:   *timeout,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("client %d: %d rounds, %d uploads, %d skips, %d bytes sent\n",
 		*id, res.Rounds, res.Uploads, res.Skips, res.SentWire)
-}
-
-// parseCodec maps the -compress flag to an update codec.
-func parseCodec(name string) (fl.UpdateCodec, error) {
-	switch {
-	case name == "" || name == "none":
-		return nil, nil
-	case name == "quantize8":
-		return compress.Uniform8{}, nil
-	case strings.HasPrefix(name, "top"):
-		k, err := strconv.Atoi(strings.TrimPrefix(name, "top"))
-		if err != nil || k <= 0 {
-			return nil, fmt.Errorf("bad top-k codec %q", name)
-		}
-		return compress.TopK{K: k}, nil
-	default:
-		return nil, fmt.Errorf("unknown codec %q", name)
-	}
 }

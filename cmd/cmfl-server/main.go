@@ -18,14 +18,11 @@ import (
 	"fmt"
 	"log"
 	"math"
-	"strconv"
-	"strings"
 	"time"
 
 	"cmfl/internal/compress"
 	"cmfl/internal/dataset"
 	"cmfl/internal/emu"
-	"cmfl/internal/fl"
 	"cmfl/internal/nn"
 	"cmfl/internal/report"
 	"cmfl/internal/xrand"
@@ -46,7 +43,7 @@ func main() {
 	roundDeadline := flag.Duration("round-deadline", 0, "per-round aggregation cut-off; stragglers past it are excluded (0 = timeout)")
 	minQuorum := flag.Int("min-quorum", 0, "minimum replies to aggregate a round at the deadline (0 = all clients, or 1 with -fault-tolerant)")
 	faultTolerant := flag.Bool("fault-tolerant", false, "survive client connection failures and accept rejoins instead of aborting")
-	codecName := flag.String("compress", "none", "update codec: none|quantize8|top<k> (must match the clients)")
+	codecName := flag.String("compress", "none", "update codec: none|quantize8|top<k>|mask<pct>|sign1bit[/<chunk>]|codebook[<k>]|<selector>+<values> (must match the clients)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and JSON /healthz on this address (e.g. 127.0.0.1:9090; empty = off)")
 	flag.Parse()
 
@@ -60,7 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	codec, err := parseCodec(*codecName)
+	codec, err := compress.ParseName(*codecName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,28 +112,15 @@ func main() {
 	fmt.Print(report.Table([]string{"round", "uploads", "skips", "dropped", "cum uploads", "cum bytes", "accuracy"}, rows))
 	fmt.Printf("final accuracy %.3f, uplink wire bytes %d, downlink wire bytes %d\n",
 		res.FinalAccuracy(), res.UplinkWireBytes, res.DownlinkWireBytes)
+	if res.CodecUpdates > 0 {
+		fmt.Printf("codec: %d compressed updates, %d encoded bytes vs %d raw (%.1fx reduction)\n",
+			res.CodecUpdates, res.CodecEncodedBytes, res.CodecRawBytes,
+			float64(res.CodecRawBytes)/float64(res.CodecEncodedBytes))
+	}
 }
 
 // digitModel must match cmd/cmfl-client's model for the same flags.
 func digitModel(imageSize int, seed int64) func() *nn.Network {
 	cfg := nn.CNNConfig{ImageSize: imageSize, Kernel: 3, Conv1: 3, Conv2: 6, Hidden: 24, Classes: 10}
 	return func() *nn.Network { return nn.NewCNN(cfg, xrand.Derive(seed, "init", 0)) }
-}
-
-// parseCodec maps the -compress flag to an update codec.
-func parseCodec(name string) (fl.UpdateCodec, error) {
-	switch {
-	case name == "" || name == "none":
-		return nil, nil
-	case name == "quantize8":
-		return compress.Uniform8{}, nil
-	case strings.HasPrefix(name, "top"):
-		k, err := strconv.Atoi(strings.TrimPrefix(name, "top"))
-		if err != nil || k <= 0 {
-			return nil, fmt.Errorf("bad top-k codec %q", name)
-		}
-		return compress.TopK{K: k}, nil
-	default:
-		return nil, fmt.Errorf("unknown codec %q", name)
-	}
 }

@@ -188,6 +188,29 @@ type TopKSparsifier = compress.TopK
 // RandomMaskCodec transmits a seed-determined random subset of coordinates.
 type RandomMaskCodec = compress.RandomMask
 
+// SignCodec is 1-bit sign quantisation with a per-chunk mean-magnitude
+// scale (signSGD-style).
+type SignCodec = compress.Sign1Bit
+
+// CodebookCodec is k-means scalar quantisation: a per-update codebook of
+// centroids plus one byte per coordinate.
+type CodebookCodec = compress.Codebook
+
+// CodecChain composes a sparsifying selector with a value codec (e.g. top-k
+// then 8-bit quantisation) into one UpdateCodec.
+type CodecChain = compress.Chain
+
+// NewCodecChain builds a validated selector→values chain.
+func NewCodecChain(sel compress.Selector, values compress.Codec) CodecChain {
+	return compress.NewChain(sel, values)
+}
+
+// ParseCodec resolves a codec name — none|identity|quantize8|top<k>|
+// mask<pct>|sign1bit[/<chunk>]|codebook[<k>]|<selector>+<values> — to an
+// UpdateCodec (nil for "none"). The same grammar backs the CLIs' -compress
+// flags.
+func ParseCodec(name string) (UpdateCodec, error) { return compress.ParseName(name) }
+
 // PartialConfig configures the layerwise partial-upload extension: the
 // relevance gate runs per parameter tensor and clients upload only their
 // aligned segments.

@@ -1,0 +1,148 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"cmfl/internal/xrand"
+)
+
+const benchDim = 100_000
+
+func benchVec() []float64 {
+	return xrand.New(1).NormVec(benchDim, 0, 1)
+}
+
+func benchPanel() []Codec {
+	return []Codec{
+		Identity{},
+		Uniform8{},
+		TopK{K: 1000},
+		Sign1Bit{},
+		Codebook{K: 16, Iters: 8, Seed: 1},
+		NewChain(TopK{K: 1000}, Uniform8{}),
+	}
+}
+
+// BenchmarkCodecEncode measures EncodeInto steady state with a reused
+// destination buffer — allocs/op must be 0 for the hot-path codecs
+// (Identity, Uniform8, TopK, Sign1Bit, Chain).
+func BenchmarkCodecEncode(b *testing.B) {
+	u := benchVec()
+	for _, c := range benchPanel() {
+		b.Run(c.Name(), func(b *testing.B) {
+			var buf []byte
+			var err error
+			buf, err = c.EncodeInto(buf, u)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf, err = c.EncodeInto(buf, u)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCodecDecode measures DecodeInto steady state with a reused
+// destination vector.
+func BenchmarkCodecDecode(b *testing.B) {
+	u := benchVec()
+	for _, c := range benchPanel() {
+		b.Run(c.Name(), func(b *testing.B) {
+			payload, err := Encode(c, u)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var dst []float64
+			dst, err = c.DecodeInto(dst, payload, benchDim)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst, err = c.DecodeInto(dst, payload, benchDim)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// fullSortSelect is the pre-quickselect TopK selection: sort every index by
+// |value| descending, keep the first k. Retained here as the baseline for
+// BenchmarkTopKSelect.
+func fullSortSelect(u []float64, k int) []uint32 {
+	idx := make([]uint32, len(u))
+	for i := range idx {
+		idx[i] = uint32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return math.Abs(u[idx[a]]) > math.Abs(u[idx[b]])
+	})
+	idx = idx[:k]
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	return idx
+}
+
+// BenchmarkTopKSelect pits quickselect against the old full sort at the
+// acceptance point (100k dim, K=1000) and a few other K values.
+func BenchmarkTopKSelect(b *testing.B) {
+	u := benchVec()
+	for _, k := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("quickselect/k=%d", k), func(b *testing.B) {
+			c := TopK{K: k}
+			var idx []uint32
+			var vals []float64
+			var err error
+			idx, vals, err = c.SelectInto(idx, vals, u)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx, vals, err = c.SelectInto(idx, vals, u)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("fullsort/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = fullSortSelect(u, k)
+			}
+		})
+	}
+}
+
+// TestTopKSelectMatchesFullSortThreshold keeps the benchmark baseline honest:
+// both selectors must keep values at or above the same magnitude threshold.
+func TestTopKSelectMatchesFullSortThreshold(t *testing.T) {
+	u := xrand.New(4).NormVec(5000, 0, 1)
+	k := 250
+	want := fullSortSelect(u, k)
+	idx, _, err := (TopK{K: k}).SelectInto(nil, nil, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threshold := math.Inf(1)
+	for _, i := range want {
+		threshold = math.Min(threshold, math.Abs(u[i]))
+	}
+	for _, i := range idx {
+		if math.Abs(u[i]) < threshold {
+			t.Fatalf("quickselect kept |u[%d]|=%v below full-sort threshold %v", i, math.Abs(u[i]), threshold)
+		}
+	}
+}

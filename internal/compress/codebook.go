@@ -1,0 +1,218 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+
+	"cmfl/internal/xrand"
+)
+
+// Codebook is the clustered-update codec of Cui et al. (arXiv:2105.04153):
+// a per-update 1-D k-means over the coordinate values yields K centroids
+// (the codebook), and each coordinate travels as a one-byte centroid index —
+// 8 bits per coordinate plus a K×float64 codebook, with the codebook
+// adapting to the update's actual value distribution where Uniform8's grid
+// cannot.
+//
+// Initialisation seeds the centroids on an equally-spaced quantile grid and
+// breaks exact ties with xrand.Derive(Seed, "codec-codebook", K), so a
+// given (update, config) always produces bit-identical payloads — the
+// determinism the chaos suite asserts end-to-end. Encoding is O(n·K·Iters),
+// deliberately not //cmfl:hotpath: it trades encode CPU for wire bytes and
+// is costed in benchmarks rather than pinned allocation-free.
+//
+// Payload: [u8 K][K × f64 ascending centroids][dim × u8 index].
+type Codebook struct {
+	// K is the codebook size, in [2, 255]; 0 means DefaultCodebookK.
+	K int
+	// Iters is the number of Lloyd refinement iterations; 0 means
+	// DefaultCodebookIters.
+	Iters int
+	// Seed feeds the deterministic tie-break stream.
+	Seed int64
+}
+
+// DefaultCodebookK is the codebook size when Codebook.K is 0.
+const DefaultCodebookK = 16
+
+// DefaultCodebookIters is the Lloyd iteration count when Codebook.Iters is 0.
+const DefaultCodebookIters = 8
+
+func (c Codebook) k() int {
+	if c.K == 0 {
+		return DefaultCodebookK
+	}
+	return c.K
+}
+
+func (c Codebook) iters() int {
+	if c.Iters == 0 {
+		return DefaultCodebookIters
+	}
+	return c.Iters
+}
+
+// Name implements Codec.
+func (c Codebook) Name() string { return fmt.Sprintf("codebook%d", c.k()) }
+
+func (c Codebook) validate() error {
+	if k := c.k(); k < 2 || k > 255 {
+		return fmt.Errorf("compress: Codebook K %d outside [2, 255]", k)
+	}
+	if c.iters() < 0 {
+		return fmt.Errorf("compress: Codebook Iters %d negative", c.Iters)
+	}
+	return nil
+}
+
+// EncodeInto implements Codec. Non-finite coordinates are rejected: one
+// NaN/Inf would absorb a centroid and distort every assignment.
+func (c Codebook) EncodeInto(dst []byte, update []float64) ([]byte, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, v := range update {
+		if !isFinite(v) {
+			return nil, fmt.Errorf("%w: codebook coordinate %d = %v", ErrNonFinite, i, v)
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	k := c.k()
+	if len(update) == 0 {
+		lo, hi = 0, 0
+	}
+
+	cp := f64Scratch.Get().(*[]float64)
+	cents := growFloats(*cp, k)
+	// Equally spaced seeds over the value range, nudged by a derived stream
+	// when the range collapses so centroids stay distinct and assignments
+	// deterministic.
+	if hi > lo {
+		for j := range cents {
+			cents[j] = lo + (hi-lo)*float64(j)/float64(k-1)
+		}
+	} else {
+		rng := xrand.Derive(c.Seed, "codec-codebook", k)
+		for j := range cents {
+			cents[j] = lo + 1e-12*float64(j)*(1+rng.Float64())
+		}
+	}
+
+	sp := f64Scratch.Get().(*[]float64)
+	np := f64Scratch.Get().(*[]float64)
+	sums := growFloats(*sp, k)
+	counts := growFloats(*np, k)
+	for it := 0; it < c.iters(); it++ {
+		for j := range sums {
+			sums[j], counts[j] = 0, 0
+		}
+		for _, v := range update {
+			j := nearestCentroid(cents, v)
+			sums[j] += v
+			counts[j]++
+		}
+		for j := range cents {
+			if counts[j] > 0 {
+				cents[j] = sums[j] / counts[j]
+			}
+		}
+		// Keep the codebook sorted: nearestCentroid binary-searches, and a
+		// sorted codebook makes the payload canonical.
+		sortF64(cents)
+	}
+
+	dst = growBytes(dst, 1+k*8+len(update))
+	dst[0] = byte(k)
+	for j, cv := range cents {
+		putU64(dst[1+j*8:1+(j+1)*8], math.Float64bits(cv))
+	}
+	for i, v := range update {
+		dst[1+k*8+i] = byte(nearestCentroid(cents, v))
+	}
+
+	*cp, *sp, *np = cents, sums, counts
+	f64Scratch.Put(cp)
+	f64Scratch.Put(sp)
+	f64Scratch.Put(np)
+	return dst, nil
+}
+
+// DecodeInto implements Codec.
+//
+//cmfl:hotpath
+func (c Codebook) DecodeInto(dst []float64, payload []byte, dim int) ([]float64, error) {
+	if dim < 0 || len(payload) < 1 {
+		return nil, fmt.Errorf("%w: codebook payload %d bytes", ErrCorruptPayload, len(payload))
+	}
+	k := int(payload[0])
+	if k < 2 || len(payload) != 1+k*8+dim {
+		return nil, fmt.Errorf("%w: codebook payload %d bytes for dim %d k %d", ErrCorruptPayload, len(payload), dim, k)
+	}
+	cents := payload[1 : 1+k*8]
+	idx := payload[1+k*8:]
+	dst = growFloats(dst, dim)
+	for i := range dst {
+		j := int(idx[i])
+		if j >= k {
+			return nil, fmt.Errorf("%w: codebook index %d >= k %d", ErrCorruptPayload, j, k)
+		}
+		dst[i] = math.Float64frombits(getU64(cents[j*8 : (j+1)*8]))
+	}
+	return dst, nil
+}
+
+// nearestCentroid returns the index of the centroid closest to v in the
+// ascending-sorted codebook, lower index winning ties.
+func nearestCentroid(cents []float64, v float64) int {
+	lo, hi := 0, len(cents)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cents[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo is the first centroid >= v; the nearest is lo or lo-1.
+	if lo == len(cents) {
+		return lo - 1
+	}
+	if lo == 0 {
+		return 0
+	}
+	if v-cents[lo-1] <= cents[lo]-v {
+		return lo - 1
+	}
+	return lo
+}
+
+// sortF64 is an in-place, allocation-free heapsort for small codebooks.
+func sortF64(a []float64) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownF64(a, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDownF64(a, 0, end)
+	}
+}
+
+func siftDownF64(a []float64, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}

@@ -1,37 +1,75 @@
-// Package compress implements the update-compression baselines the paper
-// positions CMFL against (Sec. II-C "structured updates and sketched
-// updates", Konečný et al.): lossy encodings that reduce the bits per
-// upload instead of the number of uploads.
+// Package compress implements the update-compression side of the paper's
+// related work (Sec. II-C "structured updates and sketched updates",
+// Konečný et al.; clustered-codebook updates, Cui et al.): lossy encodings
+// that reduce the bits per upload instead of the number of uploads. CMFL's
+// relevance gate decides *whether* an update travels; a Codec decides *how
+// many bits* it costs. The two compose — the engines apply a Codec only to
+// updates that already passed the gate.
 //
-// Each Codec turns an update vector into a compact byte payload and back.
-// The federated engine can apply a Codec to every uploaded update, so the
-// footprint-versus-accuracy trade-off of bit-reduction can be compared
-// directly against CMFL's upload-reduction on the same workload (the
-// BenchmarkAblationCompression bench does exactly that). As the paper
-// notes, these schemes lose information on every upload and carry no
-// convergence guarantee — the behaviour the benchmarks exhibit.
+// Every Codec exposes a scratch-reusing pair, EncodeInto and DecodeInto:
+// the caller passes its previous output back in as dst and the codec reuses
+// that buffer's capacity, so the steady-state encode path performs zero
+// heap allocations per call (the contract the //cmfl:hotpath annotations
+// pin and cmfl-vet's transitive hotpathalloc analyzer enforces). Codecs
+// hold no mutable state — all working memory is caller-provided or pooled —
+// which is what makes them safe for concurrent use.
+//
+// Codecs compose through Chain (a sparsifying Selector followed by a value
+// codec, e.g. top-k → 8-bit quantisation) and travel self-described over
+// the emulation's wire format v2 via the Spec encoding in spec.go.
 package compress
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 )
 
-// Codec is a lossy update encoder. Implementations must be safe for
-// concurrent use.
+// Codec turns an update vector into a compact byte payload and back.
+//
+// Implementations must be safe for concurrent use: codecs are plain values
+// with immutable configuration, and all scratch is caller-provided (dst) or
+// internally pooled.
 type Codec interface {
 	Name() string
-	// Encode compresses the update into a payload.
-	Encode(update []float64) ([]byte, error)
-	// Decode reconstructs a (lossy) update of length dim from a payload.
-	Decode(payload []byte, dim int) ([]float64, error)
+	// EncodeInto compresses update into dst, reusing dst's capacity when it
+	// suffices (the returned slice then aliases dst; its previous contents
+	// are overwritten). Callers that feed each call's result back in as the
+	// next call's dst reach a zero-allocation steady state.
+	EncodeInto(dst []byte, update []float64) ([]byte, error)
+	// DecodeInto reconstructs a (lossy) update of length dim from payload
+	// into dst, with the same capacity-reuse contract as EncodeInto.
+	DecodeInto(dst []float64, payload []byte, dim int) ([]float64, error)
+}
+
+// Selector is a Codec that transmits a subset of coordinates (top-k, random
+// mask). A Selector can serve as the sparsifying first stage of a Chain,
+// which then hands only the kept values to the chain's value codec.
+type Selector interface {
+	Codec
+	// SelectInto writes the kept coordinates into idx (ascending, unique)
+	// and their values into vals, reusing both buffers' capacity. The two
+	// returned slices have equal length.
+	SelectInto(idx []uint32, vals []float64, update []float64) ([]uint32, []float64, error)
+}
+
+// Encode is the allocating convenience form of EncodeInto.
+func Encode(c Codec, update []float64) ([]byte, error) { return c.EncodeInto(nil, update) }
+
+// Decode is the allocating convenience form of DecodeInto.
+func Decode(c Codec, payload []byte, dim int) ([]float64, error) {
+	return c.DecodeInto(nil, payload, dim)
 }
 
 // ErrCorruptPayload reports an undecodable payload.
 var ErrCorruptPayload = errors.New("compress: corrupt payload")
+
+// ErrNonFinite reports a NaN or ±Inf coordinate in an update handed to a
+// codec whose encoding would smear the damage across every coordinate
+// (range quantisation, chunk scales, codebook fitting). Pass-through codecs
+// (Identity, TopK, RandomMask) transmit non-finite values verbatim instead:
+// there the damage stays on the coordinate that carried it in.
+var ErrNonFinite = errors.New("compress: non-finite coordinate in update")
 
 // Uniform8 quantises each coordinate to 8 bits over the update's own
 // [min, max] range (a "sketched update" in the paper's terminology).
@@ -42,48 +80,62 @@ type Uniform8 struct{}
 // Name implements Codec.
 func (Uniform8) Name() string { return "quantize8" }
 
-// Encode implements Codec.
-func (Uniform8) Encode(update []float64) ([]byte, error) {
+// EncodeInto implements Codec. A non-finite coordinate is rejected with
+// ErrNonFinite: it would silently poison lo/hi and thereby every decoded
+// value, not just its own.
+//
+//cmfl:hotpath
+func (Uniform8) EncodeInto(dst []byte, update []float64) ([]byte, error) {
 	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, v := range update {
+	for i, v := range update {
+		if !isFinite(v) {
+			return nil, fmt.Errorf("%w: quantize8 coordinate %d = %v", ErrNonFinite, i, v)
+		}
 		lo = math.Min(lo, v)
 		hi = math.Max(hi, v)
 	}
 	if len(update) == 0 {
 		lo, hi = 0, 0
 	}
-	out := make([]byte, 16+len(update))
-	binary.BigEndian.PutUint64(out[:8], math.Float64bits(lo))
-	binary.BigEndian.PutUint64(out[8:16], math.Float64bits(hi))
+	dst = growBytes(dst, 16+len(update))
+	putU64(dst[:8], math.Float64bits(lo))
+	putU64(dst[8:16], math.Float64bits(hi))
 	scale := hi - lo
 	for i, v := range update {
 		q := 0.0
 		if scale > 0 {
 			q = (v - lo) / scale * 255
 		}
-		out[16+i] = byte(math.Round(q))
+		dst[16+i] = byte(math.Round(q))
 	}
-	return out, nil
+	return dst, nil
 }
 
-// Decode implements Codec.
-func (Uniform8) Decode(payload []byte, dim int) ([]float64, error) {
-	if len(payload) != 16+dim {
+// DecodeInto implements Codec.
+//
+//cmfl:hotpath
+func (Uniform8) DecodeInto(dst []float64, payload []byte, dim int) ([]float64, error) {
+	if dim < 0 || len(payload) != 16+dim {
 		return nil, fmt.Errorf("%w: quantize8 payload %d bytes for dim %d", ErrCorruptPayload, len(payload), dim)
 	}
-	lo := math.Float64frombits(binary.BigEndian.Uint64(payload[:8]))
-	hi := math.Float64frombits(binary.BigEndian.Uint64(payload[8:16]))
+	lo := math.Float64frombits(getU64(payload[:8]))
+	hi := math.Float64frombits(getU64(payload[8:16]))
 	scale := hi - lo
-	out := make([]float64, dim)
-	for i := range out {
-		out[i] = lo + float64(payload[16+i])/255*scale
+	dst = growFloats(dst, dim)
+	for i := range dst {
+		dst[i] = lo + float64(payload[16+i])/255*scale
 	}
-	return out, nil
+	return dst, nil
 }
 
 // TopK keeps only the K largest-magnitude coordinates (a "structured
-// update"). Payload: K (index uint32, value float64) pairs; all other
-// coordinates decode to zero.
+// update"). Payload: K (index uint32, value float64) pairs in ascending
+// index order; all other coordinates decode to zero.
+//
+// Selection runs in O(n) via an in-place quickselect over a pooled index
+// scratch (plus an O(k log k) heapsort of the kept indices) — the previous
+// implementation allocated and fully sorted an n-entry index slice per
+// call, which dominated encode time whenever K ≪ n.
 type TopK struct {
 	K int
 }
@@ -91,55 +143,87 @@ type TopK struct {
 // Name implements Codec.
 func (c TopK) Name() string { return fmt.Sprintf("top%d", c.K) }
 
-// Encode implements Codec.
-func (c TopK) Encode(update []float64) ([]byte, error) {
+// EncodeInto implements Codec.
+//
+//cmfl:hotpath
+func (c TopK) EncodeInto(dst []byte, update []float64) ([]byte, error) {
+	ip := u32Scratch.Get().(*[]uint32)
+	idx, err := c.selectIndices(*ip, update)
+	*ip = idx
+	if err != nil {
+		u32Scratch.Put(ip)
+		return nil, err
+	}
+	dst = growBytes(dst, len(idx)*12)
+	off := 0
+	for _, i := range idx {
+		putU32(dst[off:off+4], i)
+		putU64(dst[off+4:off+12], math.Float64bits(update[i]))
+		off += 12
+	}
+	u32Scratch.Put(ip)
+	return dst, nil
+}
+
+// selectIndices fills idx with the K largest-magnitude coordinate indices
+// of update, ascending, reusing idx's capacity.
+func (c TopK) selectIndices(idx []uint32, update []float64) ([]uint32, error) {
 	if c.K <= 0 {
-		return nil, errors.New("compress: TopK requires K > 0")
+		return idx, errors.New("compress: TopK requires K > 0")
 	}
 	k := c.K
 	if k > len(update) {
 		k = len(update)
 	}
-	idx := make([]int, len(update))
+	idx = growU32(idx, len(update))
 	for i := range idx {
-		idx[i] = i
+		idx[i] = uint32(i)
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		return math.Abs(update[idx[a]]) > math.Abs(update[idx[b]])
-	})
-	kept := idx[:k]
-	sort.Ints(kept)
-	out := make([]byte, 0, k*12)
-	var buf [12]byte
-	for _, i := range kept {
-		binary.BigEndian.PutUint32(buf[:4], uint32(i))
-		binary.BigEndian.PutUint64(buf[4:12], math.Float64bits(update[i]))
-		out = append(out, buf[:]...)
-	}
-	return out, nil
+	quickselectAbsDesc(idx, update, k)
+	idx = idx[:k]
+	sortU32(idx)
+	return idx, nil
 }
 
-// Decode implements Codec.
-func (c TopK) Decode(payload []byte, dim int) ([]float64, error) {
-	if len(payload)%12 != 0 {
-		return nil, fmt.Errorf("%w: topk payload %d bytes", ErrCorruptPayload, len(payload))
+// SelectInto implements Selector.
+func (c TopK) SelectInto(idx []uint32, vals []float64, update []float64) ([]uint32, []float64, error) {
+	idx, err := c.selectIndices(idx, update)
+	if err != nil {
+		return idx, vals, err
 	}
-	out := make([]float64, dim)
+	vals = growFloats(vals, len(idx))
+	for j, i := range idx {
+		vals[j] = update[i]
+	}
+	return idx, vals, nil
+}
+
+// DecodeInto implements Codec.
+//
+//cmfl:hotpath
+func (c TopK) DecodeInto(dst []float64, payload []byte, dim int) ([]float64, error) {
+	if dim < 0 || len(payload)%12 != 0 || len(payload)/12 > dim {
+		return nil, fmt.Errorf("%w: topk payload %d bytes for dim %d", ErrCorruptPayload, len(payload), dim)
+	}
+	dst = growFloats(dst, dim)
+	for i := range dst {
+		dst[i] = 0
+	}
 	for off := 0; off < len(payload); off += 12 {
-		i := int(binary.BigEndian.Uint32(payload[off : off+4]))
+		i := int(getU32(payload[off : off+4]))
 		if i < 0 || i >= dim {
 			return nil, fmt.Errorf("%w: topk index %d outside dim %d", ErrCorruptPayload, i, dim)
 		}
-		out[i] = math.Float64frombits(binary.BigEndian.Uint64(payload[off+4 : off+12]))
+		dst[i] = math.Float64frombits(getU64(payload[off+4 : off+12]))
 	}
-	return out, nil
+	return dst, nil
 }
 
 // RandomMask transmits a pseudo-random Fraction of coordinates chosen by a
-// seed shared between encoder and decoder, so only the seed and the kept
-// values travel (the random-mask structured update). The mask depends on
-// (Seed, dim) and a per-call counter is unnecessary because federated
-// updates are idempotent per round.
+// seed shared between encoder and decoder, so only the kept values travel
+// (the random-mask structured update). The mask depends on (Seed, dim) and
+// a per-call counter is unnecessary because federated updates are
+// idempotent per round.
 type RandomMask struct {
 	Fraction float64
 	Seed     uint64
@@ -158,40 +242,88 @@ func (c RandomMask) maskKeep(i, dim int) bool {
 	return float64(z>>11)/float64(1<<53) < c.Fraction
 }
 
-// Encode implements Codec.
-func (c RandomMask) Encode(update []float64) ([]byte, error) {
+func (c RandomMask) validate() error {
 	if c.Fraction <= 0 || c.Fraction > 1 {
-		return nil, errors.New("compress: RandomMask fraction must be in (0, 1]")
+		return errors.New("compress: RandomMask fraction must be in (0, 1]")
 	}
-	out := make([]byte, 0, int(float64(len(update))*c.Fraction)*8+8)
-	var buf [8]byte
-	for i, v := range update {
-		if c.maskKeep(i, len(update)) {
-			binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
-			out = append(out, buf[:]...)
-		}
-	}
-	return out, nil
+	return nil
 }
 
-// Decode implements Codec.
-func (c RandomMask) Decode(payload []byte, dim int) ([]float64, error) {
-	out := make([]float64, dim)
+// EncodeInto implements Codec.
+//
+//cmfl:hotpath
+func (c RandomMask) EncodeInto(dst []byte, update []float64) ([]byte, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	kept := 0
+	for i := range update {
+		if c.maskKeep(i, len(update)) {
+			kept++
+		}
+	}
+	dst = growBytes(dst, kept*8)
+	off := 0
+	for i, v := range update {
+		if c.maskKeep(i, len(update)) {
+			putU64(dst[off:off+8], math.Float64bits(v))
+			off += 8
+		}
+	}
+	return dst, nil
+}
+
+// SelectInto implements Selector.
+func (c RandomMask) SelectInto(idx []uint32, vals []float64, update []float64) ([]uint32, []float64, error) {
+	if err := c.validate(); err != nil {
+		return idx, vals, err
+	}
+	kept := 0
+	for i := range update {
+		if c.maskKeep(i, len(update)) {
+			kept++
+		}
+	}
+	idx = growU32(idx, kept)
+	vals = growFloats(vals, kept)
+	j := 0
+	for i, v := range update {
+		if c.maskKeep(i, len(update)) {
+			idx[j] = uint32(i)
+			vals[j] = v
+			j++
+		}
+	}
+	return idx, vals, nil
+}
+
+// DecodeInto implements Codec.
+//
+//cmfl:hotpath
+func (c RandomMask) DecodeInto(dst []float64, payload []byte, dim int) ([]float64, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if dim < 0 {
+		return nil, fmt.Errorf("%w: mask negative dim", ErrCorruptPayload)
+	}
+	dst = growFloats(dst, dim)
 	off := 0
 	for i := 0; i < dim; i++ {
 		if !c.maskKeep(i, dim) {
+			dst[i] = 0
 			continue
 		}
 		if off+8 > len(payload) {
 			return nil, fmt.Errorf("%w: mask payload too short", ErrCorruptPayload)
 		}
-		out[i] = math.Float64frombits(binary.BigEndian.Uint64(payload[off : off+8]))
+		dst[i] = math.Float64frombits(getU64(payload[off : off+8]))
 		off += 8
 	}
 	if off != len(payload) {
 		return nil, fmt.Errorf("%w: mask payload has %d trailing bytes", ErrCorruptPayload, len(payload)-off)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Identity is the no-compression control (full float64 payload).
@@ -200,23 +332,27 @@ type Identity struct{}
 // Name implements Codec.
 func (Identity) Name() string { return "identity" }
 
-// Encode implements Codec.
-func (Identity) Encode(update []float64) ([]byte, error) {
-	out := make([]byte, len(update)*8)
+// EncodeInto implements Codec.
+//
+//cmfl:hotpath
+func (Identity) EncodeInto(dst []byte, update []float64) ([]byte, error) {
+	dst = growBytes(dst, len(update)*8)
 	for i, v := range update {
-		binary.BigEndian.PutUint64(out[i*8:(i+1)*8], math.Float64bits(v))
+		putU64(dst[i*8:(i+1)*8], math.Float64bits(v))
 	}
-	return out, nil
+	return dst, nil
 }
 
-// Decode implements Codec.
-func (Identity) Decode(payload []byte, dim int) ([]float64, error) {
-	if len(payload) != dim*8 {
+// DecodeInto implements Codec.
+//
+//cmfl:hotpath
+func (Identity) DecodeInto(dst []float64, payload []byte, dim int) ([]float64, error) {
+	if dim < 0 || len(payload) != dim*8 {
 		return nil, fmt.Errorf("%w: identity payload %d bytes for dim %d", ErrCorruptPayload, len(payload), dim)
 	}
-	out := make([]float64, dim)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.BigEndian.Uint64(payload[i*8 : (i+1)*8]))
+	dst = growFloats(dst, dim)
+	for i := range dst {
+		dst[i] = math.Float64frombits(getU64(payload[i*8 : (i+1)*8]))
 	}
-	return out, nil
+	return dst, nil
 }

@@ -1,0 +1,96 @@
+package compress
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cmfl/internal/xrand"
+)
+
+// fuzzCodecs is the panel every fuzz input is run through. Codebook rides
+// along with small K/Iters so the k-means loop stays cheap per input.
+func fuzzCodecs() []Codec {
+	return []Codec{
+		Identity{},
+		Uniform8{},
+		TopK{K: 3},
+		RandomMask{Fraction: 0.5, Seed: 9},
+		Sign1Bit{Chunk: 8},
+		Codebook{K: 4, Iters: 2, Seed: 1},
+		NewChain(TopK{K: 3}, Uniform8{}),
+		NewChain(RandomMask{Fraction: 0.5, Seed: 9}, Sign1Bit{Chunk: 8}),
+	}
+}
+
+// FuzzCodecRoundTrip drives every codec with arbitrary float vectors derived
+// from the fuzz input: encode must either fail cleanly (ErrNonFinite on
+// non-finite input for range-sensitive codecs) or produce a payload that
+// decodes without error into a finite-damage vector of the right length.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(8), false)
+	f.Add(int64(42), uint8(100), false)
+	f.Add(int64(7), uint8(3), true)
+	f.Fuzz(func(t *testing.T, seed int64, dimByte uint8, injectNaN bool) {
+		dim := int(dimByte)
+		if dim == 0 {
+			return
+		}
+		rng := xrand.New(seed)
+		u := rng.NormVec(dim, 0, 5)
+		if injectNaN {
+			u[rng.Intn(dim)] = math.NaN()
+		}
+		for _, c := range fuzzCodecs() {
+			payload, err := Encode(c, u)
+			if err != nil {
+				if injectNaN && errors.Is(err, ErrNonFinite) {
+					continue
+				}
+				t.Fatalf("%s: encode(%v): %v", c.Name(), u, err)
+			}
+			got, err := Decode(c, payload, dim)
+			if err != nil {
+				t.Fatalf("%s: decode own payload: %v", c.Name(), err)
+			}
+			if len(got) != dim {
+				t.Fatalf("%s: decode length %d, want %d", c.Name(), len(got), dim)
+			}
+		}
+	})
+}
+
+// FuzzCodecDecode feeds arbitrary bytes to every decoder: they must reject
+// or accept, never panic or read out of bounds.
+func FuzzCodecDecode(f *testing.F) {
+	f.Add([]byte{}, uint8(4))
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 0}, uint8(4))
+	seed, _ := Encode(NewChain(TopK{K: 2}, Uniform8{}), []float64{1, -2, 3, -4})
+	f.Add(seed, uint8(4))
+	f.Fuzz(func(t *testing.T, payload []byte, dimByte uint8) {
+		dim := int(dimByte)
+		for _, c := range fuzzCodecs() {
+			got, err := Decode(c, payload, dim)
+			if err == nil && len(got) != dim {
+				t.Fatalf("%s: accepted garbage but returned %d coords, want %d", c.Name(), len(got), dim)
+			}
+		}
+	})
+}
+
+// TestCodecDecodersNeverPanic is the deterministic smoke slice of
+// FuzzCodecDecode that runs in plain `go test`.
+func TestCodecDecodersNeverPanic(t *testing.T) {
+	rng := xrand.New(77)
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(64)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		for _, c := range fuzzCodecs() {
+			_, _ = Decode(c, b, rng.Intn(16))
+		}
+		_, _, _ = ParseSpec(b)
+	}
+}

@@ -1,0 +1,174 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+)
+
+// This file holds the scratch-management primitives behind the package's
+// zero-allocation contract. The grow* helpers implement overwrite reuse:
+// when the caller's buffer capacity suffices they re-slice it (free);
+// otherwise they allocate once with headroom, an amortized grow-only cost
+// that the //cmfl:lint-ignore markers justify to cmfl-vet so it does not
+// re-surface at every //cmfl:hotpath caller. The sync.Pools cover scratch
+// the Codec interface cannot route through the caller (TopK's index
+// permutation, Chain's intermediate selections).
+
+// growBytes returns a length-n byte slice reusing dst's capacity. Contents
+// are unspecified — callers overwrite every element.
+func growBytes(dst []byte, n int) []byte {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	//cmfl:lint-ignore hotpathalloc amortized grow-only resize; steady state reuses caller capacity
+	return make([]byte, n)
+}
+
+// growFloats is growBytes for float64 scratch.
+func growFloats(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	//cmfl:lint-ignore hotpathalloc amortized grow-only resize; steady state reuses caller capacity
+	return make([]float64, n)
+}
+
+// growU32 is growBytes for uint32 scratch.
+func growU32(dst []uint32, n int) []uint32 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	//cmfl:lint-ignore hotpathalloc amortized grow-only resize; steady state reuses caller capacity
+	return make([]uint32, n)
+}
+
+// Pools hold pointers to slices (not slices) so Get/Put stay off the heap
+// in steady state; the New closures live at package level because a func
+// literal inside a hot body would itself be an allocation.
+var (
+	u32Scratch  = sync.Pool{New: newU32Scratch}
+	f64Scratch  = sync.Pool{New: newF64Scratch}
+	byteScratch = sync.Pool{New: newByteScratch}
+)
+
+func newU32Scratch() any { return new([]uint32) }
+
+func newF64Scratch() any { return new([]float64) }
+
+func newByteScratch() any { return new([]byte) }
+
+// isFinite reports whether v is neither NaN nor ±Inf. For any finite v,
+// v-v is exactly 0; NaN and ±Inf both yield NaN, which compares unequal.
+//
+//cmfl:lint-ignore floateq v-v == 0 is the bit-exact IEEE-754 finiteness test
+func isFinite(v float64) bool { return v-v == 0 }
+
+func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+func getU32(b []byte) uint32    { return binary.LittleEndian.Uint32(b) }
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+func getU64(b []byte) uint64    { return binary.LittleEndian.Uint64(b) }
+
+// quickselectAbsDesc partially orders idx so its first k entries index the
+// k largest |vals[i]| coordinates, in expected O(n): Hoare partition with
+// median-of-three pivoting, which stays linear on the all-equal inputs
+// (e.g. all-zero deltas) that degrade a Lomuto scheme to O(n²). Ties are
+// broken arbitrarily — callers re-sort the kept prefix by index, so the
+// wire encoding stays deterministic either way.
+func quickselectAbsDesc(idx []uint32, vals []float64, k int) {
+	lo, hi := 0, len(idx)-1
+	for lo < hi {
+		p := hoarePartition(idx, vals, lo, hi)
+		// Hoare: [lo, p] holds magnitudes >= everything in [p+1, hi].
+		left := p - lo + 1
+		if k <= left {
+			hi = p
+		} else {
+			k -= left
+			lo = p + 1
+		}
+	}
+}
+
+// hoarePartition partitions idx[lo..hi] around a median-of-three pivot by
+// descending |vals|, returning j such that every element of idx[lo..j]
+// compares >= every element of idx[j+1..hi].
+func hoarePartition(idx []uint32, vals []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	a, b, c := absAt(vals, idx[lo]), absAt(vals, idx[mid]), absAt(vals, idx[hi])
+	// Move the median of (a, b, c) to lo to serve as the pivot.
+	if (a < b) != (a < c) { // a is the median
+		// already at lo
+	} else if (b < a) != (b < c) { // b is the median
+		idx[lo], idx[mid] = idx[mid], idx[lo]
+	} else {
+		idx[lo], idx[hi] = idx[hi], idx[lo]
+	}
+	pivot := absAt(vals, idx[lo])
+	i, j := lo-1, hi+1
+	for {
+		for {
+			i++
+			if absAt(vals, idx[i]) <= pivot {
+				break
+			}
+		}
+		for {
+			j--
+			if absAt(vals, idx[j]) >= pivot {
+				break
+			}
+		}
+		if i >= j {
+			return j
+		}
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+}
+
+// absAt returns the selection magnitude of vals[i]: |v|, with NaN mapped to
+// +Inf. NaN compares false against everything, which would let the Hoare
+// sweeps run past the slice bounds; promoting it to +Inf keeps the order
+// total (a NaN coordinate simply ranks as largest and is transmitted
+// verbatim — TopK passes damage through, it never launders it).
+func absAt(vals []float64, i uint32) float64 {
+	v := vals[i]
+	if math.IsNaN(v) {
+		return math.Inf(1)
+	}
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// sortU32 sorts in place via heapsort: O(k log k), zero allocation, and no
+// recursion — sort.Slice would force the slice header and comparator onto
+// the heap on every call.
+func sortU32(a []uint32) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownU32(a, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDownU32(a, 0, end)
+	}
+}
+
+func siftDownU32(a []uint32, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}

@@ -1,0 +1,104 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sign1Bit transmits one bit per coordinate (the sign) plus a float64 scale
+// per chunk of Chunk coordinates — the mean |value| over the chunk — so a
+// coordinate decodes to ±scale. This is the 1-bit SGD / signSGD family of
+// sketched updates: 64.something× smaller than raw float64 at Chunk=256
+// (1 bit + 64/256 scale bits per coordinate), with the per-chunk scale
+// retaining coarse magnitude structure that a single global scale loses.
+//
+// Payload: [u32 chunk][nChunks × f64 scale][ceil(dim/8) sign bitmap], where
+// nChunks = ceil(dim/chunk). A set bit means negative.
+type Sign1Bit struct {
+	// Chunk is the number of coordinates sharing one scale; 0 means
+	// DefaultSignChunk.
+	Chunk int
+}
+
+// DefaultSignChunk is the scale-sharing granularity when Sign1Bit.Chunk is 0.
+const DefaultSignChunk = 256
+
+func (c Sign1Bit) chunk() int {
+	if c.Chunk <= 0 {
+		return DefaultSignChunk
+	}
+	return c.Chunk
+}
+
+// Name implements Codec.
+func (c Sign1Bit) Name() string { return fmt.Sprintf("sign1bit/%d", c.chunk()) }
+
+// EncodeInto implements Codec. Non-finite coordinates are rejected: a NaN
+// would poison its whole chunk's scale, an Inf every coordinate in it.
+//
+//cmfl:hotpath
+func (c Sign1Bit) EncodeInto(dst []byte, update []float64) ([]byte, error) {
+	chunk := c.chunk()
+	n := len(update)
+	nChunks := (n + chunk - 1) / chunk
+	need := 4 + nChunks*8 + (n+7)/8
+	dst = growBytes(dst, need)
+	putU32(dst[:4], uint32(chunk))
+
+	bitmap := dst[4+nChunks*8:]
+	for i := range bitmap {
+		bitmap[i] = 0
+	}
+	for base := 0; base < n; base += chunk {
+		end := base + chunk
+		if end > n {
+			end = n
+		}
+		sum := 0.0
+		for i := base; i < end; i++ {
+			v := update[i]
+			if !isFinite(v) {
+				return nil, fmt.Errorf("%w: sign1bit coordinate %d = %v", ErrNonFinite, i, v)
+			}
+			if v < 0 {
+				sum -= v
+				bitmap[i>>3] |= 1 << (i & 7)
+			} else {
+				sum += v
+			}
+		}
+		scale := sum / float64(end-base)
+		off := 4 + (base/chunk)*8
+		putU64(dst[off:off+8], math.Float64bits(scale))
+	}
+	return dst, nil
+}
+
+// DecodeInto implements Codec.
+//
+//cmfl:hotpath
+func (c Sign1Bit) DecodeInto(dst []float64, payload []byte, dim int) ([]float64, error) {
+	if dim < 0 || len(payload) < 4 {
+		return nil, fmt.Errorf("%w: sign1bit payload %d bytes", ErrCorruptPayload, len(payload))
+	}
+	chunk := int(getU32(payload[:4]))
+	if chunk <= 0 {
+		return nil, fmt.Errorf("%w: sign1bit chunk %d", ErrCorruptPayload, chunk)
+	}
+	nChunks := (dim + chunk - 1) / chunk
+	if len(payload) != 4+nChunks*8+(dim+7)/8 {
+		return nil, fmt.Errorf("%w: sign1bit payload %d bytes for dim %d chunk %d", ErrCorruptPayload, len(payload), dim, chunk)
+	}
+	bitmap := payload[4+nChunks*8:]
+	dst = growFloats(dst, dim)
+	for i := range dst {
+		off := 4 + (i/chunk)*8
+		scale := math.Float64frombits(getU64(payload[off : off+8]))
+		if bitmap[i>>3]&(1<<(i&7)) != 0 {
+			dst[i] = -scale
+		} else {
+			dst[i] = scale
+		}
+	}
+	return dst, nil
+}

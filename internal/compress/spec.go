@@ -1,0 +1,239 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Wire codec specs: a self-describing binary encoding of a codec's identity
+// and parameters, negotiated once per connection in the emulation's hello
+// frame (wire format v2) so per-update frames carry no codec metadata at
+// all. IDs are append-only — reusing or renumbering one would silently
+// mis-pair old clients with new servers.
+//
+// A spec encodes the codec's *effective* parameters (defaults resolved),
+// so two configurations that behave identically serialize identically and
+// the server's byte-equality compatibility check cannot be defeated by a
+// zero-vs-default mismatch.
+const (
+	specIdentity   = 1 // no params
+	specUniform8   = 2 // no params
+	specTopK       = 3 // u32 K
+	specRandomMask = 4 // f64 fraction bits, u64 seed
+	specSign1Bit   = 5 // u32 chunk
+	specCodebook   = 6 // u8 K, u32 iters, u64 seed
+	specChain      = 7 // selector spec ++ value spec
+)
+
+// AppendSpec appends c's wire spec to dst. It errors on codecs with invalid
+// parameters or types outside the registry.
+func AppendSpec(dst []byte, c Codec) ([]byte, error) {
+	switch c := c.(type) {
+	case Identity:
+		return append(dst, specIdentity), nil
+	case Uniform8:
+		return append(dst, specUniform8), nil
+	case TopK:
+		if c.K <= 0 {
+			return nil, fmt.Errorf("compress: spec for TopK requires K > 0, got %d", c.K)
+		}
+		dst = append(dst, specTopK)
+		return appendU32(dst, uint32(c.K)), nil
+	case RandomMask:
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+		dst = append(dst, specRandomMask)
+		dst = appendU64(dst, math.Float64bits(c.Fraction))
+		return appendU64(dst, c.Seed), nil
+	case Sign1Bit:
+		dst = append(dst, specSign1Bit)
+		return appendU32(dst, uint32(c.chunk())), nil
+	case Codebook:
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+		dst = append(dst, specCodebook, byte(c.k()))
+		dst = appendU32(dst, uint32(c.iters()))
+		return appendU64(dst, uint64(c.Seed)), nil
+	case Chain:
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+		dst = append(dst, specChain)
+		dst, err := AppendSpec(dst, c.Selector)
+		if err != nil {
+			return nil, err
+		}
+		return AppendSpec(dst, c.Values)
+	case nil:
+		return nil, fmt.Errorf("compress: cannot encode spec for nil codec")
+	default:
+		return nil, fmt.Errorf("compress: no wire spec for codec type %T (%s)", c, c.Name())
+	}
+}
+
+// EncodeSpec is the allocating convenience form of AppendSpec.
+func EncodeSpec(c Codec) ([]byte, error) { return AppendSpec(nil, c) }
+
+// ParseSpec decodes one codec spec from the front of b, returning the codec
+// and the unconsumed remainder. Unknown IDs and truncated params error.
+func ParseSpec(b []byte) (Codec, []byte, error) {
+	return parseSpec(b, 0)
+}
+
+// parseSpec bounds chain nesting so a hostile spec cannot recurse deeply.
+func parseSpec(b []byte, depth int) (Codec, []byte, error) {
+	if depth > 2 {
+		return nil, nil, fmt.Errorf("%w: codec spec nests too deep", ErrCorruptPayload)
+	}
+	if len(b) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty codec spec", ErrCorruptPayload)
+	}
+	id, b := b[0], b[1:]
+	switch id {
+	case specIdentity:
+		return Identity{}, b, nil
+	case specUniform8:
+		return Uniform8{}, b, nil
+	case specTopK:
+		if len(b) < 4 {
+			return nil, nil, fmt.Errorf("%w: truncated topk spec", ErrCorruptPayload)
+		}
+		k := int(getU32(b[:4]))
+		if k <= 0 {
+			return nil, nil, fmt.Errorf("%w: topk spec K %d", ErrCorruptPayload, k)
+		}
+		return TopK{K: k}, b[4:], nil
+	case specRandomMask:
+		if len(b) < 16 {
+			return nil, nil, fmt.Errorf("%w: truncated mask spec", ErrCorruptPayload)
+		}
+		c := RandomMask{Fraction: math.Float64frombits(getU64(b[:8])), Seed: getU64(b[8:16])}
+		if err := c.validate(); err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrCorruptPayload, err)
+		}
+		return c, b[16:], nil
+	case specSign1Bit:
+		if len(b) < 4 {
+			return nil, nil, fmt.Errorf("%w: truncated sign1bit spec", ErrCorruptPayload)
+		}
+		chunk := int(getU32(b[:4]))
+		if chunk <= 0 {
+			return nil, nil, fmt.Errorf("%w: sign1bit spec chunk %d", ErrCorruptPayload, chunk)
+		}
+		return Sign1Bit{Chunk: chunk}, b[4:], nil
+	case specCodebook:
+		if len(b) < 13 {
+			return nil, nil, fmt.Errorf("%w: truncated codebook spec", ErrCorruptPayload)
+		}
+		c := Codebook{K: int(b[0]), Iters: int(getU32(b[1:5])), Seed: int64(getU64(b[5:13]))}
+		if err := c.validate(); err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrCorruptPayload, err)
+		}
+		return c, b[13:], nil
+	case specChain:
+		selC, rest, err := parseSpec(b, depth+1)
+		if err != nil {
+			return nil, nil, err
+		}
+		sel, ok := selC.(Selector)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: chain spec first stage %s is not a selector", ErrCorruptPayload, selC.Name())
+		}
+		values, rest, err := parseSpec(rest, depth+1)
+		if err != nil {
+			return nil, nil, err
+		}
+		c := Chain{Selector: sel, Values: values}
+		if err := c.validate(); err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrCorruptPayload, err)
+		}
+		return c, rest, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown codec spec id %d", ErrCorruptPayload, id)
+	}
+}
+
+// ParseName resolves the CLI/config spelling of a codec. Grammar:
+//
+//	none | identity | quantize8 | top<K> | mask<pct> | sign1bit[/<chunk>] |
+//	codebook[<K>] | <selector>+<value>   (a chain, e.g. top1000+quantize8)
+//
+// "none" (and "") yield a nil codec: raw float64 updates, no codec frame.
+func ParseName(name string) (Codec, error) {
+	name = strings.TrimSpace(name)
+	if name == "" || name == "none" {
+		return nil, nil
+	}
+	if sel, values, ok := strings.Cut(name, "+"); ok {
+		sc, err := ParseName(sel)
+		if err != nil {
+			return nil, err
+		}
+		s, ok := sc.(Selector)
+		if !ok {
+			return nil, fmt.Errorf("compress: chain stage %q is not a selector (want top<K> or mask<pct>)", sel)
+		}
+		vc, err := ParseName(values)
+		if err != nil {
+			return nil, err
+		}
+		c := Chain{Selector: s, Values: vc}
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	switch {
+	case name == "identity":
+		return Identity{}, nil
+	case name == "quantize8":
+		return Uniform8{}, nil
+	case name == "sign1bit":
+		return Sign1Bit{}, nil
+	case strings.HasPrefix(name, "sign1bit/"):
+		chunk, err := strconv.Atoi(name[len("sign1bit/"):])
+		if err != nil || chunk <= 0 {
+			return nil, fmt.Errorf("compress: bad sign1bit chunk in %q", name)
+		}
+		return Sign1Bit{Chunk: chunk}, nil
+	case name == "codebook":
+		return Codebook{}, nil
+	case strings.HasPrefix(name, "codebook"):
+		k, err := strconv.Atoi(name[len("codebook"):])
+		if err != nil {
+			return nil, fmt.Errorf("compress: bad codebook size in %q", name)
+		}
+		c := Codebook{K: k}
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case strings.HasPrefix(name, "top"):
+		k, err := strconv.Atoi(name[len("top"):])
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("compress: bad top-k count in %q", name)
+		}
+		return TopK{K: k}, nil
+	case strings.HasPrefix(name, "mask"):
+		pct, err := strconv.ParseFloat(name[len("mask"):], 64)
+		if err != nil || pct <= 0 || pct > 100 {
+			return nil, fmt.Errorf("compress: bad mask percentage in %q", name)
+		}
+		return RandomMask{Fraction: pct / 100, Seed: 1}, nil
+	default:
+		return nil, fmt.Errorf("compress: unknown codec %q", name)
+	}
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"cmfl/internal/compress"
 	"cmfl/internal/telemetry"
 )
 
@@ -263,6 +264,65 @@ func TestChaos(t *testing.T) {
 				t.Fatalf("downlink wire counter = %v, want %d", got, a.DownlinkWireBytes)
 			}
 		})
+	}
+}
+
+// TestChaosWithCodecChainDeterministic reruns a mixed fault plan with the
+// full wire-efficiency stack (CMFL gate absent here, codec chain + error
+// feedback present) and requires bit-identical final models and identical
+// codec counters across runs: compression must not perturb the fault
+// machinery's determinism, and vice versa.
+func TestChaosWithCodecChainDeterministic(t *testing.T) {
+	plan := NewFaultPlan().
+		Add(0, 2, Fault{Kind: FaultDropUpdate}).
+		Add(1, 3, Fault{Kind: FaultDisconnect}).
+		Add(2, 2, Fault{Kind: FaultDelay, Delay: 100 * time.Millisecond})
+	run := func() *ClusterResult {
+		cfg := clusterConfig(t, 3, 4, nil)
+		cfg.Timeout = 0
+		cfg.DialTimeout = 10 * time.Second
+		cfg.RoundDeadline = 900 * time.Millisecond
+		cfg.MinQuorum = 1
+		cfg.Faults = plan
+		cfg.Compressor = compress.NewChain(compress.TopK{K: 50}, compress.Uniform8{})
+		cfg.ErrorFeedback = true
+		cfg.Registry = telemetry.NewRegistry()
+		res, err := RunCluster(cfg)
+		if err != nil {
+			t.Fatalf("chaos codec cluster: %v", err)
+		}
+		return res
+	}
+	first, second := run(), run()
+	a, b := first.Server, second.Server
+	for j := range a.FinalParams {
+		if math.Float64bits(a.FinalParams[j]) != math.Float64bits(b.FinalParams[j]) {
+			t.Fatalf("param %d differs between codec chaos runs: %v vs %v", j, a.FinalParams[j], b.FinalParams[j])
+		}
+	}
+	if a.CodecUpdates != b.CodecUpdates || a.CodecEncodedBytes != b.CodecEncodedBytes || a.CodecRawBytes != b.CodecRawBytes {
+		t.Fatalf("codec accounting differs: %d/%d/%d vs %d/%d/%d",
+			a.CodecUpdates, a.CodecEncodedBytes, a.CodecRawBytes,
+			b.CodecUpdates, b.CodecEncodedBytes, b.CodecRawBytes)
+	}
+	if a.CodecUpdates == 0 {
+		t.Fatal("codec chaos run recorded zero compressed updates")
+	}
+	// The resend path must reuse the same encoded bytes: a disconnected
+	// client that rejoins re-sends its staged frame, and the codec counters
+	// count each accepted update exactly once.
+	if a.UplinkWireBytes != b.UplinkWireBytes {
+		t.Fatalf("wire bytes differ: %d vs %d", a.UplinkWireBytes, b.UplinkWireBytes)
+	}
+	snap := first.Registry.Snapshot()
+	if got := snap["cmfl_codec_updates_total"]; got != float64(a.CodecUpdates) {
+		t.Fatalf("codec updates counter = %v, result says %d", got, a.CodecUpdates)
+	}
+	if got := snap["cmfl_codec_encoded_bytes_total"]; got != float64(a.CodecEncodedBytes) {
+		t.Fatalf("codec encoded counter = %v, result says %d", got, a.CodecEncodedBytes)
+	}
+	if got := snap["cmfl_codec_raw_bytes_total"]; got != float64(a.CodecRawBytes) {
+		t.Fatalf("codec raw counter = %v, result says %d", got, a.CodecRawBytes)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"cmfl/internal/compress"
 	"cmfl/internal/core"
 	"cmfl/internal/dataset"
 	"cmfl/internal/fl"
@@ -32,9 +33,17 @@ type ClientConfig struct {
 	LR core.Schedule
 	// Filter gates uploads; nil means vanilla (always upload).
 	Filter fl.UploadFilter
-	// Compressor lossily encodes uploads (must match the server's codec);
-	// nil sends raw float64 updates.
+	// Compressor lossily encodes uploads. Its wire spec is declared in the
+	// hello (wire v2): a server with no codec adopts it, a server configured
+	// with its own codec requires the specs to match byte-for-byte. Must be
+	// one of the internal/compress codecs (the spec registry cannot describe
+	// foreign implementations). Nil sends raw float64 updates.
 	Compressor fl.UpdateCodec
+	// ErrorFeedback accumulates the compression residual client-side
+	// (EF-SGD): each upload encodes update+residual and keeps what the codec
+	// discarded for the next round. Residuals are untouched on skipped
+	// rounds. Ignored when Compressor is nil.
+	ErrorFeedback bool
 
 	// Seed drives the client's batch shuffling; the reconnect jitter uses a
 	// separate stream derived from the same seed, so fault timing never
@@ -96,6 +105,13 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 		inj: newFaultInjector(cfg.Faults, cfg.ID),
 		rng: xrand.Derive(cfg.Seed, "emu-backoff", cfg.ID),
 	}
+	if cfg.Compressor != nil {
+		spec, err := compress.EncodeSpec(cfg.Compressor)
+		if err != nil {
+			return nil, fmt.Errorf("emu: client %d codec: %w", cfg.ID, err)
+		}
+		sess.spec = spec
+	}
 	if err := sess.connect(); err != nil {
 		return nil, err
 	}
@@ -103,6 +119,13 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 
 	network := cfg.Model()
 	rng := fl.ClientStream(cfg.Seed, cfg.ID)
+
+	// Codec scratch, reused across rounds: encodeUpdate2 copies the encoded
+	// payload into the staged frame, so overwriting encBuf next round can
+	// never corrupt a pending (resendable) reply.
+	var encBuf []byte
+	var decBuf []float64
+	var residual []float64 // EF-SGD residual; nil until first compressed upload
 
 	var prevParams, feedback []float64
 	for {
@@ -148,11 +171,33 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 			}
 			if dec.Upload {
 				if cfg.Compressor != nil {
-					payload, err := cfg.Compressor.Encode(delta)
+					if cfg.ErrorFeedback {
+						// Fold the accumulated compression residual into the
+						// update post-gate: the upload decision saw the raw
+						// delta, the wire carries the corrected one.
+						if residual == nil {
+							residual = make([]float64, len(delta))
+						}
+						for j := range delta {
+							delta[j] += residual[j]
+						}
+					}
+					payload, err := cfg.Compressor.EncodeInto(encBuf, delta)
 					if err != nil {
 						return nil, fmt.Errorf("emu: client %d encode: %w", cfg.ID, err)
 					}
-					sess.stage(msgUpdateC, encodeCompressedUpdate(cfg.ID, round, dec.Metric, len(delta), cfg.Compressor.Name(), payload))
+					encBuf = payload
+					if cfg.ErrorFeedback {
+						decoded, err := cfg.Compressor.DecodeInto(decBuf, payload, len(delta))
+						if err != nil {
+							return nil, fmt.Errorf("emu: client %d residual decode: %w", cfg.ID, err)
+						}
+						decBuf = decoded
+						for j := range residual {
+							residual[j] = delta[j] - decoded[j]
+						}
+					}
+					sess.stage(msgUpdate2, encodeUpdate2(cfg.ID, round, dec.Metric, len(delta), payload))
 				} else {
 					sess.stage(msgUpdate, encodeUpdate(cfg.ID, round, dec.Metric, delta))
 				}
@@ -181,10 +226,11 @@ type pendingReply struct {
 // clientSession owns the client's connection lifecycle: dial, hello,
 // injector wrapping, and reconnect-with-resend.
 type clientSession struct {
-	cfg *ClientConfig
-	res *ClientResult
-	inj *faultInjector
-	rng *xrand.Stream // backoff jitter — separate from the training stream
+	cfg  *ClientConfig
+	res  *ClientResult
+	inj  *faultInjector
+	rng  *xrand.Stream // backoff jitter — separate from the training stream
+	spec []byte        // codec wire spec declared in every hello; nil = raw
 
 	conn    net.Conn // injector-wrapped
 	pending *pendingReply
@@ -219,7 +265,7 @@ func (s *clientSession) hello() error {
 	if err := s.conn.SetWriteDeadline(time.Now().Add(s.cfg.RoundTimeout)); err != nil {
 		return err
 	}
-	n, err := writeFrame(s.conn, msgHello, encodeHello(s.cfg.ID))
+	n, err := writeFrame(s.conn, msgHello, encodeHello(s.cfg.ID, s.spec))
 	if err != nil {
 		return err
 	}

@@ -26,6 +26,9 @@ type ClusterConfig struct {
 	LR         core.Schedule
 	Filter     fl.UploadFilter
 	Compressor fl.UpdateCodec
+	// ErrorFeedback enables client-side EF-SGD residual accumulation for
+	// compressed uploads (see ClientConfig.ErrorFeedback).
+	ErrorFeedback bool
 
 	Rounds         int
 	TargetAccuracy float64
@@ -151,19 +154,20 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		go func(i int, data *dataset.Set) {
 			defer wg.Done()
 			res, err := RunClient(ClientConfig{
-				Addr:         srv.Addr(),
-				ID:           i,
-				Model:        cfg.Model,
-				Data:         data,
-				Epochs:       cfg.Epochs,
-				Batch:        cfg.Batch,
-				LR:           cfg.LR,
-				Filter:       cfg.Filter,
-				Compressor:   cfg.Compressor,
-				Seed:         cfg.Seed,
-				RoundTimeout: roundTimeout,
-				DialTimeout:  cfg.DialTimeout,
-				Faults:       cfg.Faults,
+				Addr:          srv.Addr(),
+				ID:            i,
+				Model:         cfg.Model,
+				Data:          data,
+				Epochs:        cfg.Epochs,
+				Batch:         cfg.Batch,
+				LR:            cfg.LR,
+				Filter:        cfg.Filter,
+				Compressor:    cfg.Compressor,
+				ErrorFeedback: cfg.ErrorFeedback,
+				Seed:          cfg.Seed,
+				RoundTimeout:  roundTimeout,
+				DialTimeout:   cfg.DialTimeout,
+				Faults:        cfg.Faults,
 			})
 			clients[i], clientErrs[i] = res, err
 		}(i, data)

@@ -114,12 +114,33 @@ func TestSkipCodecRoundTrip(t *testing.T) {
 }
 
 func TestHelloCodec(t *testing.T) {
-	id, err := decodeHello(encodeHello(29))
-	if err != nil || id != 29 {
-		t.Fatalf("hello round trip = %d, %v", id, err)
+	// v1 (raw) form: 4 bytes, nil spec.
+	id, spec, err := decodeHello(encodeHello(29, nil))
+	if err != nil || id != 29 || spec != nil {
+		t.Fatalf("hello v1 round trip = %d, %v, %v", id, spec, err)
 	}
-	if _, err := decodeHello([]byte{1, 2}); err == nil {
+	// v2 form carries the codec spec verbatim.
+	wantSpec, err := compress.EncodeSpec(compress.NewChain(compress.TopK{K: 5}, compress.Uniform8{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, spec, err = decodeHello(encodeHello(3, wantSpec))
+	if err != nil || id != 3 || !bytes.Equal(spec, wantSpec) {
+		t.Fatalf("hello v2 round trip = %d, %x, %v (want spec %x)", id, spec, err, wantSpec)
+	}
+	if _, _, err := decodeHello([]byte{1, 2}); err == nil {
 		t.Fatal("expected error for short hello")
+	}
+	// Bad version tag.
+	bad := encodeHello(3, wantSpec)
+	bad[4] = 9
+	if _, _, err := decodeHello(bad); err == nil {
+		t.Fatal("expected error for unknown hello version")
+	}
+	// Spec length disagreeing with the payload.
+	bad = encodeHello(3, wantSpec)
+	if _, _, err := decodeHello(bad[:len(bad)-1]); err == nil {
+		t.Fatal("expected error for truncated hello spec")
 	}
 }
 
@@ -364,7 +385,7 @@ func TestFaultToleranceSurvivesDeadClient(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := writeFrame(conn, msgHello, encodeHello(2)); err != nil {
+	if _, err := writeFrame(conn, msgHello, encodeHello(2, nil)); err != nil {
 		t.Fatal(err)
 	}
 	conn.Close()
@@ -432,7 +453,7 @@ func TestStrictModeAbortsOnDeadClient(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := writeFrame(conn, msgHello, encodeHello(1)); err != nil {
+	if _, err := writeFrame(conn, msgHello, encodeHello(1, nil)); err != nil {
 		t.Fatal(err)
 	}
 	conn.Close()
@@ -446,21 +467,47 @@ func TestStrictModeAbortsOnDeadClient(t *testing.T) {
 	}
 }
 
-func TestCompressedUpdateCodecRoundTrip(t *testing.T) {
+func TestUpdate2CodecRoundTrip(t *testing.T) {
 	payload := []byte{9, 8, 7}
-	p := encodeCompressedUpdate(3, 14, 0.25, 100, "quantize8", payload)
-	id, round, metric, dim, codec, got, err := decodeCompressedUpdate(p)
+	p := encodeUpdate2(3, 14, 0.25, 100, payload)
+	id, round, metric, dim, got, err := decodeUpdate2(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if id != 3 || round != 14 || metric != 0.25 || dim != 100 || codec != "quantize8" {
-		t.Fatalf("header round trip: %d %d %v %d %q", id, round, metric, dim, codec)
+	if id != 3 || round != 14 || metric != 0.25 || dim != 100 {
+		t.Fatalf("header round trip: %d %d %v %d", id, round, metric, dim)
 	}
 	if !bytes.Equal(got, payload) {
 		t.Fatalf("payload = %v", got)
 	}
-	if _, _, _, _, _, _, err := decodeCompressedUpdate([]byte{1, 2}); err == nil {
+	if _, _, _, _, _, err := decodeUpdate2([]byte{1, 2}); err == nil {
 		t.Fatal("expected error for short payload")
+	}
+}
+
+func TestParseReplyHeader(t *testing.T) {
+	cases := []struct {
+		kind    byte
+		payload []byte
+	}{
+		{msgUpdate, encodeUpdate(7, 42, 0.5, []float64{1, 2})},
+		{msgUpdate2, encodeUpdate2(7, 42, 0.5, 2, []byte{1})},
+		{msgSkip, encodeSkip(7, 42, 0.5)},
+	}
+	for _, tc := range cases {
+		id, round, err := parseReplyHeader(&frame{kind: tc.kind, payload: tc.payload})
+		if err != nil || id != 7 || round != 42 {
+			t.Fatalf("kind %d: parseReplyHeader = %d, %d, %v", tc.kind, id, round, err)
+		}
+	}
+	if _, _, err := parseReplyHeader(&frame{kind: msgUpdateCRetired, payload: make([]byte, 24)}); err == nil {
+		t.Fatal("retired wire-v1 compressed update must be rejected")
+	}
+	if _, _, err := parseReplyHeader(&frame{kind: msgModel, payload: make([]byte, 24)}); err == nil {
+		t.Fatal("non-reply frame kind must be rejected")
+	}
+	if _, _, err := parseReplyHeader(&frame{kind: msgSkip, payload: []byte{1}}); err == nil {
+		t.Fatal("short reply payload must be rejected")
 	}
 }
 
@@ -504,7 +551,8 @@ func TestServerRejectsCodecMismatch(t *testing.T) {
 		Rounds:        3,
 		RoundTimeout:  5 * time.Second,
 		AcceptTimeout: 10 * time.Second,
-		// Server expects raw updates.
+		// Server pins quantize8; clients negotiate top-k below.
+		Compressor: compress.Uniform8{},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -525,7 +573,7 @@ func TestServerRejectsCodecMismatch(t *testing.T) {
 				Epochs:     1,
 				Batch:      4,
 				LR:         cfg.LR,
-				Compressor: compress.Uniform8{}, // mismatch
+				Compressor: compress.TopK{K: 10}, // mismatch
 				Seed:       cfg.Seed,
 			})
 			clientErrs <- err
@@ -540,5 +588,141 @@ func TestServerRejectsCodecMismatch(t *testing.T) {
 		if err := <-clientErrs; err == nil {
 			t.Fatal("client finished cleanly although the server rejected its codec")
 		}
+	}
+}
+
+// TestServerAdoptsClientCodec covers the other negotiation branch: a server
+// with no pinned codec parses each client's hello spec and decodes whatever
+// that client declared, so mixed raw/compressed fleets work.
+func TestServerAdoptsClientCodec(t *testing.T) {
+	cfg := clusterConfig(t, 2, 3, nil)
+	srv, err := NewServer(ServerConfig{
+		Addr:          "127.0.0.1:0",
+		Clients:       2,
+		Model:         cfg.Model,
+		TestData:      cfg.TestData,
+		Rounds:        3,
+		RoundTimeout:  10 * time.Second,
+		AcceptTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type out struct {
+		res *ServerResult
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := srv.Run()
+		done <- out{res, err}
+	}()
+	codecs := []fl.UpdateCodec{nil, compress.NewChain(compress.TopK{K: 20}, compress.Uniform8{})}
+	clientErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, err := RunClient(ClientConfig{
+				Addr:       srv.Addr(),
+				ID:         i,
+				Model:      cfg.Model,
+				Data:       cfg.ClientData[i],
+				Epochs:     1,
+				Batch:      4,
+				LR:         cfg.LR,
+				Compressor: codecs[i],
+				Seed:       cfg.Seed,
+			})
+			clientErrs <- err
+		}(i)
+	}
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("mixed-fleet server failed: %v", o.err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-clientErrs; err != nil {
+			t.Fatalf("mixed-fleet client failed: %v", err)
+		}
+	}
+	// Only client 1's updates are compressed: 3 rounds x 1 client.
+	if o.res.CodecUpdates != 3 {
+		t.Fatalf("codec updates = %d, want 3", o.res.CodecUpdates)
+	}
+	if o.res.CodecRawBytes != 3*int64(len(o.res.FinalParams))*8 {
+		t.Fatalf("codec raw bytes = %d, want %d", o.res.CodecRawBytes, 3*int64(len(o.res.FinalParams))*8)
+	}
+	if o.res.CodecEncodedBytes <= 0 || o.res.CodecEncodedBytes >= o.res.CodecRawBytes {
+		t.Fatalf("codec encoded bytes = %d, want in (0, %d)", o.res.CodecEncodedBytes, o.res.CodecRawBytes)
+	}
+}
+
+// TestClusterWithChainCodec runs the flagship wire-v2 stack — CMFL gate +
+// top-k selection + 8-bit quantization + error feedback — and checks both
+// that training still converges and that the codec telemetry is exact.
+func TestClusterWithChainCodec(t *testing.T) {
+	cfg := clusterConfig(t, 4, 10, core.NewFilter(core.Constant(0.4)))
+	cfg.Compressor = compress.NewChain(compress.TopK{K: 200}, compress.Uniform8{})
+	cfg.ErrorFeedback = true
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.Server.FinalAccuracy(); acc < 0.4 {
+		t.Fatalf("chain-codec cluster accuracy = %v, want >= 0.4", acc)
+	}
+	last := res.Server.History[len(res.Server.History)-1]
+	// Every upload went through the codec; raw bytes are dim*8 per update.
+	if res.Server.CodecUpdates != last.CumUploads {
+		t.Fatalf("codec updates %d != uploads %d", res.Server.CodecUpdates, last.CumUploads)
+	}
+	dim := int64(len(res.Server.FinalParams))
+	if res.Server.CodecRawBytes != int64(last.CumUploads)*dim*8 {
+		t.Fatalf("codec raw bytes = %d, want %d", res.Server.CodecRawBytes, int64(last.CumUploads)*dim*8)
+	}
+	// App-level accounting counts exactly the encoded payload bytes.
+	if last.CumUplinkBytes != res.Server.CodecEncodedBytes+16*int64(cumSkips(res.Server)) {
+		t.Fatalf("app bytes %d != encoded %d + skip frames", last.CumUplinkBytes, res.Server.CodecEncodedBytes)
+	}
+	// The chain payload per update is 4 + 200*4 + 16 + 200 bytes.
+	perUpdate := int64(4 + 200*4 + 16 + 200)
+	if res.Server.CodecEncodedBytes != int64(last.CumUploads)*perUpdate {
+		t.Fatalf("encoded bytes = %d, want %d per update x %d", res.Server.CodecEncodedBytes, perUpdate, last.CumUploads)
+	}
+}
+
+func cumSkips(res *ServerResult) int {
+	n := 0
+	for _, s := range res.SkipCounts {
+		n += s
+	}
+	return n
+}
+
+// TestErrorFeedbackImprovesAggression: with an extremely lossy codec, EF-SGD
+// must at minimum keep the run healthy and produce different (residual-
+// corrected) bytes than the no-feedback run.
+func TestErrorFeedbackChangesUploads(t *testing.T) {
+	base := clusterConfig(t, 3, 5, nil)
+	base.Compressor = compress.TopK{K: 20}
+	plain, err := RunCluster(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withEF := clusterConfig(t, 3, 5, nil)
+	withEF.Compressor = compress.TopK{K: 20}
+	withEF.ErrorFeedback = true
+	ef, err := RunCluster(withEF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range plain.Server.FinalParams {
+		if plain.Server.FinalParams[i] != ef.Server.FinalParams[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("error feedback produced bit-identical params to no feedback; residuals are not being applied")
 	}
 }

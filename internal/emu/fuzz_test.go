@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"cmfl/internal/compress"
 	"cmfl/internal/xrand"
 )
 
@@ -62,22 +63,27 @@ func TestReadFrameNeverPanicsOnGarbageStream(t *testing.T) {
 // Fuzz* functions (see FuzzQuorum), so `go test -fuzz` needs an anchored
 // pattern selecting exactly one: `-fuzz '^FuzzProtocol$'`.
 func FuzzProtocol(f *testing.F) {
-	f.Add(encodeHello(3))
+	f.Add(encodeHello(3, nil))
+	spec, err := compress.EncodeSpec(compress.NewChain(compress.TopK{K: 2}, compress.Uniform8{}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(encodeHello(3, spec))
 	f.Add(encodeModel(7, []float64{1, 2, 3}))
 	f.Add(encodeUpdate(1, 2, 0.5, []float64{4, 5}))
 	f.Add(encodeSkip(2, 9, 0.75))
-	f.Add(encodeCompressedUpdate(1, 2, 0.5, 4, "uniform8", []byte{1, 2, 3}))
+	f.Add(encodeUpdate2(1, 2, 0.5, 4, []byte{1, 2, 3}))
 
 	// Injector-shaped corpus: the wire damage the fault classes actually
 	// produce (see faults.go), so the fuzzer starts from realistic wrecks.
-	frame := func(kind byte, payload []byte) []byte {
+	mkFrame := func(kind byte, payload []byte) []byte {
 		var buf bytes.Buffer
 		if _, err := writeFrame(&buf, kind, payload); err != nil {
 			f.Fatal(err)
 		}
 		return buf.Bytes()
 	}
-	full := frame(msgUpdate, encodeUpdate(0, 3, 0.9, []float64{1, -2, 3}))
+	full := mkFrame(msgUpdate, encodeUpdate(0, 3, 0.9, []float64{1, -2, 3}))
 	f.Add(full[:2]) // FaultDisconnect: truncated length prefix, stream ends
 	oversize := append([]byte(nil), full...)
 	oversize[0], oversize[1], oversize[2], oversize[3] = 0xFF, 0xFF, 0xFF, 0xFF
@@ -90,7 +96,10 @@ func FuzzProtocol(f *testing.F) {
 		decodeModel(data)
 		decodeUpdate(data)
 		decodeSkip(data)
-		decodeCompressedUpdate(data)
+		decodeUpdate2(data)
+		for _, kind := range []byte{msgUpdate, msgUpdate2, msgSkip, msgUpdateCRetired} {
+			parseReplyHeader(&frame{kind: kind, payload: data})
+		}
 		r := bytes.NewReader(data)
 		for {
 			if _, err := readFrame(r); err != nil {

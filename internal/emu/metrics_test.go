@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"cmfl/internal/compress"
 	"cmfl/internal/core"
 )
 
@@ -184,5 +185,47 @@ func TestRunClusterExposesRegistry(t *testing.T) {
 	}
 	if got := int64(snap["cmfl_emu_downlink_wire_bytes_total"]); got != res.Server.DownlinkWireBytes {
 		t.Fatalf("registry downlink = %d, result says %d", got, res.Server.DownlinkWireBytes)
+	}
+	// A codec-less run still registers the cmfl_codec_* family, at zero.
+	if got := snap["cmfl_codec_updates_total"]; got != 0 {
+		t.Fatalf("raw run codec counter = %v, want 0", got)
+	}
+}
+
+// TestClusterCodecCountersMatchResult pins the exported cmfl_codec_* family
+// bit-for-bit to the ServerResult accounting under the chain codec.
+func TestClusterCodecCountersMatchResult(t *testing.T) {
+	cc := clusterConfig(t, 3, 5, core.NewFilter(core.Constant(0.5)))
+	cc.Compressor = compress.NewChain(compress.TopK{K: 40}, compress.Uniform8{})
+	cc.ErrorFeedback = true
+	cc.MetricsAddr = "127.0.0.1:0"
+	res, err := RunCluster(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := res.Server
+	snap := res.Registry.Snapshot()
+	if got := int64(snap["cmfl_codec_updates_total"]); got != int64(srv.CodecUpdates) {
+		t.Fatalf("codec updates counter = %d, result says %d", got, srv.CodecUpdates)
+	}
+	if got := int64(snap["cmfl_codec_encoded_bytes_total"]); got != srv.CodecEncodedBytes {
+		t.Fatalf("codec encoded counter = %d, result says %d", got, srv.CodecEncodedBytes)
+	}
+	if got := int64(snap["cmfl_codec_raw_bytes_total"]); got != srv.CodecRawBytes {
+		t.Fatalf("codec raw counter = %d, result says %d", got, srv.CodecRawBytes)
+	}
+	if srv.CodecUpdates == 0 {
+		t.Fatal("compressed run recorded zero codec updates")
+	}
+	// App-level uplink bytes = encoded payload bytes + 16 per skip: the
+	// wire-byte accounting stays exact with any codec chain.
+	last := srv.History[len(srv.History)-1]
+	skips := 0
+	for _, s := range srv.SkipCounts {
+		skips += s
+	}
+	if last.CumUplinkBytes != srv.CodecEncodedBytes+int64(skips)*16 {
+		t.Fatalf("app uplink bytes %d != encoded %d + %d skips x 16",
+			last.CumUplinkBytes, srv.CodecEncodedBytes, skips)
 	}
 }

@@ -20,13 +20,22 @@ import (
 
 // Message types on the wire.
 const (
-	msgHello   byte = 1 // client -> server: clientID
-	msgModel   byte = 2 // server -> client: round, params
-	msgUpdate  byte = 3 // client -> server: clientID, round, metric, delta
-	msgSkip    byte = 4 // client -> server: clientID, round, metric
-	msgDone    byte = 5 // server -> client: training finished
-	msgUpdateC byte = 6 // client -> server: compressed update (codec payload)
+	msgHello  byte = 1 // client -> server: clientID [+ codec spec, wire v2]
+	msgModel  byte = 2 // server -> client: round, params
+	msgUpdate byte = 3 // client -> server: clientID, round, metric, delta
+	msgSkip   byte = 4 // client -> server: clientID, round, metric
+	msgDone   byte = 5 // server -> client: training finished
+	// Kind 6 was msgUpdateC (wire v1): a compressed update whose payload
+	// repeated the codec name on every frame. Retired by wire v2 — the codec
+	// is negotiated once in the hello — and the id stays reserved so a stale
+	// v1 client fails loudly instead of being misparsed.
+	msgUpdateCRetired byte = 6
+	msgUpdate2        byte = 7 // client -> server: clientID, round, metric, dim, codec payload
 )
+
+// helloV2 is the version tag of the extended hello payload. A 4-byte hello
+// is the v1 form: raw float64 updates, no codec.
+const helloV2 = 2
 
 // maxFrame bounds a frame to protect against corrupt length prefixes
 // (64 MiB covers ~8.4M float64 parameters).
@@ -105,18 +114,42 @@ func getFloats(b []byte, n int) ([]float64, error) {
 	return out, nil
 }
 
-// encodeHello builds a hello payload.
-func encodeHello(clientID int) []byte {
-	var b [4]byte
-	binary.BigEndian.PutUint32(b[:], uint32(clientID))
-	return b[:]
+// encodeHello builds a hello payload. A client sending raw float64 updates
+// uses the 4-byte v1 form; a client with a codec appends the v2 extension —
+// version tag, spec length, and the codec's self-describing wire spec
+// (compress.AppendSpec) — negotiating the codec once per connection so
+// update frames never repeat codec metadata.
+func encodeHello(clientID int, codecSpec []byte) []byte {
+	if len(codecSpec) == 0 {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(clientID))
+		return b[:]
+	}
+	buf := make([]byte, 7+len(codecSpec))
+	binary.BigEndian.PutUint32(buf[:4], uint32(clientID))
+	buf[4] = helloV2
+	binary.BigEndian.PutUint16(buf[5:7], uint16(len(codecSpec)))
+	copy(buf[7:], codecSpec)
+	return buf
 }
 
-func decodeHello(p []byte) (int, error) {
-	if len(p) != 4 {
-		return 0, fmt.Errorf("emu: hello payload has %d bytes, want 4", len(p))
+// decodeHello parses either hello form; codecSpec is nil for a v1 (raw)
+// client.
+func decodeHello(p []byte) (clientID int, codecSpec []byte, err error) {
+	if len(p) == 4 {
+		return int(binary.BigEndian.Uint32(p)), nil, nil
 	}
-	return int(binary.BigEndian.Uint32(p)), nil
+	if len(p) < 7 {
+		return 0, nil, fmt.Errorf("emu: hello payload has %d bytes, want 4 or >= 7", len(p))
+	}
+	if p[4] != helloV2 {
+		return 0, nil, fmt.Errorf("emu: hello version %d, want %d", p[4], helloV2)
+	}
+	n := int(binary.BigEndian.Uint16(p[5:7]))
+	if len(p) != 7+n || n == 0 {
+		return 0, nil, fmt.Errorf("emu: hello spec has %d bytes, header claims %d", len(p)-7, n)
+	}
+	return int(binary.BigEndian.Uint32(p[:4])), p[7:], nil
 }
 
 // encodeModel builds a model-broadcast payload: round, dim, params.
@@ -182,47 +215,52 @@ func decodeSkip(p []byte) (clientID, round int, metric float64, err error) {
 	return clientID, round, metric, nil
 }
 
-// Compressed-update support: a client configured with an UpdateCodec sends
-// msgUpdateC instead of msgUpdate. The payload carries the codec name so
-// the server can verify both ends agree, the original dimension, and the
-// codec's byte payload — the bit-reduction of the paper's related work
-// measured on a real wire.
+// Compressed-update support, wire v2: a client that negotiated a codec in
+// its hello sends msgUpdate2 — a fixed 20-byte header plus the codec's raw
+// byte payload. No codec metadata travels per frame (the connection's hello
+// pinned it), so the wire cost is exactly header + codec bytes: the
+// bit-reduction of the paper's related work measured on a real wire.
 
-// encodeCompressedUpdate builds the msgUpdateC payload:
-// clientID, round, metric, dim, codec-name length, codec name, payload.
-func encodeCompressedUpdate(clientID, round int, metric float64, dim int, codec string, payload []byte) []byte {
-	buf := make([]byte, 0, 25+len(codec)+len(payload))
-	var b4 [4]byte
-	var b8 [8]byte
-	binary.BigEndian.PutUint32(b4[:], uint32(clientID))
-	buf = append(buf, b4[:]...)
-	binary.BigEndian.PutUint32(b4[:], uint32(round))
-	buf = append(buf, b4[:]...)
-	binary.BigEndian.PutUint64(b8[:], math.Float64bits(metric))
-	buf = append(buf, b8[:]...)
-	binary.BigEndian.PutUint32(b4[:], uint32(dim))
-	buf = append(buf, b4[:]...)
-	if len(codec) > 255 {
-		codec = codec[:255]
-	}
-	buf = append(buf, byte(len(codec)))
-	buf = append(buf, codec...)
-	return append(buf, payload...)
+// encodeUpdate2 builds the msgUpdate2 payload:
+// clientID, round, metric, dim, codec payload.
+func encodeUpdate2(clientID, round int, metric float64, dim int, payload []byte) []byte {
+	buf := make([]byte, 20+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(clientID))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(round))
+	binary.BigEndian.PutUint64(buf[8:16], math.Float64bits(metric))
+	binary.BigEndian.PutUint32(buf[16:20], uint32(dim))
+	copy(buf[20:], payload)
+	return buf
 }
 
-func decodeCompressedUpdate(p []byte) (clientID, round int, metric float64, dim int, codec string, payload []byte, err error) {
-	if len(p) < 21 {
-		return 0, 0, 0, 0, "", nil, fmt.Errorf("emu: compressed update payload has %d bytes, want >= 21", len(p))
+// decodeUpdate2 parses a msgUpdate2 payload; the returned codec payload
+// aliases p.
+func decodeUpdate2(p []byte) (clientID, round int, metric float64, dim int, payload []byte, err error) {
+	if len(p) < 20 {
+		return 0, 0, 0, 0, nil, fmt.Errorf("emu: update2 payload has %d bytes, want >= 20", len(p))
 	}
 	clientID = int(binary.BigEndian.Uint32(p[:4]))
 	round = int(binary.BigEndian.Uint32(p[4:8]))
 	metric = math.Float64frombits(binary.BigEndian.Uint64(p[8:16]))
 	dim = int(binary.BigEndian.Uint32(p[16:20]))
-	nameLen := int(p[20])
-	if len(p) < 21+nameLen {
-		return 0, 0, 0, 0, "", nil, fmt.Errorf("emu: compressed update codec name truncated")
+	return clientID, round, metric, dim, p[20:], nil
+}
+
+// parseReplyHeader reads the (clientID, round) prefix shared by every
+// uplink reply kind (msgUpdate, msgUpdate2, msgSkip) without materializing
+// the body. The server classifies a frame against the round's quorum state
+// first and decodes only accepted frames, so a late or duplicate frame can
+// never touch the per-client decode scratch an accepted update aliases.
+func parseReplyHeader(f *frame) (clientID, round int, err error) {
+	switch f.kind {
+	case msgUpdate, msgUpdate2, msgSkip:
+	case msgUpdateCRetired:
+		return 0, 0, errors.New("emu: received wire-v1 compressed update (kind 6); this server speaks wire v2 — negotiate the codec in the hello")
+	default:
+		return 0, 0, fmt.Errorf("emu: unexpected frame kind %d", f.kind)
 	}
-	codec = string(p[21 : 21+nameLen])
-	payload = p[21+nameLen:]
-	return clientID, round, metric, dim, codec, payload, nil
+	if len(f.payload) < 8 {
+		return 0, 0, fmt.Errorf("emu: reply payload has %d bytes, want >= 8", len(f.payload))
+	}
+	return int(binary.BigEndian.Uint32(f.payload[:4])), int(binary.BigEndian.Uint32(f.payload[4:8])), nil
 }

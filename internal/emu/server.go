@@ -1,6 +1,7 @@
 package emu
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"cmfl/internal/compress"
 	"cmfl/internal/dataset"
 	"cmfl/internal/fl"
 	"cmfl/internal/nn"
@@ -36,8 +38,12 @@ type ServerConfig struct {
 	// TargetAccuracy stops early when reached (0 disables).
 	TargetAccuracy float64
 
-	// Compressor decodes compressed client uploads; must match the codec
-	// the clients were configured with. Nil accepts only raw updates.
+	// Compressor pins the codec clients must use (wire v2: each client
+	// declares its codec's binary spec in its hello). When set, a hello
+	// whose spec does not match this codec's spec byte-for-byte is
+	// rejected — and aborts startup in strict mode. When nil the server
+	// adopts whatever codec each hello declares, building a per-client
+	// decoder from the spec. Raw (spec-less) hellos are always accepted.
 	Compressor fl.UpdateCodec
 
 	// RoundDeadline is the aggregation cut-off: once it elapses, the round
@@ -135,6 +141,13 @@ type ServerResult struct {
 	DupFrames  int
 	// Rejoins counts connections re-accepted after training started.
 	Rejoins int
+	// CodecUpdates counts aggregated updates that arrived codec-encoded
+	// (msgUpdate2); CodecEncodedBytes sums their codec payload sizes and
+	// CodecRawBytes the dim×8 bytes the same updates would have cost raw —
+	// the measured compression ratio is EncodedBytes/RawBytes.
+	CodecUpdates      int
+	CodecEncodedBytes int64
+	CodecRawBytes     int64
 }
 
 // FinalAccuracy returns the last evaluated accuracy, or NaN.
@@ -165,17 +178,29 @@ type Server struct {
 
 	// Telemetry plumbing: observers include any configured Collector; the
 	// wire counters mirror ServerResult's exact TCP payload accounting.
-	obs          []telemetry.Observer
-	reg          *telemetry.Registry
-	metrics      *telemetry.MetricsServer
-	uplinkWire   *telemetry.Counter
-	downlinkWire *telemetry.Counter
-	lateFrames   *telemetry.Counter
-	rejoins      *telemetry.Counter
-	lastUpWire   int64
-	lastDownWire int64
-	lastLate     int64
-	lastRejoins  int64
+	obs           []telemetry.Observer
+	reg           *telemetry.Registry
+	metrics       *telemetry.MetricsServer
+	uplinkWire    *telemetry.Counter
+	downlinkWire  *telemetry.Counter
+	lateFrames    *telemetry.Counter
+	rejoins       *telemetry.Counter
+	codecUpdates  *telemetry.Counter
+	codecEncBytes *telemetry.Counter
+	codecRawBytes *telemetry.Counter
+	lastUpWire    int64
+	lastDownWire  int64
+	lastLate      int64
+	lastRejoins   int64
+	lastCodecUpd  int64
+	lastCodecEnc  int64
+	lastCodecRaw  int64
+
+	// Wire v2 codec negotiation: serverSpec is the byte spec of
+	// cfg.Compressor (nil when unset); helloErrs surfaces pre-barrier spec
+	// mismatches so strict startup fails fast instead of timing out.
+	serverSpec []byte
+	helloErrs  chan error
 
 	// events carries frames and connection errors from the per-connection
 	// readers into the round loop; stop unblocks them at teardown.
@@ -193,6 +218,14 @@ type Server struct {
 	joined  int   // distinct clients that ever completed a hello
 	started bool  // initial accept barrier passed
 	rejoin  int   // hellos accepted after the barrier
+
+	// codecs holds each client's negotiated decoder (nil = raw float64);
+	// set in admit under mu, read by the round loop. decBufs is the round
+	// loop's per-client decode scratch — only accepted frames are decoded,
+	// so the buffer an aggregated update aliases is never overwritten by a
+	// late or duplicate frame within the round.
+	codecs  []fl.UpdateCodec
+	decBufs [][]float64
 }
 
 // NewServer validates the configuration and binds the listen socket, so the
@@ -234,16 +267,27 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("emu: listen %s: %w", cfg.Addr, err)
 	}
 	s := &Server{
-		cfg:     cfg,
-		ln:      ln,
-		obs:     cfg.Observers,
-		events:  make(chan connEvent, cfg.Clients*8),
-		ready:   make(chan struct{}),
-		stop:    make(chan struct{}),
-		conns:   make([]net.Conn, cfg.Clients),
-		alive:   make([]bool, cfg.Clients),
-		gens:    make([]int, cfg.Clients),
-		downGen: make([]int, cfg.Clients),
+		cfg:       cfg,
+		ln:        ln,
+		obs:       cfg.Observers,
+		events:    make(chan connEvent, cfg.Clients*8),
+		ready:     make(chan struct{}),
+		stop:      make(chan struct{}),
+		conns:     make([]net.Conn, cfg.Clients),
+		alive:     make([]bool, cfg.Clients),
+		gens:      make([]int, cfg.Clients),
+		downGen:   make([]int, cfg.Clients),
+		codecs:    make([]fl.UpdateCodec, cfg.Clients),
+		decBufs:   make([][]float64, cfg.Clients),
+		helloErrs: make(chan error, cfg.Clients),
+	}
+	if cfg.Compressor != nil {
+		spec, err := compress.EncodeSpec(cfg.Compressor)
+		if err != nil {
+			closeQuietly(ln)
+			return nil, fmt.Errorf("emu: server codec: %w", err)
+		}
+		s.serverSpec = spec
 	}
 	if cfg.Registry != nil || cfg.MetricsAddr != "" {
 		s.reg = cfg.Registry
@@ -255,6 +299,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		s.downlinkWire = s.reg.Counter(`cmfl_emu_downlink_wire_bytes_total`, "TCP payload bytes sent to clients (frames incl. framing overhead).")
 		s.lateFrames = s.reg.Counter(`cmfl_straggler_late_frames_total`, "Uplink frames drained after their round's deadline (received, never aggregated).")
 		s.rejoins = s.reg.Counter(`cmfl_fault_rejoins_total`, "Client connections re-accepted after training started.")
+		s.codecUpdates = s.reg.Counter(`cmfl_codec_updates_total`, "Aggregated updates that arrived codec-encoded (wire v2 msgUpdate2).")
+		s.codecEncBytes = s.reg.Counter(`cmfl_codec_encoded_bytes_total`, "Codec payload bytes of aggregated compressed updates.")
+		s.codecRawBytes = s.reg.Counter(`cmfl_codec_raw_bytes_total`, "Raw float64 bytes (dim x 8) the same compressed updates would have cost uncompressed.")
 	}
 	if cfg.MetricsAddr != "" {
 		ms, err := telemetry.Serve(cfg.MetricsAddr, s.reg)
@@ -343,6 +390,12 @@ func (s *Server) syncCounters(res *ServerResult) {
 	s.lastLate = int64(res.LateFrames)
 	s.rejoins.Add(int64(res.Rejoins) - s.lastRejoins)
 	s.lastRejoins = int64(res.Rejoins)
+	s.codecUpdates.Add(int64(res.CodecUpdates) - s.lastCodecUpd)
+	s.lastCodecUpd = int64(res.CodecUpdates)
+	s.codecEncBytes.Add(res.CodecEncodedBytes - s.lastCodecEnc)
+	s.lastCodecEnc = res.CodecEncodedBytes
+	s.codecRawBytes.Add(res.CodecRawBytes - s.lastCodecRaw)
+	s.lastCodecRaw = res.CodecRawBytes
 }
 
 // minQuorum is the effective reply minimum at the deadline.
@@ -433,6 +486,11 @@ func (s *Server) Run() (res *ServerResult, err error) {
 				globalUpdate[j] += v
 			}
 			cumAppBytes += u.appBytes
+			if u.encoded {
+				res.CodecUpdates++
+				res.CodecEncodedBytes += u.appBytes
+				res.CodecRawBytes += int64(len(u.delta)) * 8
+			}
 		}
 		for _, sk := range skips {
 			res.SkipCounts[sk.clientID]++
@@ -537,9 +595,11 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// admit performs the hello handshake and registers the connection. A bad
-// hello just burns that connection — the dialer can retry — while a valid
-// one replaces any previous connection for the same id (latest wins).
+// admit performs the hello handshake — including the wire-v2 codec
+// negotiation — and registers the connection. A bad hello burns that
+// connection (the dialer can retry); a codec-spec mismatch additionally
+// surfaces on helloErrs so a strict startup fails fast. A valid hello
+// replaces any previous connection for the same id (latest wins).
 func (s *Server) admit(conn net.Conn) {
 	//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters aggregation
 	if err := conn.SetReadDeadline(time.Now().Add(s.cfg.AcceptTimeout)); err != nil {
@@ -551,8 +611,17 @@ func (s *Server) admit(conn net.Conn) {
 		closeQuietly(conn)
 		return
 	}
-	id, err := decodeHello(f.payload)
+	id, spec, err := decodeHello(f.payload)
 	if err != nil || id < 0 || id >= s.cfg.Clients {
+		closeQuietly(conn)
+		return
+	}
+	codec, err := s.negotiateCodec(id, spec)
+	if err != nil {
+		select {
+		case s.helloErrs <- err:
+		default:
+		}
 		closeQuietly(conn)
 		return
 	}
@@ -571,6 +640,7 @@ func (s *Server) admit(conn net.Conn) {
 	gen := s.gens[id]
 	s.conns[id] = conn
 	s.alive[id] = true
+	s.codecs[id] = codec
 	if gen == 1 {
 		s.joined++
 		if s.joined == s.cfg.Clients {
@@ -583,12 +653,40 @@ func (s *Server) admit(conn net.Conn) {
 	go s.readLoop(id, gen, conn)
 }
 
-// awaitClients blocks until every client completed its first hello.
+// negotiateCodec resolves a hello's codec declaration against the server's
+// configuration: raw hellos are always accepted; with a configured
+// Compressor the specs must match byte-for-byte; without one the server
+// builds the client's decoder from the declared spec.
+func (s *Server) negotiateCodec(id int, spec []byte) (fl.UpdateCodec, error) {
+	if spec == nil {
+		return nil, nil
+	}
+	if s.serverSpec != nil {
+		if !bytes.Equal(spec, s.serverSpec) {
+			return nil, fmt.Errorf("emu: client %d declared codec spec %x, server requires %s (%x)",
+				id, spec, s.cfg.Compressor.Name(), s.serverSpec)
+		}
+		return s.cfg.Compressor, nil
+	}
+	c, rest, err := compress.ParseSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("emu: client %d codec spec: %w", id, err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("emu: client %d codec spec has %d trailing bytes", id, len(rest))
+	}
+	return c, nil
+}
+
+// awaitClients blocks until every client completed its first hello, failing
+// fast on a codec-spec mismatch instead of burning the whole timeout.
 func (s *Server) awaitClients() error {
 	timer := time.NewTimer(s.cfg.AcceptTimeout)
 	defer timer.Stop()
 	select {
 	case <-s.ready:
+	case err := <-s.helloErrs:
+		return err
 	case <-timer.C:
 		s.mu.Lock()
 		have := s.joined
@@ -803,6 +901,9 @@ type updateMsg struct {
 	// appBytes is the paper-metric payload size: codec bytes for
 	// compressed uploads, dim×8 for raw ones.
 	appBytes int64
+	// encoded marks updates that arrived codec-compressed (msgUpdate2);
+	// they feed the cmfl_codec_* counters.
+	encoded bool
 }
 
 type skipMsg struct {
@@ -858,12 +959,16 @@ func (s *Server) gather(round int, q *quorumState, res *ServerResult) (*roundInb
 	return box, q.stragglers(), nil
 }
 
-// handleEvent processes one reader event inside gather.
+// handleEvent processes one reader event inside gather: parse only the
+// (client, round) header, classify against the quorum state, and
+// materialize the full body for accepted frames alone. Late and duplicate
+// frames are never decoded, so they cannot touch the per-client decode
+// scratch that this round's accepted updates alias.
 func (s *Server) handleEvent(round int, ev connEvent, q *quorumState, box *roundInbox, res *ServerResult) error {
 	if ev.err != nil {
 		return s.connDown(ev.client, ev.gen, round, ev.err, box, res)
 	}
-	id, r, upd, skip, err := s.decodeReply(ev.f)
+	id, r, err := parseReplyHeader(ev.f)
 	if err == nil && id != ev.client {
 		err = fmt.Errorf("emu: connection of client %d delivered a frame claiming client %d", ev.client, id)
 	}
@@ -875,6 +980,10 @@ func (s *Server) handleEvent(round int, ev connEvent, q *quorumState, box *round
 	box.wire += ev.wire
 	switch q.classify(id, r) {
 	case verdictAccept:
+		upd, skip, err := s.materializeReply(ev.f, id)
+		if err != nil {
+			return s.connDown(ev.client, ev.gen, round, err, box, res)
+		}
 		if upd != nil {
 			box.updates[id] = upd
 		} else {
@@ -894,36 +1003,49 @@ func (s *Server) handleEvent(round int, ev connEvent, q *quorumState, box *round
 	return nil
 }
 
-// decodeReply parses an uplink frame into an update or a skip.
-func (s *Server) decodeReply(f *frame) (id, round int, upd *updateMsg, skip *skipMsg, err error) {
+// clientCodec snapshots the decoder negotiated by id's latest hello.
+func (s *Server) clientCodec(id int) fl.UpdateCodec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.codecs[id]
+}
+
+// materializeReply fully decodes an accepted uplink frame into an update or
+// a skip. Compressed updates decode through the client's negotiated codec
+// into the server's per-client scratch; the returned delta aliases that
+// scratch, which the round loop consumes before the client's next accepted
+// frame (at most one accept per client per round).
+func (s *Server) materializeReply(f *frame, id int) (upd *updateMsg, skip *skipMsg, err error) {
 	switch f.kind {
 	case msgUpdate:
-		id, r, metric, delta, err := decodeUpdate(f.payload)
+		_, _, metric, delta, err := decodeUpdate(f.payload)
 		if err != nil {
-			return 0, 0, nil, nil, err
+			return nil, nil, err
 		}
-		return id, r, &updateMsg{clientID: id, metric: metric, delta: delta, appBytes: int64(len(delta)) * 8}, nil, nil
-	case msgUpdateC:
-		id, r, metric, dim, codec, payload, err := decodeCompressedUpdate(f.payload)
+		return &updateMsg{clientID: id, metric: metric, delta: delta, appBytes: int64(len(delta)) * 8}, nil, nil
+	case msgUpdate2:
+		_, _, metric, dim, payload, err := decodeUpdate2(f.payload)
 		if err != nil {
-			return 0, 0, nil, nil, err
+			return nil, nil, err
 		}
-		if s.cfg.Compressor == nil || codec != s.cfg.Compressor.Name() {
-			return 0, 0, nil, nil, fmt.Errorf("emu: client %d used codec %q, server expects %v", id, codec, s.cfg.Compressor)
+		codec := s.clientCodec(id)
+		if codec == nil {
+			return nil, nil, fmt.Errorf("emu: client %d sent a compressed update without negotiating a codec", id)
 		}
-		delta, err := s.cfg.Compressor.Decode(payload, dim)
+		delta, err := codec.DecodeInto(s.decBufs[id], payload, dim)
 		if err != nil {
-			return 0, 0, nil, nil, fmt.Errorf("emu: client %d payload: %w", id, err)
+			return nil, nil, fmt.Errorf("emu: client %d payload: %w", id, err)
 		}
-		return id, r, &updateMsg{clientID: id, metric: metric, delta: delta, appBytes: int64(len(payload))}, nil, nil
+		s.decBufs[id] = delta
+		return &updateMsg{clientID: id, metric: metric, delta: delta, appBytes: int64(len(payload)), encoded: true}, nil, nil
 	case msgSkip:
-		id, r, metric, err := decodeSkip(f.payload)
+		_, _, metric, err := decodeSkip(f.payload)
 		if err != nil {
-			return 0, 0, nil, nil, err
+			return nil, nil, err
 		}
-		return id, r, nil, &skipMsg{clientID: id, metric: metric}, nil
+		return nil, &skipMsg{clientID: id, metric: metric}, nil
 	default:
-		return 0, 0, nil, nil, fmt.Errorf("emu: unexpected frame kind %d", f.kind)
+		return nil, nil, fmt.Errorf("emu: unexpected frame kind %d", f.kind)
 	}
 }
 

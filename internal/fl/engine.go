@@ -81,6 +81,16 @@ func Run(cfg Config) (*Result, error) {
 
 	results := make([]localResult, len(clients))
 	clientBytes := make([]int64, len(clients)) // per-round uplink cost per client
+
+	// Codec scratch, reused every round: the aggregation loop is sequential
+	// and Axpy consumes each decoded update before the next overwrite, so
+	// one encode buffer and one decode buffer suffice for all clients.
+	var encScratch []byte
+	var decScratch []float64
+	var residuals [][]float64 // per-client EF-SGD residual, lazily sized
+	if cfg.Compressor != nil && cfg.ErrorFeedback {
+		residuals = make([][]float64, len(clients))
+	}
 	sem := make(chan struct{}, cfg.Parallelism)
 	sampler := xrand.Derive(cfg.Seed, "fl-sampler", 0)
 	var signBuf []int8 // reused feedback sign vector, rebuilt each round
@@ -140,14 +150,31 @@ func Run(cfg Config) (*Result, error) {
 			}
 			delta := r.delta
 			if cfg.Compressor != nil {
-				payload, err := cfg.Compressor.Encode(delta)
+				if residuals != nil {
+					// Error feedback: fold the residual of previous rounds'
+					// compression into the update before encoding. Applied
+					// post-gate, so the upload decision saw the raw delta.
+					if residuals[i] == nil {
+						residuals[i] = make([]float64, dim)
+					}
+					tensor.Axpy(1, residuals[i], delta)
+				}
+				payload, err := cfg.Compressor.EncodeInto(encScratch, delta)
 				if err != nil {
 					return nil, fmt.Errorf("fl: round %d client %d encode: %w", t, i, err)
 				}
-				delta, err = cfg.Compressor.Decode(payload, dim)
+				encScratch = payload
+				decoded, err := cfg.Compressor.DecodeInto(decScratch, payload, dim)
 				if err != nil {
 					return nil, fmt.Errorf("fl: round %d client %d decode: %w", t, i, err)
 				}
+				decScratch = decoded
+				if residuals != nil {
+					for j := range residuals[i] {
+						residuals[i][j] = delta[j] - decoded[j]
+					}
+				}
+				delta = decoded
 				clientBytes[i] = int64(len(payload))
 			} else {
 				clientBytes[i] = int64(dim) * 8

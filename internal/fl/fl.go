@@ -68,11 +68,15 @@ type FilterFeedback interface {
 type RoundObserver = FilterFeedback
 
 // UpdateCodec lossily compresses uploaded updates; implemented by the
-// codecs in internal/compress. Must be safe for concurrent use.
+// codecs in internal/compress (it is structurally identical to
+// compress.Codec, redeclared here to keep the dependency arrow pointing
+// from compress to fl's interface consumers). The Into forms reuse the
+// caller's buffer capacity so steady-state encode/decode is allocation-
+// free. Must be safe for concurrent use.
 type UpdateCodec interface {
 	Name() string
-	Encode(update []float64) ([]byte, error)
-	Decode(payload []byte, dim int) ([]float64, error)
+	EncodeInto(dst []byte, update []float64) ([]byte, error)
+	DecodeInto(dst []float64, payload []byte, dim int) ([]float64, error)
 }
 
 // SkipNotificationBytes is the size of the status message a client sends in
@@ -110,6 +114,15 @@ type Config struct {
 	// with Filter — filtering decides *whether* to upload, compression
 	// decides *how many bits* the upload costs.
 	Compressor UpdateCodec
+
+	// ErrorFeedback keeps a per-client residual of what lossy compression
+	// discarded (EF-SGD, Karimireddy et al.): each round the client adds the
+	// accumulated residual to its update before encoding and stores the new
+	// encode error afterwards, so dropped mass re-enters later rounds
+	// instead of vanishing. Residuals live client-side and are untouched on
+	// skipped rounds, which keeps gating and compression composable and the
+	// whole pipeline deterministic. Ignored when Compressor is nil.
+	ErrorFeedback bool
 
 	// ClientFraction is C from FedAvg: the fraction of clients sampled to
 	// participate each round (0 or 1 = full participation). Sampled
