@@ -18,6 +18,12 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cmfl/internal/compress"
@@ -43,8 +49,10 @@ func main() {
 	roundDeadline := flag.Duration("round-deadline", 0, "per-round aggregation cut-off; stragglers past it are excluded (0 = timeout)")
 	minQuorum := flag.Int("min-quorum", 0, "minimum replies to aggregate a round at the deadline (0 = all clients, or 1 with -fault-tolerant)")
 	faultTolerant := flag.Bool("fault-tolerant", false, "survive client connection failures and accept rejoins instead of aborting")
+	shards := flag.Int("shards", 0, "shard aggregators in the two-tier aggregation tree (0 or 1 = flat; the aggregate is bit-identical either way)")
 	codecName := flag.String("compress", "none", "update codec: none|quantize8|top<k>|mask<pct>|sign1bit[/<chunk>]|codebook[<k>]|<selector>+<values> (must match the clients)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and JSON /healthz on this address (e.g. 127.0.0.1:9090; empty = off)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof debug endpoints on this address (e.g. 127.0.0.1:6060; empty = off)")
 	flag.Parse()
 
 	test, err := dataset.Digits(dataset.DigitsConfig{
@@ -69,12 +77,15 @@ func main() {
 		Rounds:         *rounds,
 		TargetAccuracy: *target,
 		Compressor:     codec,
-		RoundDeadline:  *roundDeadline,
-		MinQuorum:      *minQuorum,
-		RoundTimeout:   *timeout,
-		AcceptTimeout:  *timeout,
-		FaultTolerant:  *faultTolerant,
-		MetricsAddr:    *metricsAddr,
+		Limits: emu.Limits{
+			DialTimeout:   *timeout,
+			RoundDeadline: *roundDeadline,
+			MinQuorum:     *minQuorum,
+			FaultTolerant: *faultTolerant,
+		},
+		Topology:     emu.Topology{Shards: *shards},
+		RoundTimeout: *timeout,
+		MetricsAddr:  *metricsAddr,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -83,6 +94,23 @@ func main() {
 		if err := srv.Close(); err != nil {
 			log.Printf("server close: %v", err)
 		}
+	}()
+	if *pprofAddr != "" {
+		stopPprof, err := servePprof(*pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stopPprof()
+	}
+	// SIGINT/SIGTERM finish the current round, send done to the clients,
+	// and let the run return its partial history instead of dying mid-round.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		sig := <-sigs
+		log.Printf("caught %v, finishing the current round", sig)
+		srv.Shutdown()
 	}()
 	log.Printf("listening on %s, waiting for %d clients", srv.Addr(), *clients)
 	if ma := srv.MetricsAddr(); ma != "" {
@@ -117,6 +145,34 @@ func main() {
 			res.CodecUpdates, res.CodecEncodedBytes, res.CodecRawBytes,
 			float64(res.CodecRawBytes)/float64(res.CodecEncodedBytes))
 	}
+}
+
+// servePprof exposes the net/http/pprof handlers on their own mux (the
+// default mux would drag them onto any other handler set) and returns a
+// closer for the listener.
+func servePprof(addr string) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	hs := &http.Server{Handler: mux}
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("pprof server: %v", err)
+		}
+	}()
+	log.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+	return func() {
+		if err := hs.Close(); err != nil {
+			log.Printf("pprof close: %v", err)
+		}
+	}, nil
 }
 
 // digitModel must match cmd/cmfl-client's model for the same flags.

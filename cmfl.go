@@ -150,8 +150,7 @@ type UploadFilter = fl.UploadFilter
 
 // FilterFeedback is the optional UploadFilter extension through which the
 // engines report each round's upload count back to stateful filters (e.g.
-// AdaptiveFilter). Formerly named RoundObserver; renamed so "Observer"
-// unambiguously means the telemetry hook.
+// AdaptiveFilter).
 type FilterFeedback = fl.FilterFeedback
 
 // Vanilla always uploads (plain FedAvg-style FL).
@@ -403,6 +402,18 @@ func RunMTL(cfg MTLConfig) (*MTLResult, error) { return mtl.Run(cfg) }
 // ServerConfig configures the emulation master; set MetricsAddr to serve
 // /metrics and /healthz while the cluster runs.
 type ServerConfig = emu.ServerConfig
+
+// Limits bounds an emulation's timing, quorum, and fault posture; it is
+// embedded by ServerConfig and ClusterConfig.
+type Limits = emu.Limits
+
+// Topology lays out the emulation server's aggregation tree (Shards > 1
+// enables the two-tier sharded server; the aggregate is bit-identical to
+// the flat one by construction).
+type Topology = emu.Topology
+
+// ShardLimit is one shard's local override of the global Limits.
+type ShardLimit = emu.ShardLimit
 
 // EmuRoundStats is the emulation master's round record: the shared
 // RoundEvent core plus wire-level running totals.

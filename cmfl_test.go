@@ -139,7 +139,8 @@ func TestPublicCluster(t *testing.T) {
 		LR:         cmfl.Constant(0.1),
 		Rounds:     3,
 		Seed:       12,
-		Timeout:    time.Minute,
+		Limits:     cmfl.Limits{DialTimeout: time.Minute, RoundDeadline: time.Minute},
+		Topology:   cmfl.Topology{Shards: 2},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -39,7 +39,8 @@ func main() {
 		Filter:     cmfl.NewCMFLFilter(cmfl.Constant(0.5)),
 		Rounds:     25,
 		Seed:       45,
-		Timeout:    2 * time.Minute,
+		Limits:     cmfl.Limits{DialTimeout: time.Minute, RoundDeadline: 2 * time.Minute},
+		Topology:   cmfl.Topology{Shards: 2},
 	})
 	if err != nil {
 		log.Fatal(err)

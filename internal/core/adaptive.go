@@ -11,7 +11,7 @@ import "sync"
 //
 // It is safe for concurrent Check calls; ObserveRound must be called from
 // the engine between rounds (the fl engine does this automatically for any
-// filter implementing its RoundObserver interface).
+// filter implementing its FilterFeedback interface).
 type AdaptiveFilter struct {
 	// Target is the desired upload fraction in (0, 1).
 	Target float64
@@ -61,7 +61,7 @@ func (f *AdaptiveFilter) Check(local, model, prevGlobal []float64, t int) (Decis
 	return Decision{Upload: rel >= thr, Metric: rel}, nil
 }
 
-// ObserveRound implements the fl engine's RoundObserver hook: it adjusts
+// ObserveRound implements the fl engine's FilterFeedback hook: it adjusts
 // the threshold toward the target upload fraction.
 func (f *AdaptiveFilter) ObserveRound(round, uploaded, participants int) {
 	if participants == 0 {

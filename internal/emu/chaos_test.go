@@ -16,7 +16,6 @@ import (
 func chaosCluster(t *testing.T, clients, rounds int, deadline time.Duration, minQuorum int, plan *FaultPlan) *ClusterResult {
 	t.Helper()
 	cfg := clusterConfig(t, clients, rounds, nil)
-	cfg.Timeout = 0
 	cfg.DialTimeout = 10 * time.Second
 	cfg.RoundDeadline = deadline
 	cfg.MinQuorum = minQuorum
@@ -279,7 +278,6 @@ func TestChaosWithCodecChainDeterministic(t *testing.T) {
 		Add(2, 2, Fault{Kind: FaultDelay, Delay: 100 * time.Millisecond})
 	run := func() *ClusterResult {
 		cfg := clusterConfig(t, 3, 4, nil)
-		cfg.Timeout = 0
 		cfg.DialTimeout = 10 * time.Second
 		cfg.RoundDeadline = 900 * time.Millisecond
 		cfg.MinQuorum = 1
@@ -374,7 +372,6 @@ func TestChaosHungClientCompletesAtDeadline(t *testing.T) {
 func TestChaosQuorumFailureAborts(t *testing.T) {
 	plan := NewFaultPlan().Add(0, 2, Fault{Kind: FaultDropUpdate}).Add(1, 2, Fault{Kind: FaultDropUpdate})
 	cfg := clusterConfig(t, 2, 4, nil)
-	cfg.Timeout = 0
 	cfg.DialTimeout = 10 * time.Second
 	cfg.RoundDeadline = 500 * time.Millisecond
 	cfg.MinQuorum = 1

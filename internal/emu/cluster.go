@@ -36,28 +36,15 @@ type ClusterConfig struct {
 
 	Seed int64
 
-	// Timeout is the deprecated flat per-message bound that used to govern
-	// dialing, accepting, and round I/O alike.
-	//
-	// Deprecated: set DialTimeout and RoundDeadline instead. When Timeout is
-	// non-zero it seeds whichever of the two is unset, preserving the old
-	// behaviour for existing callers.
-	Timeout time.Duration
-	// DialTimeout bounds client dials and the server's accept barrier
-	// (default 30s, or Timeout when set).
-	DialTimeout time.Duration
-	// RoundDeadline is the server's per-round aggregation cut-off: rounds
-	// where every reachable client replies finish immediately, and a hung
-	// client costs at most this long before being excluded as a straggler
-	// (default 60s, or Timeout when set).
-	RoundDeadline time.Duration
-
-	// MinQuorum is the minimum replies needed to aggregate at the deadline
-	// (default: all clients, or 1 when FaultTolerant/Faults are set).
-	MinQuorum int
-	// FaultTolerant lets the server survive client transport failures
-	// instead of aborting the run. Implied by Faults.
-	FaultTolerant bool
+	// Limits bounds timing, quorum, and fault posture (see emu.Limits):
+	// DialTimeout defaults to 30s, RoundDeadline to 60s, MinQuorum to all
+	// clients (or 1 when FaultTolerant/Faults are set), and FaultTolerant
+	// is implied by Faults.
+	Limits
+	// Topology lays out the server's aggregation tree (see emu.Topology).
+	// The zero value is the flat server. When Shuffle is set and
+	// Topology.Seed is zero, the cluster Seed keys the shard assignment.
+	Topology Topology
 	// Faults wires a deterministic FaultPlan into every client, enables
 	// client reconnection, and implies FaultTolerant. Client errors are
 	// then collected into ClusterResult.ClientErrs instead of failing
@@ -96,12 +83,6 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		return nil, errors.New("emu: cluster needs at least one client shard")
 	}
 	if cfg.DialTimeout <= 0 {
-		cfg.DialTimeout = cfg.Timeout
-	}
-	if cfg.RoundDeadline <= 0 {
-		cfg.RoundDeadline = cfg.Timeout
-	}
-	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 30 * time.Second
 	}
 	if cfg.RoundDeadline <= 0 {
@@ -109,6 +90,9 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 	}
 	if cfg.Faults != nil {
 		cfg.FaultTolerant = true
+	}
+	if cfg.Topology.Shuffle && cfg.Topology.Seed == 0 {
+		cfg.Topology.Seed = cfg.Seed
 	}
 	// The raw I/O safety net sits well above the aggregation deadline so it
 	// only ever fires on a truly wedged transport.
@@ -122,11 +106,9 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		Rounds:         cfg.Rounds,
 		TargetAccuracy: cfg.TargetAccuracy,
 		Compressor:     cfg.Compressor,
-		RoundDeadline:  cfg.RoundDeadline,
-		MinQuorum:      cfg.MinQuorum,
+		Limits:         cfg.Limits,
+		Topology:       cfg.Topology,
 		RoundTimeout:   roundTimeout,
-		AcceptTimeout:  cfg.DialTimeout,
-		FaultTolerant:  cfg.FaultTolerant,
 		Observers:      cfg.Observers,
 		MetricsAddr:    cfg.MetricsAddr,
 		Registry:       cfg.Registry,
@@ -145,6 +127,13 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 		res, err := srv.Run()
 		srvCh <- serverOut{res: res, err: err}
 	}()
+
+	// cancel aborts the server early in strict mode: a failed client means
+	// the cohort can never complete, so waiting out the accept barrier (or
+	// the round deadline) would only leak time. Once-guarded because several
+	// client goroutines may fail concurrently.
+	var cancelOnce sync.Once
+	cancel := func() { cancelOnce.Do(func() { closeQuietly(srv) }) }
 
 	clients := make([]*ClientResult, len(cfg.ClientData))
 	clientErrs := make([]error, len(cfg.ClientData))
@@ -170,17 +159,21 @@ func RunCluster(cfg ClusterConfig) (*ClusterResult, error) {
 				Faults:        cfg.Faults,
 			})
 			clients[i], clientErrs[i] = res, err
+			if err != nil && cfg.Faults == nil {
+				cancel()
+			}
 		}(i, data)
 	}
 	wg.Wait()
+	cliErr := errors.Join(clientErrs...)
 	out := <-srvCh
+	if cfg.Faults == nil && cliErr != nil {
+		return nil, fmt.Errorf("emu: clients: %w", cliErr)
+	}
 	if out.err != nil {
 		return nil, fmt.Errorf("emu: server: %w", out.err)
 	}
 	if cfg.Faults == nil {
-		if err := errors.Join(clientErrs...); err != nil {
-			return nil, fmt.Errorf("emu: clients: %w", err)
-		}
 		clientErrs = nil
 	}
 	return &ClusterResult{Server: out.res, Clients: clients, ClientErrs: clientErrs, Registry: srv.Registry()}, nil

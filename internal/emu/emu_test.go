@@ -188,7 +188,10 @@ func clusterConfig(t *testing.T, clients, rounds int, filter fl.UploadFilter) Cl
 		Filter:     filter,
 		Rounds:     rounds,
 		Seed:       45,
-		Timeout:    30 * time.Second,
+		Limits: Limits{
+			DialTimeout:   30 * time.Second,
+			RoundDeadline: 30 * time.Second,
+		},
 	}
 }
 
@@ -341,14 +344,13 @@ func TestClientValidation(t *testing.T) {
 func TestFaultToleranceSurvivesDeadClient(t *testing.T) {
 	cfg := clusterConfig(t, 3, 6, nil)
 	srv, err := NewServer(ServerConfig{
-		Addr:          "127.0.0.1:0",
-		Clients:       3,
-		Model:         cfg.Model,
-		TestData:      cfg.TestData,
-		Rounds:        6,
-		RoundTimeout:  5 * time.Second,
-		AcceptTimeout: 10 * time.Second,
-		FaultTolerant: true,
+		Addr:         "127.0.0.1:0",
+		Clients:      3,
+		Model:        cfg.Model,
+		TestData:     cfg.TestData,
+		Rounds:       6,
+		RoundTimeout: 5 * time.Second,
+		Limits:       Limits{DialTimeout: 10 * time.Second, FaultTolerant: true},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -419,13 +421,13 @@ func TestFaultToleranceSurvivesDeadClient(t *testing.T) {
 func TestStrictModeAbortsOnDeadClient(t *testing.T) {
 	cfg := clusterConfig(t, 2, 4, nil)
 	srv, err := NewServer(ServerConfig{
-		Addr:          "127.0.0.1:0",
-		Clients:       2,
-		Model:         cfg.Model,
-		TestData:      cfg.TestData,
-		Rounds:        4,
-		RoundTimeout:  3 * time.Second,
-		AcceptTimeout: 10 * time.Second,
+		Addr:         "127.0.0.1:0",
+		Clients:      2,
+		Model:        cfg.Model,
+		TestData:     cfg.TestData,
+		Rounds:       4,
+		RoundTimeout: 3 * time.Second,
+		Limits:       Limits{DialTimeout: 10 * time.Second},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -544,13 +546,13 @@ func TestClusterWithCompression(t *testing.T) {
 func TestServerRejectsCodecMismatch(t *testing.T) {
 	cfg := clusterConfig(t, 2, 3, nil)
 	srv, err := NewServer(ServerConfig{
-		Addr:          "127.0.0.1:0",
-		Clients:       2,
-		Model:         cfg.Model,
-		TestData:      cfg.TestData,
-		Rounds:        3,
-		RoundTimeout:  5 * time.Second,
-		AcceptTimeout: 10 * time.Second,
+		Addr:         "127.0.0.1:0",
+		Clients:      2,
+		Model:        cfg.Model,
+		TestData:     cfg.TestData,
+		Rounds:       3,
+		RoundTimeout: 5 * time.Second,
+		Limits:       Limits{DialTimeout: 10 * time.Second},
 		// Server pins quantize8; clients negotiate top-k below.
 		Compressor: compress.Uniform8{},
 	})
@@ -597,13 +599,13 @@ func TestServerRejectsCodecMismatch(t *testing.T) {
 func TestServerAdoptsClientCodec(t *testing.T) {
 	cfg := clusterConfig(t, 2, 3, nil)
 	srv, err := NewServer(ServerConfig{
-		Addr:          "127.0.0.1:0",
-		Clients:       2,
-		Model:         cfg.Model,
-		TestData:      cfg.TestData,
-		Rounds:        3,
-		RoundTimeout:  10 * time.Second,
-		AcceptTimeout: 10 * time.Second,
+		Addr:         "127.0.0.1:0",
+		Clients:      2,
+		Model:        cfg.Model,
+		TestData:     cfg.TestData,
+		Rounds:       3,
+		RoundTimeout: 10 * time.Second,
+		Limits:       Limits{DialTimeout: 10 * time.Second},
 	})
 	if err != nil {
 		t.Fatal(err)

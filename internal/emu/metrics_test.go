@@ -54,14 +54,14 @@ func scrapeCounters(t *testing.T, url string) map[string]int64 {
 func TestClusterMetricsMatchWireAccounting(t *testing.T) {
 	cc := clusterConfig(t, 4, 6, core.NewFilter(core.Constant(0.5)))
 	srv, err := NewServer(ServerConfig{
-		Addr:          "127.0.0.1:0",
-		Clients:       len(cc.ClientData),
-		Model:         cc.Model,
-		TestData:      cc.TestData,
-		Rounds:        cc.Rounds,
-		RoundTimeout:  cc.Timeout,
-		AcceptTimeout: cc.Timeout,
-		MetricsAddr:   "127.0.0.1:0",
+		Addr:         "127.0.0.1:0",
+		Clients:      len(cc.ClientData),
+		Model:        cc.Model,
+		TestData:     cc.TestData,
+		Rounds:       cc.Rounds,
+		RoundTimeout: cc.RoundDeadline,
+		Limits:       Limits{DialTimeout: cc.DialTimeout},
+		MetricsAddr:  "127.0.0.1:0",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -95,8 +95,8 @@ func TestClusterMetricsMatchWireAccounting(t *testing.T) {
 				LR:           cc.LR,
 				Filter:       core.NewFilter(core.Constant(0.5)),
 				Seed:         cc.Seed,
-				RoundTimeout: cc.Timeout,
-				DialTimeout:  cc.Timeout,
+				RoundTimeout: cc.RoundDeadline,
+				DialTimeout:  cc.DialTimeout,
 			})
 			if err != nil {
 				t.Errorf("client %d: %v", i, err)

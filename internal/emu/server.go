@@ -7,11 +7,13 @@ import (
 	"io"
 	"math"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"cmfl/internal/compress"
 	"cmfl/internal/dataset"
+	"cmfl/internal/emu/shard"
 	"cmfl/internal/fl"
 	"cmfl/internal/nn"
 	"cmfl/internal/telemetry"
@@ -46,32 +48,18 @@ type ServerConfig struct {
 	// decoder from the spec. Raw (spec-less) hellos are always accepted.
 	Compressor fl.UpdateCodec
 
-	// RoundDeadline is the aggregation cut-off: once it elapses, the round
-	// aggregates whatever arrived (if it meets MinQuorum) and marks the
-	// missing clients as stragglers. Rounds where every expected client
-	// replies finish immediately, so healthy clusters never pay it.
-	// Default: RoundTimeout.
-	RoundDeadline time.Duration
-	// MinQuorum is the minimum number of replies required to aggregate when
-	// the deadline fires; below it the round (and the run) fails. Default:
-	// 1 when FaultTolerant, else all clients.
-	MinQuorum int
+	// Limits bounds timing, quorum, and fault posture (see emu.Limits). On
+	// a bare server DialTimeout defaults to 60s and RoundDeadline to
+	// RoundTimeout.
+	Limits
+	// Topology lays out the aggregation tree (see emu.Topology). The zero
+	// value is the flat server: one shard owning every client.
+	Topology Topology
 	// RoundTimeout is the raw I/O safety net bounding any single write to a
 	// client (default 60s, raised to RoundDeadline when the deadline is
 	// longer). Reads deliberately carry no deadline: slow or silent clients
 	// are the quorum deadline's concern, not a transport fault.
 	RoundTimeout time.Duration
-	// AcceptTimeout bounds waiting for all clients to connect
-	// (default 60s).
-	AcceptTimeout time.Duration
-
-	// FaultTolerant makes the server survive client transport failures: a
-	// client whose connection errors is marked down, its round counts it as
-	// a straggler, and it may redial and rejoin (resent replies are
-	// deduplicated). Training aborts only when every client is gone or a
-	// round misses MinQuorum. Without it (the default) any failure aborts
-	// the run, which keeps tests strict.
-	FaultTolerant bool
 
 	// Observers receive live telemetry: one telemetry.ClientEvent per
 	// reply (updates first, then skips, each in client order) followed by
@@ -202,12 +190,28 @@ type Server struct {
 	serverSpec []byte
 	helloErrs  chan error
 
-	// events carries frames and connection errors from the per-connection
-	// readers into the round loop; stop unblocks them at teardown.
-	events   chan connEvent
 	ready    chan struct{} // closed once all Clients completed their first hello
 	stop     chan struct{}
 	stopOnce sync.Once
+	// quit asks a running server to wind down after the current round
+	// (Shutdown); stop is the hard teardown signal.
+	quit     chan struct{}
+	quitOnce sync.Once
+	// handshakes is the admission semaphore: at most MaxPendingHandshakes
+	// hellos are in flight at once, the rest wait their turn.
+	handshakes chan struct{}
+
+	// The aggregation tree: shard aggregators in fixed index order, the
+	// client-to-shard routing table, the root's merge accumulator and its
+	// reusable scratch. All written once in NewServer (shards, shardOf) or
+	// only by the round loop (rootAcc, sumBuf, metaScratch, metaHas).
+	shards      []*shardAgg
+	shardOf     []int
+	shardStats  []shardCounters
+	rootAcc     *shard.Accumulator
+	sumBuf      []float64
+	metaScratch []replyMeta
+	metaHas     []bool
 
 	mu      sync.Mutex
 	closed  bool
@@ -220,12 +224,8 @@ type Server struct {
 	rejoin  int   // hellos accepted after the barrier
 
 	// codecs holds each client's negotiated decoder (nil = raw float64);
-	// set in admit under mu, read by the round loop. decBufs is the round
-	// loop's per-client decode scratch — only accepted frames are decoded,
-	// so the buffer an aggregated update aliases is never overwritten by a
-	// late or duplicate frame within the round.
-	codecs  []fl.UpdateCodec
-	decBufs [][]float64
+	// set in admit under mu, read by the shard aggregators.
+	codecs []fl.UpdateCodec
 }
 
 // NewServer validates the configuration and binds the listen socket, so the
@@ -259,27 +259,55 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		// The raw I/O net must never fire before the aggregation deadline.
 		cfg.RoundTimeout = cfg.RoundDeadline
 	}
-	if cfg.AcceptTimeout <= 0 {
-		cfg.AcceptTimeout = 60 * time.Second
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 60 * time.Second
+	}
+	if err := cfg.Topology.validate(cfg.Clients); err != nil {
+		return nil, err
+	}
+	queueDepth := cfg.Topology.QueueDepth
+	if queueDepth <= 0 {
+		queueDepth = 8
+	}
+	maxHandshakes := cfg.Topology.MaxPendingHandshakes
+	if maxHandshakes <= 0 {
+		maxHandshakes = 4 * cfg.Topology.shardCount()
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("emu: listen %s: %w", cfg.Addr, err)
 	}
 	s := &Server{
-		cfg:       cfg,
-		ln:        ln,
-		obs:       cfg.Observers,
-		events:    make(chan connEvent, cfg.Clients*8),
-		ready:     make(chan struct{}),
-		stop:      make(chan struct{}),
-		conns:     make([]net.Conn, cfg.Clients),
-		alive:     make([]bool, cfg.Clients),
-		gens:      make([]int, cfg.Clients),
-		downGen:   make([]int, cfg.Clients),
-		codecs:    make([]fl.UpdateCodec, cfg.Clients),
-		decBufs:   make([][]float64, cfg.Clients),
-		helloErrs: make(chan error, cfg.Clients),
+		cfg:         cfg,
+		ln:          ln,
+		obs:         cfg.Observers,
+		ready:       make(chan struct{}),
+		stop:        make(chan struct{}),
+		quit:        make(chan struct{}),
+		handshakes:  make(chan struct{}, maxHandshakes),
+		conns:       make([]net.Conn, cfg.Clients),
+		alive:       make([]bool, cfg.Clients),
+		gens:        make([]int, cfg.Clients),
+		downGen:     make([]int, cfg.Clients),
+		codecs:      make([]fl.UpdateCodec, cfg.Clients),
+		helloErrs:   make(chan error, cfg.Clients),
+		shardOf:     make([]int, cfg.Clients),
+		rootAcc:     shard.New(0),
+		metaScratch: make([]replyMeta, cfg.Clients),
+		metaHas:     make([]bool, cfg.Clients),
+	}
+	for i, own := range shardAssignment(cfg.Clients, cfg.Topology) {
+		deadline, localQ := cfg.RoundDeadline, 0
+		if i < len(cfg.Topology.ShardLimits) {
+			if sl := cfg.Topology.ShardLimits[i]; sl.RoundDeadline > 0 {
+				deadline = sl.RoundDeadline
+			}
+			localQ = cfg.Topology.ShardLimits[i].MinQuorum
+		}
+		s.shards = append(s.shards, newShardAgg(s, i, own, deadline, localQ, queueDepth))
+		for _, id := range own {
+			s.shardOf[id] = i
+		}
 	}
 	if cfg.Compressor != nil {
 		spec, err := compress.EncodeSpec(cfg.Compressor)
@@ -302,6 +330,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		s.codecUpdates = s.reg.Counter(`cmfl_codec_updates_total`, "Aggregated updates that arrived codec-encoded (wire v2 msgUpdate2).")
 		s.codecEncBytes = s.reg.Counter(`cmfl_codec_encoded_bytes_total`, "Codec payload bytes of aggregated compressed updates.")
 		s.codecRawBytes = s.reg.Counter(`cmfl_codec_raw_bytes_total`, "Raw float64 bytes (dim x 8) the same compressed updates would have cost uncompressed.")
+		for i := range s.shards {
+			s.shardStats = append(s.shardStats, newShardCounters(s.reg, strconv.Itoa(i)))
+		}
 	}
 	if cfg.MetricsAddr != "" {
 		ms, err := telemetry.Serve(cfg.MetricsAddr, s.reg)
@@ -409,10 +440,28 @@ func (s *Server) minQuorum() int {
 	return s.cfg.Clients
 }
 
+// Shutdown asks a running server to finish its current round, send the
+// final done frame, and return cleanly with the partial history — the
+// graceful counterpart to Close. Safe to call from any goroutine (typically
+// a signal handler); calling it repeatedly, or before Run, is harmless.
+func (s *Server) Shutdown() {
+	s.quitOnce.Do(func() { close(s.quit) })
+}
+
+// stopping reports whether Shutdown was requested.
+func (s *Server) stopping() bool {
+	select {
+	case <-s.quit:
+		return true
+	default:
+		return false
+	}
+}
+
 // Run accepts the configured number of clients, drives the synchronous
-// training rounds and returns the collected result. It closes all client
-// connections before returning; the metrics endpoint (if configured) keeps
-// serving the final totals until Close.
+// training rounds through the aggregation tree and returns the collected
+// result. It closes all client connections before returning; the metrics
+// endpoint (if configured) keeps serving the final totals until Close.
 //
 //cmfl:deterministic
 func (s *Server) Run() (res *ServerResult, err error) {
@@ -424,6 +473,9 @@ func (s *Server) Run() (res *ServerResult, err error) {
 		}
 	}()
 	go s.acceptLoop()
+	for _, a := range s.shards {
+		go a.run()
+	}
 	if err := s.awaitClients(); err != nil {
 		return nil, err
 	}
@@ -434,102 +486,73 @@ func (s *Server) Run() (res *ServerResult, err error) {
 		SkipCounts:      make([]int, s.cfg.Clients),
 		StragglerCounts: make([]int, s.cfg.Clients),
 	}
-	q := newQuorumState(s.cfg.Clients)
 
 	cumUploads := 0
 	var cumAppBytes int64 // paper-metric bytes: payload sizes only
 
 	for t := 1; t <= s.cfg.Rounds; t++ {
-		// Broadcast the model (Algorithm 1: distribute x_{t-1}; clients
-		// derive the feedback update from consecutive broadcasts). Clients
-		// the write reached owe this round a reply.
-		payload := encodeModel(t, params)
-		expected, roundFaults, err := s.broadcast(msgModel, payload, t, res)
-		if err != nil {
-			return nil, fmt.Errorf("emu: round %d broadcast: %w", t, err)
+		if s.stopping() {
+			break
 		}
-		q.beginRound(t, expected)
-
-		// Gather replies until every expected client answered or the
-		// deadline fires with at least MinQuorum replies in hand.
-		box, stragglers, err := s.gather(t, q, res)
+		// One tree round (Algorithm 1: distribute x_{t-1}, gather, merge;
+		// clients derive the feedback update from consecutive broadcasts).
+		out, err := s.runRound(t, params, res)
 		if err != nil {
-			return nil, fmt.Errorf("emu: round %d gather: %w", t, err)
+			return nil, err
 		}
-		box.faults += roundFaults
-		res.UplinkWireBytes += box.wire
-		res.LateFrames += box.late
-		res.DupFrames += box.dups
-		for _, id := range stragglers {
+		res.UplinkWireBytes += out.wire
+		res.LateFrames += out.late
+		res.DupFrames += out.dups
+		for _, id := range out.stragglers {
 			res.StragglerCounts[id]++
 		}
-
-		// Flatten the inbox in ascending client order: float accumulation
-		// order is part of the determinism contract.
-		var updates []updateMsg
-		var skips []skipMsg
-		for id := 0; id < s.cfg.Clients; id++ {
-			if u := box.updates[id]; u != nil {
-				updates = append(updates, *u)
-			}
-			if sk := box.skips[id]; sk != nil {
-				skips = append(skips, *sk)
-			}
-		}
-
-		globalUpdate := make([]float64, len(params))
-		for _, u := range updates {
-			if len(u.delta) != len(params) {
-				return nil, fmt.Errorf("emu: round %d client %d sent %d params, want %d", t, u.clientID, len(u.delta), len(params))
-			}
-			for j, v := range u.delta {
-				globalUpdate[j] += v
-			}
+		for _, u := range out.updates {
 			cumAppBytes += u.appBytes
 			if u.encoded {
 				res.CodecUpdates++
 				res.CodecEncodedBytes += u.appBytes
-				res.CodecRawBytes += int64(len(u.delta)) * 8
+				res.CodecRawBytes += int64(u.dim) * 8
 			}
 		}
-		for _, sk := range skips {
-			res.SkipCounts[sk.clientID]++
+		for _, sk := range out.skips {
+			res.SkipCounts[sk.client]++
 			cumAppBytes += fl.SkipNotificationBytes
 		}
-		if len(updates) > 0 {
-			inv := 1.0 / float64(len(updates))
-			for j := range globalUpdate {
-				globalUpdate[j] *= inv
-				params[j] += globalUpdate[j]
+		if len(out.updates) > 0 {
+			// Mean-then-apply, same operation order as the flat server:
+			// one multiply and one add per coordinate on the exact sum.
+			inv := 1.0 / float64(len(out.updates))
+			for j, g := range out.globalUpdate {
+				params[j] += g * inv
 			}
 		}
-		cumUploads += len(updates)
+		cumUploads += len(out.updates)
 
 		stats := RoundStats{
 			RoundEvent: telemetry.RoundEvent{
 				Engine:         telemetry.EngineEmu,
 				Round:          t,
-				Participants:   len(updates) + len(skips),
-				Uploaded:       len(updates),
-				Skipped:        len(skips),
+				Participants:   len(out.updates) + len(out.skips),
+				Uploaded:       len(out.updates),
+				Skipped:        len(out.skips),
 				CumUploads:     cumUploads,
 				CumUplinkBytes: cumAppBytes,
-				Dropped:        len(stragglers),
-				Faults:         box.faults,
+				Dropped:        len(out.stragglers),
+				Faults:         out.faults,
 				Accuracy:       math.NaN(),
 			},
 			MeanRelevance:        math.NaN(),
 			CumUplinkWireBytes:   res.UplinkWireBytes,
 			CumDownlinkWireBytes: res.DownlinkWireBytes,
-			Stragglers:           stragglers,
-			LateFrames:           box.late,
+			Stragglers:           out.stragglers,
+			LateFrames:           out.late,
 		}
-		if n := len(updates) + len(skips); n > 0 {
+		if n := len(out.updates) + len(out.skips); n > 0 {
 			var msum float64
-			for _, u := range updates {
+			for _, u := range out.updates {
 				msum += u.metric
 			}
-			for _, sk := range skips {
+			for _, sk := range out.skips {
 				msum += sk.metric
 			}
 			stats.MeanRelevance = msum / float64(n)
@@ -544,21 +567,21 @@ func (s *Server) Run() (res *ServerResult, err error) {
 		res.Rejoins = s.rejoinCount()
 		s.syncCounters(res)
 		if len(s.obs) > 0 {
-			for _, u := range updates {
+			for _, u := range out.updates {
 				telemetry.EmitClient(s.obs, telemetry.ClientEvent{
 					Engine:      telemetry.EngineEmu,
 					Round:       t,
-					Client:      u.clientID,
+					Client:      u.client,
 					Uploaded:    true,
 					Relevance:   u.metric,
 					UplinkBytes: u.appBytes,
 				})
 			}
-			for _, sk := range skips {
+			for _, sk := range out.skips {
 				telemetry.EmitClient(s.obs, telemetry.ClientEvent{
 					Engine:      telemetry.EngineEmu,
 					Round:       t,
-					Client:      sk.clientID,
+					Client:      sk.client,
 					Uploaded:    false,
 					Relevance:   sk.metric,
 					UplinkBytes: fl.SkipNotificationBytes,
@@ -571,10 +594,8 @@ func (s *Server) Run() (res *ServerResult, err error) {
 		}
 	}
 
-	// Tell the surviving clients training is over. Best-effort: a failure
-	// here carries no information the aggregate depends on, and counting it
-	// as a fault would make the counters hostage to teardown races.
-	s.broadcastBestEffort(msgDone, nil, res)
+	// Tell the surviving clients training is over.
+	s.directDone(res)
 	res.FinalParams = params
 	res.Rejoins = s.rejoinCount()
 	// Pin the counters to the final totals so a post-run scrape matches
@@ -601,8 +622,18 @@ func (s *Server) acceptLoop() {
 // surfaces on helloErrs so a strict startup fails fast. A valid hello
 // replaces any previous connection for the same id (latest wins).
 func (s *Server) admit(conn net.Conn) {
+	// Admission backpressure: at most MaxPendingHandshakes hellos in
+	// flight; excess connections queue here (each slot is released within
+	// DialTimeout by the read deadline below).
+	select {
+	case s.handshakes <- struct{}{}:
+		defer func() { <-s.handshakes }()
+	case <-s.stop:
+		closeQuietly(conn)
+		return
+	}
 	//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters aggregation
-	if err := conn.SetReadDeadline(time.Now().Add(s.cfg.AcceptTimeout)); err != nil {
+	if err := conn.SetReadDeadline(time.Now().Add(s.cfg.DialTimeout)); err != nil {
 		closeQuietly(conn)
 		return
 	}
@@ -679,19 +710,23 @@ func (s *Server) negotiateCodec(id int, spec []byte) (fl.UpdateCodec, error) {
 }
 
 // awaitClients blocks until every client completed its first hello, failing
-// fast on a codec-spec mismatch instead of burning the whole timeout.
+// fast on a codec-spec mismatch — or on server teardown, so a caller that
+// learns the cohort can never assemble (RunCluster watching its dialers)
+// can cancel the barrier instead of burning the whole timeout.
 func (s *Server) awaitClients() error {
-	timer := time.NewTimer(s.cfg.AcceptTimeout)
+	timer := time.NewTimer(s.cfg.DialTimeout)
 	defer timer.Stop()
 	select {
 	case <-s.ready:
 	case err := <-s.helloErrs:
 		return err
+	case <-s.stop:
+		return errors.New("emu: server closed before all clients connected")
 	case <-timer.C:
 		s.mu.Lock()
 		have := s.joined
 		s.mu.Unlock()
-		return fmt.Errorf("emu: accept (have %d of %d clients): timeout after %v", have, s.cfg.Clients, s.cfg.AcceptTimeout)
+		return fmt.Errorf("emu: accept (have %d of %d clients): timeout after %v", have, s.cfg.Clients, s.cfg.DialTimeout)
 	}
 	s.mu.Lock()
 	s.started = true
@@ -713,21 +748,14 @@ func (s *Server) rejoinCount() int {
 // being a transport failure — slowness is the quorum deadline's problem,
 // not the socket's. Blocked reads are released by closeConns.
 func (s *Server) readLoop(id, gen int, conn net.Conn) {
+	agg := s.shards[s.shardOf[id]]
 	for {
 		f, err := readFrame(conn)
 		if err != nil {
-			s.post(connEvent{client: id, gen: gen, err: err})
+			agg.post(connEvent{client: id, gen: gen, err: err})
 			return
 		}
-		s.post(connEvent{client: id, gen: gen, f: f, wire: f.wireSize()})
-	}
-}
-
-// post delivers a reader event unless the server is shutting down.
-func (s *Server) post(ev connEvent) {
-	select {
-	case s.events <- ev:
-	case <-s.stop:
+		agg.post(connEvent{client: id, gen: gen, f: f, wire: f.wireSize()})
 	}
 }
 
@@ -750,119 +778,12 @@ func (s *Server) markDown(id, gen int) bool {
 	return true
 }
 
-// connDown routes a connection failure through fault accounting: one fault
-// per generation, DroppedClients keyed to the first failing round, and an
-// abort in strict mode.
-func (s *Server) connDown(id, gen, round int, cause error, box *roundInbox, res *ServerResult) error {
-	if !s.markDown(id, gen) {
-		return nil
-	}
-	if box != nil {
-		box.faults++
-	}
-	if res.DroppedClients == nil {
-		res.DroppedClients = make(map[int]int)
-	}
-	if _, ok := res.DroppedClients[id]; !ok {
-		res.DroppedClients[id] = round
-	}
-	if !s.cfg.FaultTolerant {
-		if cause == nil {
-			cause = errors.New("connection down")
-		}
-		return clientError{client: id, err: cause}
-	}
-	return nil
-}
-
 // kindOrZero lets error paths print a frame kind even when f is nil.
 func (f *frame) kindOrZero() byte {
 	if f == nil {
 		return 0
 	}
 	return f.kind
-}
-
-// broadcast writes the same frame to every live client in parallel and
-// reports which clients it reached (by id) plus the number of fresh faults.
-//
-//cmfl:deterministic
-func (s *Server) broadcast(kind byte, payload []byte, round int, res *ServerResult) (expected []bool, faults int, err error) {
-	targets := s.liveTargets()
-	var wg sync.WaitGroup
-	errs := make([]error, len(targets))
-	var sent int64
-	var mu sync.Mutex
-	for li, tgt := range targets {
-		wg.Add(1)
-		go func(li int, conn net.Conn) {
-			defer wg.Done()
-			//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters aggregation
-			if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.RoundTimeout)); err != nil {
-				errs[li] = err
-				return
-			}
-			n, err := writeFrame(conn, kind, payload)
-			if err != nil {
-				errs[li] = err
-				return
-			}
-			mu.Lock()
-			sent += n
-			mu.Unlock()
-		}(li, tgt.conn)
-	}
-	wg.Wait()
-	res.DownlinkWireBytes += sent
-	expected = make([]bool, s.cfg.Clients)
-	for li, tgt := range targets {
-		if errs[li] == nil {
-			expected[tgt.id] = true
-			continue
-		}
-		if s.markDown(tgt.id, tgt.gen) {
-			faults++
-			if res.DroppedClients == nil {
-				res.DroppedClients = make(map[int]int)
-			}
-			if _, ok := res.DroppedClients[tgt.id]; !ok {
-				res.DroppedClients[tgt.id] = round
-			}
-			if !s.cfg.FaultTolerant {
-				return nil, faults, clientError{client: tgt.id, err: errs[li]}
-			}
-		}
-	}
-	if !anyTrue(expected) {
-		return nil, faults, errors.New("emu: all clients failed")
-	}
-	return expected, faults, nil
-}
-
-// broadcastBestEffort writes a frame to every live client, counting bytes
-// but ignoring failures (used for the final done message).
-func (s *Server) broadcastBestEffort(kind byte, payload []byte, res *ServerResult) {
-	targets := s.liveTargets()
-	var wg sync.WaitGroup
-	var sent int64
-	var mu sync.Mutex
-	for _, tgt := range targets {
-		wg.Add(1)
-		go func(conn net.Conn) {
-			defer wg.Done()
-			//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters aggregation
-			if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.RoundTimeout)); err != nil {
-				return
-			}
-			if n, err := writeFrame(conn, kind, payload); err == nil {
-				mu.Lock()
-				sent += n
-				mu.Unlock()
-			}
-		}(tgt.conn)
-	}
-	wg.Wait()
-	res.DownlinkWireBytes += sent
 }
 
 // liveTarget pins (id, generation, conn) at snapshot time so later rejoins
@@ -872,135 +793,18 @@ type liveTarget struct {
 	conn    net.Conn
 }
 
-// liveTargets snapshots the live connections in ascending client order.
-func (s *Server) liveTargets() []liveTarget {
+// liveTargetsOf snapshots the live connections among the given client ids,
+// in the given (ascending) order.
+func (s *Server) liveTargetsOf(ids []int) []liveTarget {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]liveTarget, 0, len(s.conns))
-	for i, a := range s.alive {
-		if a && s.conns[i] != nil {
+	out := make([]liveTarget, 0, len(ids))
+	for _, i := range ids {
+		if s.alive[i] && s.conns[i] != nil {
 			out = append(out, liveTarget{id: i, gen: s.gens[i], conn: s.conns[i]})
 		}
 	}
 	return out
-}
-
-func anyTrue(bs []bool) bool {
-	for _, b := range bs {
-		if b {
-			return true
-		}
-	}
-	return false
-}
-
-type updateMsg struct {
-	clientID int
-	metric   float64
-	delta    []float64
-	// appBytes is the paper-metric payload size: codec bytes for
-	// compressed uploads, dim×8 for raw ones.
-	appBytes int64
-	// encoded marks updates that arrived codec-compressed (msgUpdate2);
-	// they feed the cmfl_codec_* counters.
-	encoded bool
-}
-
-type skipMsg struct {
-	clientID int
-	metric   float64
-}
-
-// roundInbox accumulates one round's accepted replies (indexed by client)
-// and its drain/fault tallies.
-type roundInbox struct {
-	updates []*updateMsg
-	skips   []*skipMsg
-	wire    int64
-	faults  int
-	late    int
-	dups    int
-}
-
-// gather consumes reader events until every expected client replied, or the
-// round deadline fires with at least MinQuorum replies in hand (the missing
-// clients become this round's stragglers). Replies arriving for earlier
-// rounds are drained and counted; duplicates are never aggregated twice.
-//
-//cmfl:deterministic
-func (s *Server) gather(round int, q *quorumState, res *ServerResult) (*roundInbox, []int, error) {
-	if q.expectedCount == 0 {
-		return nil, nil, errors.New("emu: all clients failed")
-	}
-	box := &roundInbox{
-		updates: make([]*updateMsg, s.cfg.Clients),
-		skips:   make([]*skipMsg, s.cfg.Clients),
-	}
-	minQ := s.minQuorum()
-	timer := time.NewTimer(s.cfg.RoundDeadline)
-	defer timer.Stop()
-	for !q.complete() {
-		select {
-		case ev := <-s.events:
-			if err := s.handleEvent(round, ev, q, box, res); err != nil {
-				return nil, nil, err
-			}
-		case <-timer.C:
-			if q.accepted >= minQ {
-				return box, q.stragglers(), nil
-			}
-			return nil, nil, fmt.Errorf("emu: round %d: quorum not met at deadline %v: %d of %d replies (minimum %d)",
-				round, s.cfg.RoundDeadline, q.accepted, q.expectedCount, minQ)
-		}
-	}
-	if q.accepted < minQ {
-		return nil, nil, fmt.Errorf("emu: round %d: only %d replies possible (minimum %d)", round, q.accepted, minQ)
-	}
-	return box, q.stragglers(), nil
-}
-
-// handleEvent processes one reader event inside gather: parse only the
-// (client, round) header, classify against the quorum state, and
-// materialize the full body for accepted frames alone. Late and duplicate
-// frames are never decoded, so they cannot touch the per-client decode
-// scratch that this round's accepted updates alias.
-func (s *Server) handleEvent(round int, ev connEvent, q *quorumState, box *roundInbox, res *ServerResult) error {
-	if ev.err != nil {
-		return s.connDown(ev.client, ev.gen, round, ev.err, box, res)
-	}
-	id, r, err := parseReplyHeader(ev.f)
-	if err == nil && id != ev.client {
-		err = fmt.Errorf("emu: connection of client %d delivered a frame claiming client %d", ev.client, id)
-	}
-	if err != nil {
-		// A malformed or mis-attributed frame means the stream cannot be
-		// trusted; kill the connection (the client may redial).
-		return s.connDown(ev.client, ev.gen, round, err, box, res)
-	}
-	box.wire += ev.wire
-	switch q.classify(id, r) {
-	case verdictAccept:
-		upd, skip, err := s.materializeReply(ev.f, id)
-		if err != nil {
-			return s.connDown(ev.client, ev.gen, round, err, box, res)
-		}
-		if upd != nil {
-			box.updates[id] = upd
-		} else {
-			box.skips[id] = skip
-		}
-	case verdictLate:
-		box.late++
-	case verdictDuplicate:
-		box.dups++
-	case verdictFuture:
-		return s.connDown(ev.client, ev.gen, round,
-			fmt.Errorf("emu: client %d answered future round %d during round %d", id, r, round), box, res)
-	case verdictUnknown:
-		return s.connDown(ev.client, ev.gen, round,
-			fmt.Errorf("emu: reply from unknown client %d", id), box, res)
-	}
-	return nil
 }
 
 // clientCodec snapshots the decoder negotiated by id's latest hello.
@@ -1008,45 +812,6 @@ func (s *Server) clientCodec(id int) fl.UpdateCodec {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.codecs[id]
-}
-
-// materializeReply fully decodes an accepted uplink frame into an update or
-// a skip. Compressed updates decode through the client's negotiated codec
-// into the server's per-client scratch; the returned delta aliases that
-// scratch, which the round loop consumes before the client's next accepted
-// frame (at most one accept per client per round).
-func (s *Server) materializeReply(f *frame, id int) (upd *updateMsg, skip *skipMsg, err error) {
-	switch f.kind {
-	case msgUpdate:
-		_, _, metric, delta, err := decodeUpdate(f.payload)
-		if err != nil {
-			return nil, nil, err
-		}
-		return &updateMsg{clientID: id, metric: metric, delta: delta, appBytes: int64(len(delta)) * 8}, nil, nil
-	case msgUpdate2:
-		_, _, metric, dim, payload, err := decodeUpdate2(f.payload)
-		if err != nil {
-			return nil, nil, err
-		}
-		codec := s.clientCodec(id)
-		if codec == nil {
-			return nil, nil, fmt.Errorf("emu: client %d sent a compressed update without negotiating a codec", id)
-		}
-		delta, err := codec.DecodeInto(s.decBufs[id], payload, dim)
-		if err != nil {
-			return nil, nil, fmt.Errorf("emu: client %d payload: %w", id, err)
-		}
-		s.decBufs[id] = delta
-		return &updateMsg{clientID: id, metric: metric, delta: delta, appBytes: int64(len(payload)), encoded: true}, nil, nil
-	case msgSkip:
-		_, _, metric, err := decodeSkip(f.payload)
-		if err != nil {
-			return nil, nil, err
-		}
-		return nil, &skipMsg{clientID: id, metric: metric}, nil
-	default:
-		return nil, nil, fmt.Errorf("emu: unexpected frame kind %d", f.kind)
-	}
 }
 
 // clientError tags a transport error with the client it came from.

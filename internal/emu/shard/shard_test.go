@@ -1,0 +1,220 @@
+package shard
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// refSum computes the correctly rounded sum of xs through math/big at 400
+// bits — wide enough that every partial sum of the test inputs is exact —
+// as the oracle for the expansion arithmetic.
+func refSum(xs []float64) float64 {
+	acc := new(big.Float).SetPrec(400)
+	term := new(big.Float).SetPrec(400)
+	for _, x := range xs {
+		acc.Add(acc, term.SetFloat64(x))
+	}
+	out, _ := acc.Float64()
+	return out
+}
+
+// testVectors draws n gradient-shaped vectors of the given dim: mixed signs
+// and several magnitude decades, the regime where naive summation visibly
+// loses associativity.
+func testVectors(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(7)-3))
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestRoundMatchesBigFloatReference(t *testing.T) {
+	vecs := testVectors(37, 53, 1)
+	acc := New(53)
+	for _, v := range vecs {
+		acc.Add(v)
+	}
+	got := acc.Round(nil)
+	for j := range got {
+		col := make([]float64, len(vecs))
+		for i, v := range vecs {
+			col[i] = v[j]
+		}
+		want := refSum(col)
+		if math.Float64bits(got[j]) != math.Float64bits(want) {
+			t.Fatalf("coordinate %d: Round = %x, big.Float reference = %x", j, got[j], want)
+		}
+	}
+}
+
+func TestRoundHandlesCancellation(t *testing.T) {
+	// Catastrophic cancellation plus a tiny survivor: naive summation
+	// returns 0 or loses the survivor; the exact expansion keeps it.
+	acc := New(1)
+	inputs := []float64{1e16, 1e-3, -1e16, 1e-3}
+	for _, x := range inputs {
+		acc.Add([]float64{x})
+	}
+	got := acc.Round(nil)[0]
+	if want := refSum(inputs); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("cancellation sum = %g (%x), want %g (%x)", got, got, want, want)
+	}
+}
+
+// TestGroupingInvariance is the tree-determinism contract: summing the same
+// vectors through 1, 3, or 8 intermediate accumulators merged in any order
+// must round to identical bits.
+func TestGroupingInvariance(t *testing.T) {
+	const n, dim = 64, 101
+	vecs := testVectors(n, dim, 2)
+
+	flat := New(dim)
+	for _, v := range vecs {
+		flat.Add(v)
+	}
+	want := flat.Round(nil)
+
+	for _, shards := range []int{1, 2, 3, 8, 63} {
+		ranges := Split(n, shards)
+		parts := make([]*Accumulator, shards)
+		for i, r := range ranges {
+			parts[i] = New(dim)
+			for _, v := range vecs[r.Lo:r.Hi] {
+				parts[i].Add(v)
+			}
+		}
+		// Merge in reverse shard order on purpose: grouping AND merge
+		// order must both be invisible.
+		root := New(dim)
+		for i := shards - 1; i >= 0; i-- {
+			root.Merge(parts[i])
+		}
+		got := root.Round(nil)
+		for j := range got {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("shards=%d coordinate %d: %x != flat %x", shards, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestMaxTermsStaysFlat pins the memory model: folding 64 gradient-scale
+// clients into one accumulator keeps the per-coordinate expansion in the
+// single digits — per-shard memory does not grow with the client count the
+// way buffering every delta would.
+func TestMaxTermsStaysFlat(t *testing.T) {
+	const dim = 101
+	acc := New(dim)
+	for _, v := range testVectors(64, dim, 3) {
+		acc.Add(v)
+	}
+	if got := acc.MaxTerms(); got > 16 {
+		t.Fatalf("MaxTerms = %d after 64 clients, want <= 16 (memory should stay flat)", got)
+	}
+}
+
+func TestResetReusesCapacityAndClears(t *testing.T) {
+	acc := New(4)
+	acc.Add([]float64{1, 2, 3, 4})
+	acc.Reset(4)
+	got := acc.Round(nil)
+	for j, v := range got {
+		if v != 0 {
+			t.Fatalf("after Reset, coordinate %d = %g, want 0", j, v)
+		}
+	}
+	acc.Reset(2)
+	if acc.Dim() != 2 {
+		t.Fatalf("Dim after Reset(2) = %d", acc.Dim())
+	}
+	acc.Add([]float64{5, 6})
+	if got := acc.Round(nil); got[0] != 5 || got[1] != 6 {
+		t.Fatalf("post-shrink Round = %v", got)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	cases := []struct{ n, k int }{{1, 1}, {3, 3}, {8, 3}, {64, 8}, {7, 2}, {100, 9}}
+	for _, c := range cases {
+		ranges := Split(c.n, c.k)
+		if len(ranges) != c.k {
+			t.Fatalf("Split(%d,%d): %d ranges", c.n, c.k, len(ranges))
+		}
+		lo, min, max := 0, c.n, 0
+		for _, r := range ranges {
+			if r.Lo != lo {
+				t.Fatalf("Split(%d,%d): range %v not contiguous from %d", c.n, c.k, r, lo)
+			}
+			if r.Len() <= 0 {
+				t.Fatalf("Split(%d,%d): empty range %v", c.n, c.k, r)
+			}
+			if r.Len() < min {
+				min = r.Len()
+			}
+			if r.Len() > max {
+				max = r.Len()
+			}
+			lo = r.Hi
+		}
+		if lo != c.n {
+			t.Fatalf("Split(%d,%d): covers [0,%d)", c.n, c.k, lo)
+		}
+		if max-min > 1 {
+			t.Fatalf("Split(%d,%d): unbalanced sizes (min %d, max %d)", c.n, c.k, min, max)
+		}
+	}
+}
+
+func TestSplitPanicsOutOfRange(t *testing.T) {
+	for _, c := range []struct{ n, k int }{{3, 0}, {3, 4}, {0, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Split(%d,%d) did not panic", c.n, c.k)
+				}
+			}()
+			Split(c.n, c.k)
+		}()
+	}
+}
+
+// BenchmarkShardMerge is the tree's root-side hot path: 8 shard
+// accumulators, each having folded 8 clients of a 100k-dim model, merged
+// and rounded. Steady state reuses every expansion's capacity.
+func BenchmarkShardMerge(b *testing.B) {
+	const shards, clientsPerShard, dim = 8, 8, 100_000
+	vecs := testVectors(shards*clientsPerShard, dim, 4)
+	parts := make([]*Accumulator, shards)
+	for i := range parts {
+		parts[i] = New(dim)
+	}
+	root := New(dim)
+	dst := make([]float64, dim)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for i, acc := range parts {
+			acc.Reset(dim)
+			for c := 0; c < clientsPerShard; c++ {
+				acc.Add(vecs[i*clientsPerShard+c])
+			}
+		}
+		root.Reset(dim)
+		for _, acc := range parts {
+			root.Merge(acc)
+		}
+		dst = root.Round(dst)
+	}
+	if dst[0] == math.Inf(1) {
+		b.Fatal("unreachable; keeps dst live")
+	}
+}

@@ -93,7 +93,7 @@ func Fig7(s EmulationSetup) (*Fig7Result, error) {
 			Filter:     filter,
 			Rounds:     s.NWP.Rounds,
 			Seed:       s.NWP.Seed,
-			Timeout:    s.Timeout,
+			Limits:     emu.Limits{DialTimeout: s.Timeout, RoundDeadline: s.Timeout},
 		})
 		if err != nil {
 			return nil, err

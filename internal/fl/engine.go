@@ -266,9 +266,6 @@ func Run(cfg Config) (*Result, error) {
 			}
 			telemetry.EmitRound(cfg.Observers, stats.RoundEvent)
 		}
-		if cfg.Progress != nil {
-			cfg.Progress(stats)
-		}
 
 		if cfg.TargetAccuracy > 0 && !isNaN(stats.Accuracy) && stats.Accuracy >= cfg.TargetAccuracy {
 			break

@@ -61,12 +61,6 @@ type FilterFeedback interface {
 	ObserveRound(round, uploaded, participants int)
 }
 
-// RoundObserver is the old name of FilterFeedback.
-//
-// Deprecated: use FilterFeedback. "Observer" now unambiguously refers to
-// the telemetry hook (telemetry.Observer).
-type RoundObserver = FilterFeedback
-
 // UpdateCodec lossily compresses uploaded updates; implemented by the
 // codecs in internal/compress (it is structurally identical to
 // compress.Codec, redeclared here to keep the dependency arrow pointing
@@ -179,16 +173,9 @@ type Config struct {
 	// Observers receive live telemetry: every round the engine emits one
 	// telemetry.ClientEvent per participant (in client order) followed by
 	// one telemetry.RoundEvent, synchronously from the engine goroutine.
-	// Attach a telemetry.Collector to feed a metrics registry.
+	// Attach a telemetry.Collector to feed a metrics registry (round-level
+	// progress callbacks included — the former Progress shim).
 	Observers []telemetry.Observer
-
-	// Progress, when set, is invoked synchronously with each round's
-	// statistics as soon as the round completes.
-	//
-	// Deprecated: Progress is a thin shim kept for downstream users; new
-	// code should attach a telemetry.Observer via Observers, which also
-	// carries per-client decisions. Progress fires after the observers.
-	Progress func(RoundStats)
 }
 
 // RoundStats records one synchronous round. The communication-cost core

@@ -9,6 +9,7 @@ import (
 	"cmfl/internal/dataset"
 	"cmfl/internal/gaia"
 	"cmfl/internal/nn"
+	"cmfl/internal/telemetry"
 	"cmfl/internal/tensor"
 	"cmfl/internal/xrand"
 )
@@ -623,15 +624,17 @@ func seqIdx(lo, hi int) []int {
 	return out
 }
 
-func TestProgressCallback(t *testing.T) {
+func TestProgressObserver(t *testing.T) {
 	cfg := digitLogisticConfig(t, 3, false)
 	cfg.Rounds = 4
 	var rounds []int
-	cfg.Progress = func(h RoundStats) { rounds = append(rounds, h.Round) }
+	cfg.Observers = []telemetry.Observer{
+		telemetry.Funcs{Round: func(e telemetry.RoundEvent) { rounds = append(rounds, e.Round) }},
+	}
 	if _, err := Run(cfg); err != nil {
 		t.Fatal(err)
 	}
 	if len(rounds) != 4 || rounds[0] != 1 || rounds[3] != 4 {
-		t.Fatalf("progress callback rounds = %v", rounds)
+		t.Fatalf("round observer rounds = %v", rounds)
 	}
 }

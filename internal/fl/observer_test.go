@@ -98,8 +98,10 @@ func TestObserverOrderingSync(t *testing.T) {
 	cfg.Filter = core.NewFilter(core.Constant(0.5))
 	rec := &eventRecorder{}
 	var progressRounds []int
-	cfg.Observers = []telemetry.Observer{rec.observer()}
-	cfg.Progress = func(h RoundStats) { progressRounds = append(progressRounds, h.Round) }
+	cfg.Observers = []telemetry.Observer{
+		rec.observer(),
+		telemetry.Funcs{Round: func(e telemetry.RoundEvent) { progressRounds = append(progressRounds, e.Round) }},
+	}
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -114,9 +116,10 @@ func TestObserverOrderingSync(t *testing.T) {
 			t.Fatalf("round %d: observed event %+v != history %+v", i+1, e, res.History[i].RoundEvent)
 		}
 	}
-	// The deprecated Progress shim keeps firing alongside the observers.
+	// A plain Funcs observer is the progress-callback idiom: one round
+	// event per history entry, in order.
 	if len(progressRounds) != len(res.History) {
-		t.Fatalf("Progress fired %d times, want %d", len(progressRounds), len(res.History))
+		t.Fatalf("round observer fired %d times, want %d", len(progressRounds), len(res.History))
 	}
 }
 

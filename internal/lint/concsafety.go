@@ -40,6 +40,7 @@ var ConcSafety = &Analyzer{
 // enforced. (Var, not const: the fixture tests extend it.)
 var ConcurrencyPackages = map[string]bool{
 	"cmfl/internal/emu":       true,
+	"cmfl/internal/emu/shard": true,
 	"cmfl/internal/telemetry": true,
 }
 

@@ -40,6 +40,7 @@ var LabelAllowlist = map[string]bool{
 	"engine": true,
 	"task":   true,
 	"code":   true,
+	"shard":  true,
 }
 
 var metricNameRe = regexp.MustCompile(`^cmfl_[a-z0-9_]+$`)

@@ -11,11 +11,11 @@ func register(r *telemetry.Registry, engine, dynamic string) {
 	label := `{engine="` + engine + `"}`
 	r.Counter("cmfl_fixture_uploads_total"+label, "uploads") // ok: dynamic label VALUE
 
-	r.Counter("fixture_bad_prefix_total", "x")  // want "must match"
-	r.Gauge("cmfl_fixture_g"+dynamic, "x")      // want "metric family name must be a compile-time constant"
-	r.Counter(dynamic, "x")                     // want "metric family name must be a compile-time constant"
-	r.Counter(buildName(), "x")                 // want "not statically analyzable"
-	r.Counter(`cmfl_fixture_s{shard="3"}`, "x") // want "not in the allowlist"
+	r.Counter("fixture_bad_prefix_total", "x")    // want "must match"
+	r.Gauge("cmfl_fixture_g"+dynamic, "x")        // want "metric family name must be a compile-time constant"
+	r.Counter(dynamic, "x")                       // want "metric family name must be a compile-time constant"
+	r.Counter(buildName(), "x")                   // want "not statically analyzable"
+	r.Counter(`cmfl_fixture_s{region="eu"}`, "x") // want "not in the allowlist"
 	key := `{` + dynamic + `="x"}`
 	r.Counter("cmfl_fixture_k_total"+key, "x") // want "label key on .cmfl_fixture_k_total. must be a compile-time constant"
 }
