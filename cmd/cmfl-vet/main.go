@@ -3,20 +3,35 @@
 // and telemetry schema rely on — allocation-free hot paths (transitively,
 // through the call graph), deterministic aggregation order, the cmfl_*
 // metric contract, handled errors, epsilon float comparisons, goroutine
-// and mutex discipline in the emulated engine, and seed-provenance taint.
+// and mutex discipline in the emulated engine, seed-provenance taint,
+// client/server wire-protocol duality, lock-acquisition order, exhaustive
+// dispatch over the protocol's constant families, and the exported-API
+// baseline of the public packages.
 //
 // Usage:
 //
 //	cmfl-vet [-json] [-list] [-stats] [-pkg substr] [-cache dir]
-//	         [-budget file] [-cpuprofile file] [packages]
+//	         [-diff ref] [-write-api-baseline] [-budget file]
+//	         [-cpuprofile file] [packages]
 //
 // Packages default to ./... (every buildable package of the module,
 // excluding testdata). Directories may be named explicitly — including
 // testdata fixture packages, which is how the suite tests itself.
 //
+// -diff ref narrows the run to the packages whose files differ from the
+// git ref (plus untracked files), extended by their forward and reverse
+// transitive import closures — the pre-commit entry point
+// (scripts/lint.sh --diff) uses it against the merge base. Within that
+// closure the findings match a full run's.
+//
+// -write-api-baseline regenerates benchmarks/api_baseline.json from the
+// run's exported-API facts; do this after an intentional, marker-waived
+// //cmfl:api-change.
+//
 // Results are cached per package under -cache (default .cmflvet-cache at
 // the module root, -cache "" to disable): when no file affecting a target
-// changed, the run replays findings without type-checking anything.
+// changed, the run replays findings without type-checking anything. Diff
+// runs keep their own records under <cache>-diff.
 //
 // Exit status: 0 when clean, 1 when findings were reported or the
 // suppression budget is exceeded, 2 on usage or load errors.
@@ -38,10 +53,12 @@ func main() {
 	stats := flag.Bool("stats", false, "report per-analyzer wall time and cache behavior")
 	pkgFilter := flag.String("pkg", "", "only analyze targets whose import path contains this substring")
 	cacheDir := flag.String("cache", lint.DefaultCacheDir, "cache directory (relative to the module root); empty disables caching")
+	diffRef := flag.String("diff", "", "analyze only packages affected by files differing from this git ref")
+	writeBaseline := flag.Bool("write-api-baseline", false, "regenerate benchmarks/api_baseline.json from this run's exported-API facts")
 	budgetFile := flag.String("budget", "", "JSON budget file; fail when suppressions exceed its max_suppressed")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cmfl-vet [-json] [-list] [-stats] [-pkg substr] [-cache dir] [-budget file] [-cpuprofile file] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: cmfl-vet [-json] [-list] [-stats] [-pkg substr] [-cache dir] [-diff ref] [-write-api-baseline] [-budget file] [-cpuprofile file] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(os.Stderr, "  %-20s %s\n", a.Name, a.Doc)
 		}
@@ -71,9 +88,11 @@ func main() {
 		fatal(err)
 	}
 	res, err := lint.RunModule(cwd, flag.Args(), lint.All(), lint.RunOptions{
-		CacheDir:  *cacheDir,
-		Stats:     *stats || *jsonOut,
-		PkgFilter: *pkgFilter,
+		CacheDir:         *cacheDir,
+		Stats:            *stats || *jsonOut,
+		PkgFilter:        *pkgFilter,
+		DiffRef:          *diffRef,
+		WriteAPIBaseline: *writeBaseline,
 	})
 	if err != nil {
 		fatal(err)

@@ -140,7 +140,7 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 		case msgModel:
 			round, params, err := decodeModel(f.payload)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("emu: client %d: frame kind %d on conn gen %d: %w", cfg.ID, f.kind, sess.res.Reconnects, err)
 			}
 			// Feedback is the previous global update, reconstructed as the
 			// difference between consecutive broadcasts (Sec. IV-A). Keep
@@ -211,7 +211,7 @@ func RunClient(cfg ClientConfig) (*ClientResult, error) {
 			}
 			res.Rounds++
 		default:
-			return nil, fmt.Errorf("emu: client %d: unexpected frame kind %d", cfg.ID, f.kind)
+			return nil, fmt.Errorf("emu: client %d: unexpected frame kind %d on conn gen %d", cfg.ID, f.kind, sess.res.Reconnects)
 		}
 	}
 }

@@ -264,10 +264,14 @@ func (c *faultConn) Write(b []byte) (int, error) {
 			in.mode = modePass
 		}
 		return len(b), nil
+	case modeArmed:
+		// Fall through to the kind dispatch below: fire exactly once per
+		// round.
 	}
-	// Armed: fire exactly once per round.
 	in.injected++
 	switch in.fault.Kind {
+	case FaultNone:
+		// Armed with no fault: disarm below and write through.
 	case FaultDropUpdate:
 		in.mode = modeSwallow
 		in.swallowLeft = 1 // this header is gone; one payload write follows

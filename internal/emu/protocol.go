@@ -260,7 +260,7 @@ func parseReplyHeader(f *frame) (clientID, round int, err error) {
 		return 0, 0, fmt.Errorf("emu: unexpected frame kind %d", f.kind)
 	}
 	if len(f.payload) < 8 {
-		return 0, 0, fmt.Errorf("emu: reply payload has %d bytes, want >= 8", len(f.payload))
+		return 0, 0, fmt.Errorf("emu: frame kind %d reply payload has %d bytes, want >= 8", f.kind, len(f.payload))
 	}
 	return int(binary.BigEndian.Uint32(f.payload[:4])), int(binary.BigEndian.Uint32(f.payload[4:8])), nil
 }

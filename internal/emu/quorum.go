@@ -32,8 +32,10 @@ func (v frameVerdict) String() string {
 		return "late"
 	case verdictFuture:
 		return "future"
+	case verdictUnknown:
+		return "unknown"
 	}
-	return "unknown"
+	return "invalid"
 }
 
 // quorumState is the master's per-round reply bookkeeping: which clients the

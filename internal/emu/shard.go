@@ -152,8 +152,13 @@ func (a *shardAgg) run() {
 				p = a.broadcast(d)
 			case dirGather:
 				p = a.gather(d)
-			default:
+			case dirDone:
 				p = a.done(d)
+			default:
+				// An unknown directive means the root and this aggregator
+				// disagree about the protocol; answering with a partial would
+				// desynchronize the strict phase alternation.
+				p = &shardPartial{err: fmt.Errorf("emu: shard %d: unknown directive kind %d in round %d", a.idx, d.kind, d.round)}
 			}
 			select {
 			case a.parts <- p:
@@ -313,7 +318,7 @@ func (a *shardAgg) handleEvent(d shardDirective, ev connEvent, p *shardPartial) 
 	if err != nil {
 		// A malformed or mis-attributed frame means the stream cannot be
 		// trusted; kill the connection (the client may redial).
-		return a.connDown(ev.client, ev.gen, d.round, err, p)
+		return a.connDown(ev.client, ev.gen, d.round, a.frameErr(ev, err), p)
 	}
 	p.wire += ev.wire
 	switch a.q.classify(id, r) {
@@ -323,7 +328,7 @@ func (a *shardAgg) handleEvent(d shardDirective, ev connEvent, p *shardPartial) 
 			if errors.As(err, &fatal) {
 				return fatal.err
 			}
-			return a.connDown(ev.client, ev.gen, d.round, err, p)
+			return a.connDown(ev.client, ev.gen, d.round, a.frameErr(ev, err), p)
 		}
 	case verdictLate:
 		p.late++
@@ -337,6 +342,14 @@ func (a *shardAgg) handleEvent(d shardDirective, ev connEvent, p *shardPartial) 
 			fmt.Errorf("emu: reply from unknown client %d", id), p)
 	}
 	return nil
+}
+
+// frameErr stamps a frame-decode failure with the offending kind byte and
+// the connection generation it arrived on: a reconnecting client's stale
+// generation and its live one produce distinguishable errors.
+func (a *shardAgg) frameErr(ev connEvent, err error) error {
+	return fmt.Errorf("emu: shard %d: frame kind %d on client %d conn gen %d: %w",
+		a.idx, ev.f.kindOrZero(), ev.client, ev.gen, err)
 }
 
 // fold decodes one accepted uplink frame and folds it into the shard's

@@ -24,11 +24,17 @@ import (
 //	    Silences <analyzer>'s findings on the comment's line and the line
 //	    below it. The reason is mandatory; a marker without one is itself
 //	    reported.
+//
+//	//cmfl:api-change <reason>
+//	    Anywhere in a public package: waives the apicompat baseline for
+//	    that package this run, acknowledging an intentional breaking
+//	    change. Remove it after regenerating the baseline.
 
 const (
 	markerHotPath       = "cmfl:hotpath"
 	markerDeterministic = "cmfl:deterministic"
 	markerIgnore        = "cmfl:lint-ignore"
+	markerAPIChange     = "cmfl:api-change"
 )
 
 // funcHasMarker reports whether a function declaration's doc comment

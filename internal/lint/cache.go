@@ -43,7 +43,8 @@ import (
 
 // cacheSchemaVersion invalidates every record when analyzer semantics or
 // the record layout change. Bump it alongside such changes.
-const cacheSchemaVersion = "cmflvet-cache-v1"
+// v2: protostate/lockorder/exhaustive/apicompat facts joined the record.
+const cacheSchemaVersion = "cmflvet-cache-v2"
 
 // DefaultCacheDir is the conventional cache location, relative to the
 // module root.
@@ -59,6 +60,15 @@ type RunOptions struct {
 	// PkgFilter, when non-empty, keeps only targets whose import path
 	// contains it as a substring.
 	PkgFilter string
+	// DiffRef, when non-empty, narrows the targets to the forward+reverse
+	// import closure of the packages whose files differ from the given git
+	// ref (plus untracked files). Diff runs cache under a separate
+	// directory: their target set, and therefore their keys, differ from
+	// full runs.
+	DiffRef string
+	// WriteAPIBaseline regenerates benchmarks/api_baseline.json from this
+	// run's apicompat facts after analysis.
+	WriteAPIBaseline bool
 }
 
 // cacheRecord is one target package's serialized analysis. File paths are
@@ -93,6 +103,13 @@ func RunModule(dir string, patterns []string, analyzers []*Analyzer, opts RunOpt
 		}
 		targets = kept
 	}
+	if opts.DiffRef != "" {
+		changed, err := gitChangedFiles(scan.root, opts.DiffRef)
+		if err != nil {
+			return Result{}, err
+		}
+		targets = affectedTargets(scan, targets, changed)
+	}
 	stats := &RunStats{}
 	attach := func(res Result) Result {
 		if opts.Stats {
@@ -114,11 +131,22 @@ func RunModule(dir string, patterns []string, analyzers []*Analyzer, opts RunOpt
 		if !filepath.IsAbs(cacheDir) {
 			cacheDir = filepath.Join(scan.root, cacheDir)
 		}
+		if opts.DiffRef != "" {
+			// Diff runs hash a narrower target set; give them their own
+			// records instead of churning the full run's.
+			cacheDir += "-diff"
+		}
 		records := readCacheRecords(cacheDir, scan, targets, version, keys)
 		stats.CacheHits = len(records)
 		stats.CacheMisses = len(targets) - len(records)
 		if len(records) == len(targets) {
-			return attach(replayWarm(targets, analyzers, records, stats)), nil
+			res, tf := replayWarm(targets, analyzers, records, stats, scan.root)
+			if opts.WriteAPIBaseline {
+				if err := WriteAPIBaseline(scan.root, tf); err != nil {
+					return Result{}, err
+				}
+			}
+			return attach(res), nil
 		}
 	}
 
@@ -134,6 +162,11 @@ func RunModule(dir string, patterns []string, analyzers []*Analyzer, opts RunOpt
 	if cacheDir != "" {
 		writeCacheRecords(cacheDir, scan, version, keys, pkgs, perPkg, tf, supp)
 	}
+	if opts.WriteAPIBaseline {
+		if err := WriteAPIBaseline(scan.root, tf); err != nil {
+			return Result{}, err
+		}
+	}
 	var findings []Finding
 	for _, pr := range perPkg {
 		findings = append(findings, pr.findings...)
@@ -144,7 +177,7 @@ func RunModule(dir string, patterns []string, analyzers []*Analyzer, opts RunOpt
 
 // replayWarm reconstructs the Result from cached records: pass findings
 // and suppressions verbatim, merge phase recomputed over cached facts.
-func replayWarm(targets []string, analyzers []*Analyzer, records map[string]*cacheRecord, stats *RunStats) Result {
+func replayWarm(targets []string, analyzers []*Analyzer, records map[string]*cacheRecord, stats *RunStats, rootDir string) (Result, []*TargetFacts) {
 	supp := newSuppressionIndex()
 	var findings []Finding
 	tf := make([]*TargetFacts, 0, len(targets))
@@ -162,7 +195,7 @@ func replayWarm(targets []string, analyzers []*Analyzer, records map[string]*cac
 		tf = append(tf, &TargetFacts{Path: t, Facts: facts})
 	}
 	durations := make([]int64, len(analyzers))
-	merged := runMerges(analyzers, tf, durations)
+	merged := runMerges(analyzers, tf, durations, rootDir)
 	findings = append(findings, merged...)
 
 	counts := make(map[string]int)
@@ -176,7 +209,7 @@ func replayWarm(targets []string, analyzers []*Analyzer, records map[string]*cac
 			Findings: counts[a.Name],
 		})
 	}
-	return finish(findings, supp, nil)
+	return finish(findings, supp, nil), tf
 }
 
 // readCacheRecords loads the valid records: version and key must match and
@@ -211,6 +244,18 @@ func readCacheRecords(cacheDir string, scan *moduleScan, targets []string, versi
 			}
 			for i := range rec.Facts.Streams {
 				rec.Facts.Streams[i].File = scan.abs(rec.Facts.Streams[i].File)
+			}
+			for i := range rec.Facts.Proto {
+				rec.Facts.Proto[i].File = scan.abs(rec.Facts.Proto[i].File)
+			}
+			for i := range rec.Facts.LockEdges {
+				rec.Facts.LockEdges[i].File = scan.abs(rec.Facts.LockEdges[i].File)
+			}
+			for i := range rec.Facts.API {
+				rec.Facts.API[i].File = scan.abs(rec.Facts.API[i].File)
+			}
+			for i := range rec.Facts.APIChanges {
+				rec.Facts.APIChanges[i].File = scan.abs(rec.Facts.APIChanges[i].File)
 			}
 		}
 		records[t] = &rec
@@ -280,6 +325,22 @@ func relFacts(scan *moduleScan, facts *PackageFacts) *PackageFacts {
 	for _, s := range facts.Streams {
 		s.File = scan.rel(s.File)
 		out.Streams = append(out.Streams, s)
+	}
+	for _, p := range facts.Proto {
+		p.File = scan.rel(p.File)
+		out.Proto = append(out.Proto, p)
+	}
+	for _, e := range facts.LockEdges {
+		e.File = scan.rel(e.File)
+		out.LockEdges = append(out.LockEdges, e)
+	}
+	for _, a := range facts.API {
+		a.File = scan.rel(a.File)
+		out.API = append(out.API, a)
+	}
+	for _, c := range facts.APIChanges {
+		c.File = scan.rel(c.File)
+		out.APIChanges = append(out.APIChanges, c)
 	}
 	return out
 }

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// -diff mode: resolve the files that differ from a git ref into the set of
+// packages whose analysis could have changed, and run only those. The
+// affected set is the changed packages plus their forward AND reverse
+// transitive import closures — the same two directions the cache key
+// hashes, and for the same reason: an emu edit changes concsafety's
+// verdict on a telemetry field even though telemetry imports nothing from
+// emu. Within that closure the findings of a diff run are identical to a
+// full run's (asserted by TestDiffMatchesFullRun); outside it nothing
+// could have changed.
+//
+// A go.mod change falls back to the full target set: it can redefine the
+// module path every package key depends on.
+
+// gitChangedFiles lists the files (module-root-relative, slash-separated)
+// that differ from ref, plus untracked files. It shells out to git — the
+// only external tool cmfl-vet invokes, and only in -diff mode.
+func gitChangedFiles(root, ref string) ([]string, error) {
+	diff := exec.Command("git", "-C", root, "diff", "--name-only", ref, "--")
+	out, err := diff.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: git diff --name-only %s: %w (is %s a valid ref?)", ref, err, ref)
+	}
+	untracked := exec.Command("git", "-C", root, "ls-files", "--others", "--exclude-standard")
+	uout, err := untracked.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: git ls-files --others: %w", err)
+	}
+	seen := make(map[string]bool)
+	var files []string
+	for _, line := range strings.Split(string(out)+"\n"+string(uout), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || seen[line] {
+			continue
+		}
+		seen[line] = true
+		files = append(files, line)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// affectedTargets narrows targets to those whose analysis can depend on
+// the changed files. Changed files map to packages by directory; a change
+// to go.mod (or any file no scanned package owns inside a package dir —
+// conservatively, any .go file we cannot attribute) keeps the full set.
+func affectedTargets(scan *moduleScan, targets, changedFiles []string) []string {
+	if len(changedFiles) == 0 {
+		return nil
+	}
+	dirToPkg := make(map[string]string, len(scan.pkgs))
+	for p, sp := range scan.pkgs {
+		dirToPkg[sp.dir] = p
+	}
+	changed := make(map[string]bool)
+	for _, f := range changedFiles {
+		if f == "go.mod" {
+			return targets
+		}
+		if !strings.HasSuffix(f, ".go") {
+			continue
+		}
+		abs := filepath.Join(scan.root, filepath.FromSlash(f))
+		if p, ok := dirToPkg[filepath.Dir(abs)]; ok {
+			changed[p] = true
+		}
+		// A .go file outside every scanned package (testdata, a deleted
+		// package's leftovers) cannot alter any scanned package's analysis:
+		// the scan already hashed what the targets can reach.
+	}
+	if len(changed) == 0 {
+		return nil
+	}
+
+	fwd := make(map[string][]string, len(scan.pkgs))
+	rev := make(map[string][]string, len(scan.pkgs))
+	for p, sp := range scan.pkgs {
+		for _, ip := range sp.imports {
+			fwd[p] = append(fwd[p], ip)
+			rev[ip] = append(rev[ip], p)
+		}
+	}
+	affected := make(map[string]bool)
+	for p := range changed {
+		affected[p] = true
+		closure(fwd, p, affected)
+		closure(rev, p, affected)
+	}
+
+	var kept []string
+	for _, t := range targets {
+		if affected[t] {
+			kept = append(kept, t)
+		}
+	}
+	return kept
+}

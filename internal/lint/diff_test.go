@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeDiffTestModule lays out a three-package module: b imports a (so an
+// edit to a must pull b in through the reverse closure), c is independent.
+// a and c each carry one errcheck violation.
+func writeDiffTestModule(t testing.TB) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		full := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module difftest\n\ngo 1.24\n")
+	write("a/a.go", `package a
+
+import "os"
+
+func Touch(path string) {
+	_ = os.Remove(path)
+}
+`)
+	write("b/b.go", `package b
+
+import "difftest/a"
+
+func Use() {
+	a.Touch("x")
+}
+`)
+	write("c/c.go", `package c
+
+import "os"
+
+func Drop(path string) {
+	_ = os.Remove(path)
+}
+`)
+	return dir
+}
+
+// gitify turns dir into a single-commit git repository, skipping the test
+// when git is unavailable.
+func gitify(t testing.TB, dir string) {
+	t.Helper()
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not on PATH")
+	}
+	run := func(args ...string) {
+		cmd := exec.Command("git", append([]string{"-C", dir}, args...)...)
+		cmd.Env = append(os.Environ(),
+			"GIT_AUTHOR_NAME=t", "GIT_AUTHOR_EMAIL=t@t",
+			"GIT_COMMITTER_NAME=t", "GIT_COMMITTER_EMAIL=t@t",
+			"GIT_CONFIG_GLOBAL=/dev/null", "GIT_CONFIG_SYSTEM=/dev/null")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	run("init", "-q")
+	run("add", ".")
+	run("-c", "commit.gpgsign=false", "commit", "-q", "-m", "seed")
+}
+
+// TestAffectedTargets exercises the file→package→closure mapping without
+// any git involvement.
+func TestAffectedTargets(t *testing.T) {
+	dir := writeDiffTestModule(t)
+	scan, err := scanModule(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		changed []string
+		want    []string
+	}{
+		{"edit a pulls importer b", []string{"a/a.go"}, []string{"difftest/a", "difftest/b"}},
+		{"edit b stays b plus its import a", []string{"b/b.go"}, []string{"difftest/a", "difftest/b"}},
+		{"edit c stays c", []string{"c/c.go"}, []string{"difftest/c"}},
+		{"go.mod keeps everything", []string{"go.mod"}, scan.targets},
+		{"non-go file keeps nothing", []string{"README.md"}, nil},
+		{"unattributable go file keeps nothing", []string{"docs/x.go"}, nil},
+		{"no changes keeps nothing", nil, nil},
+	}
+	for _, tc := range cases {
+		got := affectedTargets(scan, scan.targets, tc.changed)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: affected = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestDiffMatchesFullRun is the acceptance gate for -diff: after a
+// one-package edit plus one untracked package, the diff run analyzes only
+// the affected closure and reports exactly the full run's findings for
+// that closure.
+func TestDiffMatchesFullRun(t *testing.T) {
+	dir := writeDiffTestModule(t)
+	gitify(t, dir)
+
+	// One tracked edit (a second violation in c) and one untracked new
+	// package with a violation of its own: both git discovery paths.
+	appendToFile(t, filepath.Join(dir, "c", "c.go"), "\nfunc Drop2(path string) {\n\t_ = os.Remove(path)\n}\n")
+	if err := os.MkdirAll(filepath.Join(dir, "d"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "d", "d.go"),
+		[]byte("package d\n\nimport \"os\"\n\nfunc Wipe(path string) {\n\t_ = os.Remove(path)\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := RunModule(dir, []string{"./..."}, []*Analyzer{ErrCheck}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Findings) != 4 {
+		t.Fatalf("full run = %d findings, want 4 (a:1, c:2, d:1): %v", len(full.Findings), full.Findings)
+	}
+
+	diff, err := RunModule(dir, []string{"./..."}, []*Analyzer{ErrCheck},
+		RunOptions{DiffRef: "HEAD", CacheDir: t.TempDir(), Stats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Stats.CacheMisses != 2 {
+		t.Errorf("diff run analyzed %d targets, want 2 (c and d only)", diff.Stats.CacheMisses)
+	}
+
+	var wantFindings []string
+	for _, f := range full.Findings {
+		rel, _ := filepath.Rel(dir, f.File)
+		if filepath.Dir(rel) == "c" || filepath.Dir(rel) == "d" {
+			wantFindings = append(wantFindings, f.String())
+		}
+	}
+	var gotFindings []string
+	for _, f := range diff.Findings {
+		gotFindings = append(gotFindings, f.String())
+	}
+	if !reflect.DeepEqual(gotFindings, wantFindings) {
+		t.Errorf("diff findings diverge from the full run's for the affected closure:\n  diff: %v\n  full: %v",
+			gotFindings, wantFindings)
+	}
+}
+
+// TestDiffNoChanges: a clean tree diffs to an empty target set and an
+// empty result.
+func TestDiffNoChanges(t *testing.T) {
+	dir := writeDiffTestModule(t)
+	gitify(t, dir)
+	res, err := RunModule(dir, []string{"./..."}, []*Analyzer{ErrCheck}, RunOptions{DiffRef: "HEAD", Stats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 0 || res.Suppressed != 0 {
+		t.Errorf("clean-tree diff run = %d findings, %d suppressed, want 0 and 0", len(res.Findings), res.Suppressed)
+	}
+}
+
+// TestDiffBadRef surfaces the git error instead of silently running the
+// full set.
+func TestDiffBadRef(t *testing.T) {
+	dir := writeDiffTestModule(t)
+	gitify(t, dir)
+	if _, err := RunModule(dir, []string{"./..."}, []*Analyzer{ErrCheck}, RunOptions{DiffRef: "no-such-ref"}); err == nil {
+		t.Error("diff against a bogus ref succeeded, want an error naming the ref")
+	}
+}
+
+// BenchmarkCmflVetDiff measures a cold partial run after a one-file edit:
+// scan, git diff, closure narrowing, then load + analysis of the affected
+// packages only.
+func BenchmarkCmflVetDiff(b *testing.B) {
+	dir := writeDiffTestModule(b)
+	gitify(b, dir)
+	appendToFile2(b, filepath.Join(dir, "c", "c.go"), "\nfunc Drop2(path string) {\n\t_ = os.Remove(path)\n}\n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunModule(dir, []string{"./..."}, All(), RunOptions{DiffRef: "HEAD"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// appendToFile2 is appendToFile for benchmarks (testing.TB).
+func appendToFile2(t testing.TB, path, content string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, content...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

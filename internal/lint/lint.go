@@ -75,8 +75,12 @@ type AnalyzerStat struct {
 // (metricschema → Metrics, seedtaint → Streams), which is what makes
 // concurrent passes over the same package race-free.
 type PackageFacts struct {
-	Metrics []MetricFact `json:"metrics,omitempty"`
-	Streams []StreamFact `json:"streams,omitempty"`
+	Metrics    []MetricFact    `json:"metrics,omitempty"`
+	Streams    []StreamFact    `json:"streams,omitempty"`
+	Proto      []ProtoFact     `json:"proto,omitempty"`
+	LockEdges  []LockEdgeFact  `json:"lock_edges,omitempty"`
+	API        []APISymbolFact `json:"api,omitempty"`
+	APIChanges []APIChangeFact `json:"api_changes,omitempty"`
 }
 
 // MetricFact is one telemetry metric-family registration site.
@@ -95,6 +99,49 @@ type StreamFact struct {
 	File    string `json:"file"`
 	Line    int    `json:"line"`
 	Column  int    `json:"column"`
+}
+
+// ProtoFact is one wire-protocol event site recorded by protostate: a
+// frame kind written or read, or a shard directive sent or dispatched.
+// Side is the peer attribution ("client", "server", "both", or "" when
+// the function is reachable from neither entry point).
+type ProtoFact struct {
+	Kind   string `json:"kind"`
+	Op     string `json:"op"` // frame-write | frame-read | dir-send | dir-case
+	Side   string `json:"side,omitempty"`
+	Func   string `json:"func"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+}
+
+// LockEdgeFact is one observed lock-order edge: To was acquired at the
+// recorded site while From was provably held.
+type LockEdgeFact struct {
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Func   string `json:"func"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+}
+
+// APISymbolFact is one exported-surface entry of a public package.
+type APISymbolFact struct {
+	Sym    string `json:"sym"`
+	Decl   string `json:"decl"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+}
+
+// APIChangeFact is one //cmfl:api-change marker, waiving the package's
+// API baseline for this run.
+type APIChangeFact struct {
+	Reason string `json:"reason"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
 }
 
 // Pass is the per-(analyzer, package) invocation context.
@@ -173,6 +220,9 @@ type TargetFacts struct {
 type MergePass struct {
 	Analyzer *Analyzer
 	Targets  []*TargetFacts
+	// RootDir is the module root, for merges that consult committed
+	// artifacts (the apicompat baseline).
+	RootDir string
 
 	findings *[]Finding
 }
@@ -200,6 +250,10 @@ func All() []*Analyzer {
 		ConcSafety,
 		GoroLeak,
 		SeedTaint,
+		ProtoState,
+		LockOrder,
+		Exhaustive,
+		APICompat,
 	}
 }
 
@@ -269,7 +323,7 @@ func runPasses(mod *Module, targets []*Package, analyzers []*Analyzer, stats *Ru
 	for i, pkg := range targets {
 		tf[i] = &TargetFacts{Path: pkg.Path, Facts: facts[i]}
 	}
-	merged := runMerges(analyzers, tf, durations)
+	merged := runMerges(analyzers, tf, durations, mod.RootDir)
 
 	if stats != nil {
 		fillAnalyzerStats(stats, analyzers, durations, buffers, merged)
@@ -280,7 +334,7 @@ func runPasses(mod *Module, targets []*Package, analyzers []*Analyzer, stats *Ru
 // runMerges executes the merge phase over target facts in package-path
 // order. durations, when non-nil, accumulates merge wall time per analyzer
 // index.
-func runMerges(analyzers []*Analyzer, tf []*TargetFacts, durations []int64) []Finding {
+func runMerges(analyzers []*Analyzer, tf []*TargetFacts, durations []int64, rootDir string) []Finding {
 	ordered := make([]*TargetFacts, len(tf))
 	copy(ordered, tf)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Path < ordered[j].Path })
@@ -291,7 +345,7 @@ func runMerges(analyzers []*Analyzer, tf []*TargetFacts, durations []int64) []Fi
 			continue
 		}
 		start := time.Now()
-		a.Merge(&MergePass{Analyzer: a, Targets: ordered, findings: &merged})
+		a.Merge(&MergePass{Analyzer: a, Targets: ordered, RootDir: rootDir, findings: &merged})
 		if durations != nil {
 			durations[ai] += int64(time.Since(start))
 		}

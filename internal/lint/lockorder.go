@@ -1,0 +1,354 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the module-wide lock-acquisition order graph and flags
+// cycles. An edge A → B means some statement provably holds A (by the
+// must-hold tracker) while acquiring B — directly, or transitively through
+// a module call. Two goroutines traversing a cycle from different entry
+// points can each hold the lock the other wants: the classic deadlock the
+// chaos suite can only catch probabilistically, and only for interleavings
+// it happens to schedule.
+//
+// Locks are named by their canonical owner, not their local spelling:
+// a struct-field mutex is "pkgpath.Type.field" (every instance of the
+// type shares the node — conservative, but instance-disambiguation is
+// exactly what humans also cannot do when auditing order), a package-level
+// mutex is "pkgpath.name", and a local mutex is "pkgpath.Func.name".
+// Self-edges are dropped: re-acquiring the same field on two instances is
+// a different bug class (and a common false positive for tree walks).
+//
+// Scoped to ConcurrencyPackages, like the rest of the goroutine
+// discipline suite.
+var LockOrder = &Analyzer{
+	Name:  "lockorder",
+	Doc:   "the module-wide lock-acquisition order graph must be acyclic",
+	Run:   runLockOrder,
+	Merge: mergeLockOrder,
+}
+
+func runLockOrder(pass *Pass) {
+	if !ConcurrencyPackages[pass.Pkg.Path] {
+		return
+	}
+	lo := &lockOrderScan{pass: pass, trans: make(map[*types.Func][]string)}
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lo.scanBody(fd.Name.Name, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					lo.scanBody(fd.Name.Name, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(pass.Facts.LockEdges, func(i, j int) bool {
+		a, b := pass.Facts.LockEdges[i], pass.Facts.LockEdges[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}
+
+type lockOrderScan struct {
+	pass *Pass
+	// trans memoizes the canonical lock set a module function transitively
+	// acquires.
+	trans map[*types.Func][]string
+	seen  map[string]bool // "From\x00To" dedup within the package
+}
+
+// scanBody walks one function-like body: it canonicalizes every mutex the
+// body touches, then replays the must-hold tracker recording an edge for
+// each acquisition made while something else is held.
+func (lo *lockOrderScan) scanBody(funcName string, body *ast.BlockStmt) {
+	pass := lo.pass
+	// Map the tracker's rendered keys ("s.mu") to canonical lock IDs.
+	canonOf := make(map[string]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel := mutexOpSelector(pass.Pkg, n); sel != nil {
+			key := types.ExprString(sel.X)
+			if _, ok := canonOf[key]; !ok {
+				canonOf[key] = canonMutex(pass.Pkg, funcName, sel.X)
+			}
+		}
+		return true
+	})
+
+	trackLocks(pass.Pkg, body, func(stmt ast.Stmt, held lockState) {
+		if len(held) == 0 {
+			return
+		}
+		for _, e := range stmtExprs(stmt) {
+			ast.Inspect(e, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					return false // scanned as its own root with empty entry state
+				case *ast.CallExpr:
+					var acquired []string
+					if sel := mutexOpSelector(pass.Pkg, n); sel != nil {
+						if c := canonMutex(pass.Pkg, funcName, sel.X); c != "" {
+							acquired = []string{c}
+						}
+					} else if fn := calleeFunc(pass.Pkg, n); fn != nil && pass.InModule(fn) {
+						acquired = lo.transAcquires(fn, make(map[*types.Func]bool))
+					}
+					for _, to := range acquired {
+						for key := range held {
+							from := canonOf[key]
+							if from == "" || from == to {
+								continue
+							}
+							lo.edge(from, to, funcName, n.Pos())
+						}
+					}
+				}
+				return true
+			})
+		}
+	})
+}
+
+func (lo *lockOrderScan) edge(from, to, funcName string, pos token.Pos) {
+	if lo.seen == nil {
+		lo.seen = make(map[string]bool)
+	}
+	k := from + "\x00" + to
+	if lo.seen[k] {
+		return
+	}
+	lo.seen[k] = true
+	position := lo.pass.Fset().Position(pos)
+	lo.pass.Facts.LockEdges = append(lo.pass.Facts.LockEdges, LockEdgeFact{
+		From: from, To: to, Func: funcName,
+		File: position.Filename, Line: position.Line, Column: position.Column,
+	})
+}
+
+// transAcquires returns the canonical locks fn acquires, following module
+// calls but not goroutines or function literals (they run on their own
+// schedule and hold nothing of ours).
+func (lo *lockOrderScan) transAcquires(fn *types.Func, visiting map[*types.Func]bool) []string {
+	if got, ok := lo.trans[fn]; ok {
+		return got
+	}
+	if visiting[fn] {
+		return nil
+	}
+	visiting[fn] = true
+	defer delete(visiting, fn)
+	decl, dpkg := lo.pass.Mod.FuncDecl(fn)
+	if decl == nil || decl.Body == nil {
+		lo.trans[fn] = nil
+		return nil
+	}
+	var out []string
+	seen := make(map[string]bool)
+	add := func(ids []string) {
+		for _, id := range ids {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if sel := mutexOpSelector(dpkg, n); sel != nil {
+				if c := canonMutex(dpkg, decl.Name.Name, sel.X); c != "" {
+					add([]string{c})
+				}
+			} else if callee := calleeFunc(dpkg, n); callee != nil && lo.pass.InModule(callee) {
+				add(lo.transAcquires(callee, visiting))
+			}
+		}
+		return true
+	})
+	lo.trans[fn] = out
+	return out
+}
+
+// mutexOpSelector returns the selector of a sync.Mutex/RWMutex
+// Lock/RLock call ("s.mu" in s.mu.Lock()), or nil for any other node.
+// Unlocks are not acquisitions.
+func mutexOpSelector(pkg *Package, n ast.Node) *ast.SelectorExpr {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := calleeFunc(pkg, call)
+	if fn == nil || (fn.Name() != "Lock" && fn.Name() != "RLock") {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	if recv := named(sig.Recv().Type()); recv != "sync.Mutex" && recv != "sync.RWMutex" {
+		return nil
+	}
+	sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return sel
+}
+
+// canonMutex names a mutex expression canonically: struct field →
+// "pkgpath.Type.field", package-level var → "pkgpath.name", local →
+// "pkgpath.Func.name". "" when the expression has no stable name.
+func canonMutex(pkg *Package, funcName string, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s := pkg.Info.Selections[x]; s != nil {
+			if recv := named(s.Recv()); recv != "" {
+				return recv + "." + s.Obj().Name()
+			}
+			return ""
+		}
+		// Package-qualified: other.Mu
+		if obj := pkg.Info.Uses[x.Sel]; obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		obj := pkg.Info.Uses[x]
+		if obj == nil {
+			obj = pkg.Info.Defs[x]
+		}
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return obj.Pkg().Path() + "." + funcName + "." + obj.Name()
+	case *ast.IndexExpr:
+		return canonMutex(pkg, funcName, x.X)
+	}
+	return ""
+}
+
+// mergeLockOrder assembles the global graph and reports one finding per
+// strongly connected component of size ≥ 2, positioned at the first edge
+// leaving the component's lexicographically smallest lock.
+func mergeLockOrder(mp *MergePass) {
+	var edges []LockEdgeFact
+	seen := make(map[string]bool)
+	for _, t := range mp.Targets {
+		for _, e := range t.Facts.LockEdges {
+			k := e.From + "\x00" + e.To
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			edges = append(edges, e)
+		}
+	}
+
+	adj := make(map[string][]string)
+	nodeSet := make(map[string]bool)
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		nodeSet[e.From], nodeSet[e.To] = true, true
+	}
+	var nodes []string
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		sort.Strings(adj[n])
+	}
+
+	for _, scc := range tarjanSCC(nodes, adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		sort.Strings(scc)
+		inSCC := make(map[string]bool, len(scc))
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		var best *LockEdgeFact
+		for i := range edges {
+			e := &edges[i]
+			if !inSCC[e.From] || !inSCC[e.To] {
+				continue
+			}
+			if best == nil || e.From < best.From || (e.From == best.From && e.To < best.To) {
+				best = e
+			}
+		}
+		if best == nil {
+			continue
+		}
+		mp.Reportf(best.File, best.Line, best.Column,
+			"lock-acquisition cycle %s: goroutines entering from different points can each hold the lock the other wants — fix the order or split the critical sections",
+			strings.Join(scc, " ⇄ "))
+	}
+}
+
+// tarjanSCC computes strongly connected components over the (sorted) node
+// list; iteration order is deterministic because nodes and adjacency are
+// pre-sorted.
+func tarjanSCC(nodes []string, adj map[string][]string) [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+	return sccs
+}

@@ -1,0 +1,9 @@
+// Package apicompatok carries the same baseline mismatches as the
+// apicompat fixture plus a reasoned //cmfl:api-change marker: the marker
+// waives the whole package, so the run must stay clean.
+package apicompatok
+
+//cmfl:api-change Old now returns int; callers drop the string conversion
+
+// Old's baseline entry (written by the test) claims it returns string.
+func Old(n int) int { return n }

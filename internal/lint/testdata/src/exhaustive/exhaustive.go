@@ -1,0 +1,107 @@
+// Package exhaustive exercises enum-family switch coverage: named integer
+// families bind through the tag type, prefix families (op*) through case
+// membership, and a default only helps when it fails loudly.
+package exhaustive
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind is a named enum family.
+type Kind int
+
+const (
+	KindAlpha Kind = iota
+	KindBeta
+	KindGamma
+)
+
+// op* is a prefix family: one const block, untyped integers, shared prefix.
+const (
+	opStart = iota
+	opStop
+	opFlush
+)
+
+// covered names every member: no default needed.
+func covered(k Kind) int {
+	switch k {
+	case KindAlpha:
+		return 1
+	case KindBeta:
+		return 2
+	case KindGamma:
+		return 3
+	}
+	return 0
+}
+
+// loudMiss misses KindGamma but rejects it with an error: fine.
+func loudMiss(k Kind) (int, error) {
+	switch k {
+	case KindAlpha:
+		return 1, nil
+	case KindBeta:
+		return 2, nil
+	default:
+		return 0, fmt.Errorf("unknown kind %d", k)
+	}
+}
+
+// panicMiss misses KindGamma but panics: also loud.
+func panicMiss(k Kind) int {
+	switch k {
+	case KindAlpha:
+		return 1
+	case KindBeta:
+		return 2
+	default:
+		panic("unknown kind")
+	}
+}
+
+// noDefault misses KindGamma with nowhere for it to go.
+func noDefault(k Kind) int {
+	switch k { // want "switch over Kind misses KindGamma and there is no default clause"
+	case KindAlpha:
+		return 1
+	case KindBeta:
+		return 2
+	}
+	return 0
+}
+
+// silentDefault misses KindGamma and the default swallows it.
+func silentDefault(k Kind) int {
+	switch k { // want "switch over Kind misses KindGamma and the default handles them silently"
+	case KindAlpha:
+		return 1
+	case KindBeta:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// prefixMiss binds the op* family through its two case members and misses
+// opFlush.
+func prefixMiss(op int) error {
+	switch op { // want "switch over op. misses opFlush and there is no default clause"
+	case opStart:
+		return nil
+	case opStop:
+		return errors.New("stopped")
+	}
+	return nil
+}
+
+// oneHit mentions a single op* member: not enough evidence to bind an
+// untyped family, so no finding.
+func oneHit(op int) int {
+	switch op {
+	case opStart:
+		return 1
+	}
+	return 0
+}

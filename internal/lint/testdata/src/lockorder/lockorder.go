@@ -1,0 +1,44 @@
+// Package lockorder exercises the lock-acquisition order graph: lockA
+// holds S.mu while transitively taking peer.T.Mu (through peer.WithLock),
+// lockB acquires the same two locks in the opposite order. The two edges
+// form a cross-package cycle; the finding lands on the edge leaving the
+// lexicographically smallest lock.
+package lockorder
+
+import (
+	"sync"
+
+	"cmfl/internal/lint/testdata/src/lockorder/peer"
+)
+
+// S owns the first lock of the cycle.
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockA holds s.mu across the call that takes peer's lock.
+func lockA(s *S) {
+	s.mu.Lock()
+	peer.WithLock() // want "lock-acquisition cycle"
+	s.n++
+	s.mu.Unlock()
+}
+
+// lockB takes the locks in the opposite order.
+func lockB(s *S) {
+	peer.P.Mu.Lock()
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	peer.P.Mu.Unlock()
+}
+
+// reLock re-acquires the same canonical lock on another instance: a
+// self-edge, deliberately not part of the order graph.
+func reLock(a, b *S) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

@@ -1,0 +1,20 @@
+// Package peer owns the second lock of the two-package cycle fixture.
+package peer
+
+import "sync"
+
+// T guards a shared counter.
+type T struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// P is the shared instance.
+var P T
+
+// WithLock bumps the counter under P.Mu.
+func WithLock() {
+	P.Mu.Lock()
+	P.n++
+	P.Mu.Unlock()
+}

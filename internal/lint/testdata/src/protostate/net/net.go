@@ -1,0 +1,13 @@
+// Package net is a fixture stand-in for the standard net package: its
+// import path ends in /net, so protostate treats Dial as a
+// fresh-connection constructor.
+package net
+
+// Conn is a throwaway connection.
+type Conn struct{}
+
+// Write pretends to write.
+func (Conn) Write(b []byte) (int, error) { return len(b), nil }
+
+// Dial opens a fresh (fake) connection.
+func Dial(addr string) Conn { return Conn{} }

@@ -8,20 +8,36 @@
 #                   allocation freedom (transitively, via the call graph),
 #                   deterministic aggregation order, the cmfl_* metric
 #                   schema, discarded errors, float equality, goroutine and
-#                   mutex discipline, and seed-provenance taint.
+#                   mutex discipline, seed-provenance taint, wire-protocol
+#                   duality, lock-order acyclicity, enum exhaustiveness,
+#                   and the exported-API baseline.
 #
 # Usage:
 #   scripts/lint.sh                  # whole module
+#   scripts/lint.sh --diff           # only packages affected by changes
+#                                    #   vs. the merge base with origin/main
+#                                    #   (falls back to HEAD); pre-commit mode
 #   scripts/lint.sh ./internal/fl    # restrict cmfl-vet to some packages
+#
+# To run the --diff gate automatically before every commit:
+#   git config core.hooksPath .githooks
 #
 # cmfl-vet exits 1 on findings or a blown suppression budget, 2 on load
 # errors; pass -json through `go run ./cmd/cmfl-vet -json ./...` when you
 # want the machine-readable findings document instead. Results are cached
-# under .cmflvet-cache/, so the second run is near-instant; -stats below
-# shows the hit rate and per-analyzer wall time.
+# under .cmflvet-cache/ (.cmflvet-cache-diff/ for --diff runs), so the
+# second run is near-instant; -stats below shows the hit rate and
+# per-analyzer wall time.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+DIFF_ARGS=()
+if [[ "${1:-}" == "--diff" ]]; then
+    shift
+    ref=$(git merge-base origin/main HEAD 2>/dev/null || echo HEAD)
+    DIFF_ARGS=(-diff "$ref")
+fi
 
 PKGS=("${@:-./...}")
 
@@ -37,4 +53,4 @@ echo "== go vet"
 go vet "${PKGS[@]}"
 
 echo "== cmfl-vet"
-go run ./cmd/cmfl-vet -stats -budget benchmarks/lint_budget.json "${PKGS[@]}"
+go run ./cmd/cmfl-vet -stats -budget benchmarks/lint_budget.json ${DIFF_ARGS[@]+"${DIFF_ARGS[@]}"} "${PKGS[@]}"
