@@ -1,0 +1,243 @@
+// cmfl-soak is a sustained-load generator for the discrete-event simulator
+// (internal/sim): it builds a synthetic non-IID population, runs CMFL
+// training rounds in virtual time, and reports straggler/byte behaviour at
+// client counts the TCP emulation cannot reach.
+//
+// Usage:
+//
+//	cmfl-soak -clients 100000 -rounds 10 -gate 0.4
+//	cmfl-soak -clients 20000 -rounds 3 -deadline 150ms -latency lognormal:50ms,0.6
+//	cmfl-soak -clients 1000000 -rounds 2 -samples 4 -codec top16+quantize8
+//
+// Output is a per-round table followed by a JSON summary, both on stdout.
+// Everything on stdout is a pure function of the flags — rerunning the same
+// command yields bit-identical bytes (asserted by TestSoakDeterministic).
+// Wall-clock timing goes to stderr only.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"cmfl/internal/compress"
+	"cmfl/internal/core"
+	"cmfl/internal/fl"
+	"cmfl/internal/sim"
+	"cmfl/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cmfl-soak: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// quantiles is the percentile triple the soak report pins for one histogram
+// family, read straight off the telemetry registry.
+type quantiles struct {
+	P50  float64 `json:"p50"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+}
+
+func readQuantiles(h *telemetry.Histogram) quantiles {
+	return quantiles{P50: h.Quantile(0.5), P99: h.Quantile(0.99), P999: h.Quantile(0.999)}
+}
+
+// summary is the JSON report. It deliberately carries no wall-clock fields:
+// the whole document is a pure function of the flag set, so reruns are
+// bit-identical and diffs in CI mean a real behaviour change.
+type summary struct {
+	Clients         int     `json:"clients"`
+	Rounds          int     `json:"rounds"`
+	Seed            int64   `json:"seed"`
+	Filter          string  `json:"filter"`
+	Codec           string  `json:"codec"`
+	Arrival         string  `json:"arrival"`
+	Latency         string  `json:"latency"`
+	Availability    float64 `json:"availability"`
+	Deadline        string  `json:"deadline"`
+	MinQuorum       int     `json:"min_quorum"`
+	VirtualDuration string  `json:"virtual_duration"`
+
+	CumUploads     int   `json:"cum_uploads"`
+	CumUplinkBytes int64 `json:"cum_uplink_bytes"`
+	SkippedUploads int   `json:"skipped_uploads"`
+	StragglerCuts  int   `json:"straggler_cuts"`
+	LateReplies    int   `json:"late_replies"`
+	DeadlineRounds int   `json:"deadline_rounds"`
+
+	ReplyLatencySeconds  quantiles `json:"reply_latency_seconds"`
+	RoundDurationSeconds quantiles `json:"round_duration_seconds"`
+	ReplyBytes           quantiles `json:"reply_bytes"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cmfl-soak", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+
+	clients := fs.Int("clients", 10000, "simulated client population")
+	rounds := fs.Int("rounds", 10, "synchronous training rounds")
+	shards := fs.Int("shards", 0, "worker shards clients are multiplexed onto (0 = GOMAXPROCS); results are identical for any value")
+	seed := fs.Int64("seed", 1, "root seed for every random draw")
+
+	features := fs.Int("features", 16, "synthetic workload feature count")
+	classes := fs.Int("classes", 4, "synthetic workload class count")
+	samples := fs.Int("samples", 8, "training samples per client")
+
+	epochs := fs.Int("epochs", 1, "local epochs per round")
+	batch := fs.Int("batch", 8, "local minibatch size")
+	lr := fs.Float64("lr", 0.1, "learning-rate v0 (decays as v0/sqrt(t))")
+	gate := fs.Float64("gate", 0.4, "CMFL relevance threshold (0 = vanilla FL, upload everything)")
+	codecName := fs.String("codec", "none", "update codec spec (compress.ParseName grammar, e.g. top16+quantize8)")
+
+	arrival := fs.String("arrival", "exp:5ms", "per-reply local compute/queuing delay distribution (fixed:<d> | uniform:<lo>,<hi> | lognormal:<med>,<sigma> | exp:<mean>)")
+	latency := fs.String("latency", "lognormal:50ms,0.5", "per-reply network latency distribution (same grammar)")
+	bandwidth := fs.Float64("bandwidth", 0, "uplink bytes/sec serialising each payload (0 = infinite)")
+	availability := fs.Float64("availability", 1, "per-round probability a client receives the broadcast")
+	deadline := fs.Duration("deadline", 0, "virtual round deadline cutting off stragglers (0 = wait for all)")
+	minQuorum := fs.Int("min-quorum", 1, "minimum accepted replies per round; fewer at the deadline aborts")
+	table := fs.Bool("table", true, "print the per-round table before the JSON summary")
+
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	codec, err := compress.ParseName(*codecName)
+	if err != nil {
+		return err
+	}
+	arrivalDist, err := sim.ParseDist(*arrival)
+	if err != nil {
+		return err
+	}
+	latencyDist, err := sim.ParseDist(*latency)
+	if err != nil {
+		return err
+	}
+	var filter fl.UploadFilter = fl.Vanilla{}
+	if *gate > 0 {
+		filter = core.NewFilter(core.Constant(*gate))
+	}
+
+	buildStart := time.Now()
+	wl, err := sim.SyntheticWorkload(*clients, *features, *classes, *samples, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "[workload: %d clients × %d samples built in %v]\n", *clients, *samples, time.Since(buildStart).Round(time.Millisecond))
+
+	reg := telemetry.NewRegistry()
+	cfg := sim.Config{
+		Model:                wl.Model,
+		ClientData:           wl.Shards,
+		Epochs:               *epochs,
+		Batch:                *batch,
+		LR:                   core.InvSqrt{V0: *lr},
+		Filter:               filter,
+		Compressor:           codec,
+		Rounds:               *rounds,
+		Seed:                 *seed,
+		Shards:               *shards,
+		Arrival:              arrivalDist,
+		Latency:              latencyDist,
+		BandwidthBytesPerSec: *bandwidth,
+		Availability:         *availability,
+		RoundDeadline:        *deadline,
+		MinQuorum:            *minQuorum,
+		Registry:             reg,
+	}
+
+	simStart := time.Now()
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(simStart)
+
+	if *table {
+		fmt.Fprintf(stdout, "%5s %9s %9s %8s %8s %10s %12s %9s %9s\n",
+			"round", "expected", "uploaded", "skipped", "dropped", "deadline", "uplink", "loss", "relevance")
+		for _, st := range res.History {
+			fired := "-"
+			if st.DeadlineFired {
+				fired = "fired"
+			}
+			fmt.Fprintf(stdout, "%5d %9d %9d %8d %8d %10s %12s %9.4f %9.4f\n",
+				st.Round, st.Participants, st.Uploaded, st.Skipped, st.Dropped, fired,
+				formatBytes(st.CumUplinkBytes), st.TrainLoss, st.MeanRelevance)
+		}
+	}
+
+	fam := sim.MetricFamilies(reg)
+	var skipped, cuts int
+	for _, s := range res.SkipCounts {
+		skipped += s
+	}
+	for _, s := range res.StragglerCounts {
+		cuts += s
+	}
+	deadlineRounds := 0
+	for _, st := range res.History {
+		if st.DeadlineFired {
+			deadlineRounds++
+		}
+	}
+	last := res.History[len(res.History)-1]
+	sum := summary{
+		Clients:              *clients,
+		Rounds:               *rounds,
+		Seed:                 *seed,
+		Filter:               res.FilterName,
+		Codec:                *codecName,
+		Arrival:              arrivalDist.Name(),
+		Latency:              latencyDist.Name(),
+		Availability:         *availability,
+		Deadline:             deadline.String(),
+		MinQuorum:            *minQuorum,
+		VirtualDuration:      res.VirtualDuration.String(),
+		CumUploads:           last.CumUploads,
+		CumUplinkBytes:       last.CumUplinkBytes,
+		SkippedUploads:       skipped,
+		StragglerCuts:        cuts,
+		LateReplies:          res.LateReplies,
+		DeadlineRounds:       deadlineRounds,
+		ReplyLatencySeconds:  readQuantiles(fam.ReplyLatency),
+		RoundDurationSeconds: readQuantiles(fam.RoundDuration),
+		ReplyBytes:           readQuantiles(fam.ReplyBytes),
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		return err
+	}
+
+	cr := float64(*clients) * float64(*rounds)
+	fmt.Fprintf(stderr, "[%d clients × %d rounds simulated in %v wall — %.0f client-rounds/s]\n",
+		*clients, *rounds, wall.Round(time.Millisecond), cr/wall.Seconds())
+	return nil
+}
+
+// formatBytes renders a byte count with a binary-prefix unit, fixed to one
+// decimal so table columns stay aligned.
+func formatBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestSoakDeterministic pins the CLI-level determinism contract: every byte
+// on stdout is a pure function of the flag set, so two invocations with the
+// same flags produce identical output — table, JSON summary and all.
+func TestSoakDeterministic(t *testing.T) {
+	args := []string{
+		"-clients", "300", "-rounds", "4", "-seed", "42",
+		"-deadline", "180ms", "-availability", "0.9",
+		"-codec", "top8+quantize8",
+	}
+	capture := func(shards string) string {
+		var out bytes.Buffer
+		if err := run(append([]string{"-shards", shards}, args...), &out, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	first := capture("1")
+	second := capture("1")
+	if first != second {
+		t.Fatalf("same flags produced different stdout:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	sharded := capture("7")
+	if sharded != first {
+		t.Fatalf("-shards 7 changed stdout vs -shards 1:\n--- shards=1 ---\n%s\n--- shards=7 ---\n%s", first, sharded)
+	}
+	for _, want := range []string{`"clients": 300`, `"reply_latency_seconds"`, `"p999"`, `"cum_uplink_bytes"`, "round", "fired"} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("output missing %q:\n%s", want, first)
+		}
+	}
+}
+
+// TestSoakRejectsBadFlags keeps flag validation honest: malformed specs fail
+// before any simulation work starts.
+func TestSoakRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-latency", "bogus:1ms"},
+		{"-arrival", "uniform:9ms"},
+		{"-codec", "warp9"},
+		{"-clients", "0"},
+		{"positional"},
+	} {
+		if err := run(append([]string{"-rounds", "1"}, args...), io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v: want error, got nil", args)
+		}
+	}
+}

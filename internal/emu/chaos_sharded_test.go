@@ -429,9 +429,9 @@ func TestRunClusterFastFailReleasesServer(t *testing.T) {
 	cfg := clusterConfig(t, 2, 3, nil)
 	cfg.ClientData[1] = nil // client 1 fails validation before dialing
 	cfg.DialTimeout = 60 * time.Second
-	start := time.Now()
+	start := now()
 	_, err := RunCluster(cfg)
-	elapsed := time.Since(start)
+	elapsed := now().Sub(start)
 	if err == nil || !strings.Contains(err.Error(), "clients") {
 		t.Fatalf("cluster with an unstartable client must fail with a client error, got: %v", err)
 	}

@@ -337,9 +337,9 @@ func TestChaosHungClientCompletesAtDeadline(t *testing.T) {
 	for r := 1; r <= rounds; r++ {
 		plan.Add(2, r, Fault{Kind: FaultDropUpdate})
 	}
-	start := time.Now()
+	start := now()
 	res := chaosCluster(t, clients, rounds, deadline, 2, plan)
-	elapsed := time.Since(start)
+	elapsed := now().Sub(start)
 
 	srv := res.Server
 	if len(srv.History) != rounds {

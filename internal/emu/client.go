@@ -261,8 +261,8 @@ func (s *clientSession) connect() error {
 
 // hello introduces this client on the current connection.
 func (s *clientSession) hello() error {
-	//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters training or accumulation
-	if err := s.conn.SetWriteDeadline(time.Now().Add(s.cfg.RoundTimeout)); err != nil {
+	// I/O deadline only; read through the package clock hook.
+	if err := s.conn.SetWriteDeadline(now().Add(s.cfg.RoundTimeout)); err != nil {
 		return err
 	}
 	n, err := writeFrame(s.conn, msgHello, encodeHello(s.cfg.ID, s.spec))
@@ -297,8 +297,8 @@ func (s *clientSession) writePending() error {
 	if s.pending == nil {
 		return nil
 	}
-	//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters training or accumulation
-	if err := s.conn.SetWriteDeadline(time.Now().Add(s.cfg.RoundTimeout)); err != nil {
+	// I/O deadline only; read through the package clock hook.
+	if err := s.conn.SetWriteDeadline(now().Add(s.cfg.RoundTimeout)); err != nil {
 		return err
 	}
 	n, err := writeFrame(s.conn, s.pending.kind, s.pending.payload)
@@ -314,8 +314,8 @@ func (s *clientSession) writePending() error {
 // connection (and resending any pending reply) when reconnection is on.
 func (s *clientSession) nextFrame() (*frame, error) {
 	for cycle := 0; ; cycle++ {
-		//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters training or accumulation
-		if err := s.conn.SetReadDeadline(time.Now().Add(s.cfg.RoundTimeout)); err != nil {
+		// I/O deadline only; read through the package clock hook.
+		if err := s.conn.SetReadDeadline(now().Add(s.cfg.RoundTimeout)); err != nil {
 			if rerr := s.recover(err, cycle); rerr != nil {
 				return nil, rerr
 			}

@@ -1,0 +1,27 @@
+package emu
+
+import (
+	"time"
+
+	"cmfl/internal/vclock"
+)
+
+// clock is the package's single time source. Every round-timing read in
+// emu — I/O deadlines, elapsed-time assertions in the chaos suite — goes
+// through now() instead of calling time.Now directly, so the emulation and
+// the discrete-event simulation (internal/sim) share one time abstraction
+// (vclock.Clock) and no wall-clock read can sneak into aggregation
+// unaudited. The production clock is the wall clock; only tests swap it.
+var clock vclock.Clock = vclock.Wall{}
+
+// now reads the package clock.
+func now() time.Time { return clock.Now() }
+
+// setClock swaps the package clock and returns a restore func. Test-only:
+// the swap is not synchronized against concurrently running servers, so
+// callers must install the fake before starting any cluster.
+func setClock(c vclock.Clock) (restore func()) {
+	prev := clock
+	clock = c
+	return func() { clock = prev }
+}

@@ -1,0 +1,34 @@
+package emu
+
+import (
+	"testing"
+	"time"
+
+	"cmfl/internal/vclock"
+)
+
+// TestClockHookRoutesTimingReads pins the satellite contract of the sim PR:
+// every round-timing read in emu goes through the package clock hook, so a
+// swapped clock is what now() reports. Behavioural equivalence of the wall
+// default is asserted by the whole chaos suite (elapsed-time bounds there
+// read the same hook they are timing).
+func TestClockHookRoutesTimingReads(t *testing.T) {
+	base := time.Unix(42, 0)
+	fake := vclock.NewFixed(base)
+	restore := setClock(fake)
+	defer restore()
+
+	if got := now(); !got.Equal(base) {
+		t.Fatalf("now() = %v, want the fake clock's %v", got, base)
+	}
+	fake.Advance(7 * time.Second)
+	if got := now(); !got.Equal(base.Add(7 * time.Second)) {
+		t.Fatalf("now() = %v after Advance, want %v", got, base.Add(7*time.Second))
+	}
+
+	restore()
+	wall := now()
+	if wall.Before(time.Now().Add(-time.Minute)) || wall.After(time.Now().Add(time.Minute)) {
+		t.Fatalf("restored clock reads %v, want wall time", wall)
+	}
+}

@@ -120,7 +120,7 @@ func FuzzQuorum(f *testing.F) {
 	f.Add(uint8(1), []byte{0, 0xFF, 4, 0x10, 0, 0x01, 8, 0x00})
 	f.Fuzz(func(t *testing.T, nClients uint8, ops []byte) {
 		clients := int(nClients%8) + 1
-		q := newQuorumState(clients)
+		q := NewQuorum(clients)
 		round := 0
 		for i := 0; i+1 < len(ops); i += 2 {
 			op, arg := ops[i], ops[i+1]
@@ -130,11 +130,11 @@ func FuzzQuorum(f *testing.F) {
 				for j := range expected {
 					expected[j] = arg&(1<<(j%8)) != 0
 				}
-				q.beginRound(round, expected)
+				q.BeginRound(round, expected)
 			} else {
 				// Client ids straddle [0, clients); rounds straddle the
 				// current one in both directions.
-				q.classify(int(arg%16)-4, round+int(op%5)-2)
+				q.Classify(int(arg%16)-4, round+int(op%5)-2)
 			}
 			checkQuorumInvariants(t, q)
 		}

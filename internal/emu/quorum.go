@@ -2,48 +2,53 @@ package emu
 
 import "sort"
 
-// frameVerdict classifies one reply frame against the current round.
-type frameVerdict uint8
+// Verdict classifies one reply frame against the current round.
+type Verdict uint8
 
 const (
-	// verdictAccept: a first reply for the current round — aggregate it.
-	verdictAccept frameVerdict = iota
-	// verdictDuplicate: the client already replied this round (e.g. a
+	// VerdictAccept: a first reply for the current round — aggregate it.
+	VerdictAccept Verdict = iota
+	// VerdictDuplicate: the client already replied this round (e.g. a
 	// resend after reconnect whose original did arrive). Drained, counted,
 	// never aggregated twice.
-	verdictDuplicate
-	// verdictLate: a reply to an earlier round whose deadline already cut
+	VerdictDuplicate
+	// VerdictLate: a reply to an earlier round whose deadline already cut
 	// the sender off. Drained and counted; the aggregate is immutable.
-	verdictLate
-	// verdictFuture: a reply to a round the server has not broadcast yet —
+	VerdictLate
+	// VerdictFuture: a reply to a round the server has not broadcast yet —
 	// a protocol violation, the connection cannot be trusted.
-	verdictFuture
-	// verdictUnknown: client id outside [0, clients).
-	verdictUnknown
+	VerdictFuture
+	// VerdictUnknown: client id outside [0, clients).
+	VerdictUnknown
 )
 
-func (v frameVerdict) String() string {
+func (v Verdict) String() string {
 	switch v {
-	case verdictAccept:
+	case VerdictAccept:
 		return "accept"
-	case verdictDuplicate:
+	case VerdictDuplicate:
 		return "duplicate"
-	case verdictLate:
+	case VerdictLate:
 		return "late"
-	case verdictFuture:
+	case VerdictFuture:
 		return "future"
-	case verdictUnknown:
+	case VerdictUnknown:
 		return "unknown"
 	}
 	return "invalid"
 }
 
-// quorumState is the master's per-round reply bookkeeping: which clients the
+// Quorum is the per-round reply bookkeeping shared by every aggregation
+// loop that enforces RoundDeadline/MinQuorum semantics: which clients the
 // round's model broadcast reached, which have replied, and what to do with
-// frames that arrive outside their round. It is a pure state machine — no
-// I/O, no clock — so the FuzzQuorum target can drive it with arbitrary
-// sequences and check its invariants directly.
-type quorumState struct {
+// frames that arrive outside their round. The TCP emulation's shard
+// aggregators drive it with real frames; the discrete-event simulation
+// (internal/sim) drives the identical machine with virtual-time arrival
+// events, so the two engines cannot diverge on straggler or duplicate
+// semantics. It is a pure state machine — no I/O, no clock — so the
+// FuzzQuorum target can drive it with arbitrary sequences and check its
+// invariants directly.
+type Quorum struct {
 	clients int
 	round   int
 
@@ -62,17 +67,18 @@ type quorumState struct {
 	dupFrames  int
 }
 
-func newQuorumState(clients int) *quorumState {
-	return &quorumState{
+// NewQuorum builds the reply tracker for a fixed client population.
+func NewQuorum(clients int) *Quorum {
+	return &Quorum{
 		clients:  clients,
 		expected: make([]bool, clients),
 		replied:  make([]bool, clients),
 	}
 }
 
-// beginRound arms the tracker for the given round. expected[i] reports
+// BeginRound arms the tracker for the given round. expected[i] reports
 // whether the model broadcast reached client i (missing entries are false).
-func (q *quorumState) beginRound(round int, expected []bool) {
+func (q *Quorum) BeginRound(round int, expected []bool) {
 	q.round = round
 	q.expectedCount = 0
 	q.accepted = 0
@@ -85,21 +91,23 @@ func (q *quorumState) beginRound(round int, expected []bool) {
 	}
 }
 
-// classify routes one reply frame tagged (client, round).
-func (q *quorumState) classify(client, round int) frameVerdict {
+// Classify routes one reply frame tagged (client, round).
+//
+//cmfl:hotpath
+func (q *Quorum) Classify(client, round int) Verdict {
 	if client < 0 || client >= q.clients {
-		return verdictUnknown
+		return VerdictUnknown
 	}
 	switch {
 	case round < q.round:
 		q.lateFrames++
-		return verdictLate
+		return VerdictLate
 	case round > q.round:
-		return verdictFuture
+		return VerdictFuture
 	}
 	if q.replied[client] {
 		q.dupFrames++
-		return verdictDuplicate
+		return VerdictDuplicate
 	}
 	if !q.expected[client] {
 		q.expected[client] = true
@@ -107,16 +115,39 @@ func (q *quorumState) classify(client, round int) frameVerdict {
 	}
 	q.replied[client] = true
 	q.accepted++
-	return verdictAccept
+	return VerdictAccept
 }
 
-// complete reports whether every expected client has replied — the fast
+// Complete reports whether every expected client has replied — the fast
 // path that lets healthy rounds finish without waiting for the deadline.
-func (q *quorumState) complete() bool { return q.accepted >= q.expectedCount }
+//
+//cmfl:hotpath
+func (q *Quorum) Complete() bool { return q.accepted >= q.expectedCount }
 
-// stragglers lists the expected clients that have not replied, ascending —
+// Accepted returns the number of replies aggregated this round.
+func (q *Quorum) Accepted() int { return q.accepted }
+
+// Expected returns the number of clients that owe a reply this round
+// (broadcast reached plus promotions).
+func (q *Quorum) Expected() int { return q.expectedCount }
+
+// StragglerCount returns how many expected clients have not replied,
+// without materialising the id list — the million-client simulation reads
+// this every round where Stragglers would allocate.
+func (q *Quorum) StragglerCount() int { return q.expectedCount - q.accepted }
+
+// Replied reports whether client's reply was accepted this round. Clients
+// outside [0, clients) have not replied.
+func (q *Quorum) Replied(client int) bool {
+	return client >= 0 && client < q.clients && q.replied[client]
+}
+
+// DrainCounts returns the cumulative late and duplicate frame tallies.
+func (q *Quorum) DrainCounts() (late, dups int) { return q.lateFrames, q.dupFrames }
+
+// Stragglers lists the expected clients that have not replied, ascending —
 // the set excluded when the deadline fires.
-func (q *quorumState) stragglers() []int {
+func (q *Quorum) Stragglers() []int {
 	var out []int
 	for i := range q.expected {
 		if q.expected[i] && !q.replied[i] {

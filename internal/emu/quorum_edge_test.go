@@ -1,0 +1,194 @@
+package emu
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQuorumDeadlineEdges drives the state machine through the reply
+// patterns a deadline can cut off, table-driven, and checks the quantities
+// tree.go judges the global quorum with: accepted vs the minimum at the
+// instant the deadline would fire.
+func TestQuorumDeadlineEdges(t *testing.T) {
+	cases := []struct {
+		name      string
+		clients   int
+		expected  []int // clients the broadcast reached
+		replies   []int // clients that reply in time, in order
+		minQuorum int
+		wantOK    bool // quorum met when the deadline fires
+		wantAcc   int
+		wantStrag int
+	}{
+		{
+			name:    "exactly met at deadline",
+			clients: 4, expected: []int{0, 1, 2, 3}, replies: []int{0, 2},
+			minQuorum: 2, wantOK: true, wantAcc: 2, wantStrag: 2,
+		},
+		{
+			name:    "one short at deadline",
+			clients: 4, expected: []int{0, 1, 2, 3}, replies: []int{3},
+			minQuorum: 2, wantOK: false, wantAcc: 1, wantStrag: 3,
+		},
+		{
+			name:    "all stragglers",
+			clients: 3, expected: []int{0, 1, 2}, replies: nil,
+			minQuorum: 1, wantOK: false, wantAcc: 0, wantStrag: 3,
+		},
+		{
+			name:    "promotion lifts accepted to the floor",
+			clients: 3, expected: []int{0}, replies: []int{1, 2},
+			minQuorum: 2, wantOK: true, wantAcc: 2, wantStrag: 1,
+		},
+		{
+			name:    "full quorum finishes before the deadline",
+			clients: 2, expected: []int{0, 1}, replies: []int{1, 0},
+			minQuorum: 2, wantOK: true, wantAcc: 2, wantStrag: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := NewQuorum(tc.clients)
+			q.BeginRound(7, mask(tc.clients, tc.expected...))
+			for _, c := range tc.replies {
+				if v := q.Classify(c, 7); v != VerdictAccept {
+					t.Fatalf("reply from %d = %v, want accept", c, v)
+				}
+			}
+			if got := q.Accepted() >= tc.minQuorum; got != tc.wantOK {
+				t.Fatalf("quorum met = %v (accepted %d, min %d), want %v",
+					got, q.Accepted(), tc.minQuorum, tc.wantOK)
+			}
+			if q.Accepted() != tc.wantAcc {
+				t.Fatalf("accepted = %d, want %d", q.Accepted(), tc.wantAcc)
+			}
+			if q.StragglerCount() != tc.wantStrag {
+				t.Fatalf("straggler count = %d, want %d", q.StragglerCount(), tc.wantStrag)
+			}
+			if got := len(q.Stragglers()); got != tc.wantStrag {
+				t.Fatalf("len(Stragglers()) = %d, disagrees with StragglerCount %d", got, tc.wantStrag)
+			}
+			if full := q.Accepted() == q.Expected(); full != q.Complete() {
+				t.Fatalf("Complete() = %v, accepted %d of %d", q.Complete(), q.Accepted(), q.Expected())
+			}
+		})
+	}
+}
+
+// TestQuorumDuplicateAtRoundBoundary pins what happens to a resend that
+// crosses BeginRound: inside the round it is a duplicate; once the next
+// round is armed the same frame is late. Neither is ever aggregated, and
+// both drain tallies survive the boundary.
+func TestQuorumDuplicateAtRoundBoundary(t *testing.T) {
+	cases := []struct {
+		name  string
+		steps []struct {
+			client, round int
+			want          Verdict
+		}
+		wantLate, wantDup int
+	}{
+		{
+			name: "resend after accept, then round advances",
+			steps: []struct {
+				client, round int
+				want          Verdict
+			}{
+				{0, 1, VerdictAccept},
+				{0, 1, VerdictDuplicate}, // resend inside the round
+				{1, 1, VerdictAccept},
+				{0, 2, VerdictAccept},    // round advanced below
+				{0, 1, VerdictLate},      // same resend, now across the boundary
+				{0, 2, VerdictDuplicate}, // dup classification resets per round
+			},
+			wantLate: 1, wantDup: 2,
+		},
+		{
+			name: "duplicate storm straddling the boundary",
+			steps: []struct {
+				client, round int
+				want          Verdict
+			}{
+				{1, 1, VerdictAccept},
+				{1, 1, VerdictDuplicate},
+				{1, 1, VerdictDuplicate},
+				{1, 2, VerdictAccept}, // round advanced below
+				{1, 1, VerdictLate},
+				{1, 1, VerdictLate},
+			},
+			wantLate: 2, wantDup: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := NewQuorum(2)
+			q.BeginRound(1, mask(2, 0, 1))
+			round := 1
+			for i, s := range tc.steps {
+				if s.round > round && s.want == VerdictAccept {
+					round = s.round
+					q.BeginRound(round, mask(2, 0, 1))
+				}
+				if v := q.Classify(s.client, s.round); v != s.want {
+					t.Fatalf("step %d: Classify(%d, %d) = %v, want %v", i, s.client, s.round, v, s.want)
+				}
+				checkQuorumInvariants(t, q)
+			}
+			late, dups := q.DrainCounts()
+			if late != tc.wantLate || dups != tc.wantDup {
+				t.Fatalf("drain counts = %d late / %d dup, want %d/%d", late, dups, tc.wantLate, tc.wantDup)
+			}
+		})
+	}
+}
+
+// TestChaosMinQuorumExactlyMetAtDeadline runs a real cluster where the
+// deadline fires with accepted == MinQuorum exactly: two of three clients
+// drop every reply, the floor is one. The round must aggregate (not abort)
+// and the droppers must be recorded as stragglers.
+func TestChaosMinQuorumExactlyMetAtDeadline(t *testing.T) {
+	plan := NewFaultPlan().
+		Add(1, 1, Fault{Kind: FaultDropUpdate}).Add(2, 1, Fault{Kind: FaultDropUpdate}).
+		Add(1, 2, Fault{Kind: FaultDropUpdate}).Add(2, 2, Fault{Kind: FaultDropUpdate})
+	res := chaosCluster(t, 3, 2, 700*time.Millisecond, 1, plan)
+	if got := len(res.Server.History); got != 2 {
+		t.Fatalf("aggregated %d rounds, want 2 (quorum exactly met must not abort)", got)
+	}
+	if res.Server.StragglerCounts[0] != 0 {
+		t.Fatalf("client 0 replied every round but has %d straggler rounds", res.Server.StragglerCounts[0])
+	}
+	for c := 1; c <= 2; c++ {
+		if res.Server.StragglerCounts[c] != 2 {
+			t.Fatalf("client %d dropped both rounds but has %d straggler rounds", c, res.Server.StragglerCounts[c])
+		}
+	}
+}
+
+// TestChaosAllStragglerAbortMessage runs the all-straggler abort twice and
+// asserts the quorum error is (a) the deadline-fired variant with its full
+// accounting and (b) stable across runs — downstream tooling greps for it.
+func TestChaosAllStragglerAbortMessage(t *testing.T) {
+	run := func() error {
+		plan := NewFaultPlan().
+			Add(0, 1, Fault{Kind: FaultDropUpdate}).Add(1, 1, Fault{Kind: FaultDropUpdate})
+		cfg := clusterConfig(t, 2, 3, nil)
+		cfg.DialTimeout = 10 * time.Second
+		cfg.RoundDeadline = 500 * time.Millisecond
+		cfg.MinQuorum = 1
+		cfg.Faults = plan
+		_, err := RunCluster(cfg)
+		return err
+	}
+	first, second := run(), run()
+	if first == nil || second == nil {
+		t.Fatalf("all-straggler round must abort, got %v / %v", first, second)
+	}
+	want := "emu: round 1: quorum not met at deadline 500ms: 0 of 2 replies (minimum 1)"
+	if !strings.Contains(first.Error(), want) {
+		t.Fatalf("abort error = %q, want it to contain %q", first, want)
+	}
+	if first.Error() != second.Error() {
+		t.Fatalf("abort message unstable across reruns:\n  first:  %q\n  second: %q", first, second)
+	}
+}

@@ -14,44 +14,44 @@ func mask(clients int, on ...int) []bool {
 }
 
 func TestQuorumHappyPath(t *testing.T) {
-	q := newQuorumState(3)
-	q.beginRound(1, mask(3, 0, 1, 2))
-	if q.complete() {
+	q := NewQuorum(3)
+	q.BeginRound(1, mask(3, 0, 1, 2))
+	if q.Complete() {
 		t.Fatal("complete before any reply")
 	}
 	for i := 0; i < 3; i++ {
-		if v := q.classify(i, 1); v != verdictAccept {
+		if v := q.Classify(i, 1); v != VerdictAccept {
 			t.Fatalf("client %d verdict = %v, want accept", i, v)
 		}
 	}
-	if !q.complete() {
+	if !q.Complete() {
 		t.Fatal("not complete after all replies")
 	}
-	if got := q.stragglers(); len(got) != 0 {
+	if got := q.Stragglers(); len(got) != 0 {
 		t.Fatalf("stragglers = %v, want none", got)
 	}
 }
 
 func TestQuorumVerdicts(t *testing.T) {
-	q := newQuorumState(4)
-	q.beginRound(2, mask(4, 0, 1, 2)) // client 3's broadcast failed
+	q := NewQuorum(4)
+	q.BeginRound(2, mask(4, 0, 1, 2)) // client 3's broadcast failed
 
-	if v := q.classify(0, 2); v != verdictAccept {
+	if v := q.Classify(0, 2); v != VerdictAccept {
 		t.Fatalf("first reply = %v, want accept", v)
 	}
-	if v := q.classify(0, 2); v != verdictDuplicate {
+	if v := q.Classify(0, 2); v != VerdictDuplicate {
 		t.Fatalf("second reply = %v, want duplicate", v)
 	}
-	if v := q.classify(1, 1); v != verdictLate {
+	if v := q.Classify(1, 1); v != VerdictLate {
 		t.Fatalf("old-round reply = %v, want late", v)
 	}
-	if v := q.classify(1, 3); v != verdictFuture {
+	if v := q.Classify(1, 3); v != VerdictFuture {
 		t.Fatalf("future-round reply = %v, want future", v)
 	}
-	if v := q.classify(-1, 2); v != verdictUnknown {
+	if v := q.Classify(-1, 2); v != VerdictUnknown {
 		t.Fatalf("negative client = %v, want unknown", v)
 	}
-	if v := q.classify(4, 2); v != verdictUnknown {
+	if v := q.Classify(4, 2); v != VerdictUnknown {
 		t.Fatalf("out-of-range client = %v, want unknown", v)
 	}
 	if q.dupFrames != 1 || q.lateFrames != 1 {
@@ -60,23 +60,23 @@ func TestQuorumVerdicts(t *testing.T) {
 
 	// An unexpected client replying for the current round is promoted into
 	// the expected set and accepted: its update is valid round-2 work.
-	if v := q.classify(3, 2); v != verdictAccept {
+	if v := q.Classify(3, 2); v != VerdictAccept {
 		t.Fatalf("unexpected current-round reply = %v, want accept", v)
 	}
 	if q.expectedCount != 4 || q.accepted != 2 {
 		t.Fatalf("expected/accepted = %d/%d, want 4/2", q.expectedCount, q.accepted)
 	}
-	if got, want := q.stragglers(), []int{1, 2}; !reflect.DeepEqual(got, want) {
+	if got, want := q.Stragglers(), []int{1, 2}; !reflect.DeepEqual(got, want) {
 		t.Fatalf("stragglers = %v, want %v", got, want)
 	}
 }
 
 func TestQuorumBeginRoundResets(t *testing.T) {
-	q := newQuorumState(2)
-	q.beginRound(1, mask(2, 0, 1))
-	q.classify(0, 1)
-	q.classify(0, 1) // dup
-	q.beginRound(2, mask(2, 1))
+	q := NewQuorum(2)
+	q.BeginRound(1, mask(2, 0, 1))
+	q.Classify(0, 1)
+	q.Classify(0, 1) // dup
+	q.BeginRound(2, mask(2, 1))
 
 	if q.expectedCount != 1 || q.accepted != 0 {
 		t.Fatalf("after reset expected/accepted = %d/%d, want 1/0", q.expectedCount, q.accepted)
@@ -87,10 +87,10 @@ func TestQuorumBeginRoundResets(t *testing.T) {
 	}
 	// Client 0 is no longer expected: its round-1 reply is late, a round-2
 	// reply is a promotion.
-	if v := q.classify(0, 1); v != verdictLate {
+	if v := q.Classify(0, 1); v != VerdictLate {
 		t.Fatalf("stale reply after reset = %v, want late", v)
 	}
-	if got, want := q.stragglers(), []int{1}; !reflect.DeepEqual(got, want) {
+	if got, want := q.Stragglers(), []int{1}; !reflect.DeepEqual(got, want) {
 		t.Fatalf("stragglers = %v, want %v", got, want)
 	}
 }
@@ -98,16 +98,16 @@ func TestQuorumBeginRoundResets(t *testing.T) {
 // TestQuorumInvariants mirrors what FuzzQuorum asserts, as a deterministic
 // sanity check that the invariants themselves are satisfiable.
 func TestQuorumInvariants(t *testing.T) {
-	q := newQuorumState(5)
-	q.beginRound(3, mask(5, 0, 2, 4))
+	q := NewQuorum(5)
+	q.BeginRound(3, mask(5, 0, 2, 4))
 	seq := []struct{ c, r int }{{0, 3}, {0, 3}, {2, 2}, {4, 3}, {1, 3}, {3, 4}, {9, 3}}
 	for _, s := range seq {
-		q.classify(s.c, s.r)
+		q.Classify(s.c, s.r)
 		checkQuorumInvariants(t, q)
 	}
 }
 
-func checkQuorumInvariants(t *testing.T, q *quorumState) {
+func checkQuorumInvariants(t *testing.T, q *Quorum) {
 	t.Helper()
 	if q.accepted > q.expectedCount {
 		t.Fatalf("accepted %d > expected %d", q.accepted, q.expectedCount)
@@ -115,10 +115,10 @@ func checkQuorumInvariants(t *testing.T, q *quorumState) {
 	if q.expectedCount > q.clients {
 		t.Fatalf("expected %d > clients %d", q.expectedCount, q.clients)
 	}
-	if got := len(q.stragglers()); got != q.expectedCount-q.accepted {
+	if got := len(q.Stragglers()); got != q.expectedCount-q.accepted {
 		t.Fatalf("stragglers %d != expected-accepted %d", got, q.expectedCount-q.accepted)
 	}
-	for _, id := range q.stragglers() {
+	for _, id := range q.Stragglers() {
 		if q.replied[id] {
 			t.Fatalf("straggler %d has replied", id)
 		}

@@ -632,8 +632,8 @@ func (s *Server) admit(conn net.Conn) {
 		closeQuietly(conn)
 		return
 	}
-	//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters aggregation
-	if err := conn.SetReadDeadline(time.Now().Add(s.cfg.DialTimeout)); err != nil {
+	// I/O deadline only; read through the package clock hook.
+	if err := conn.SetReadDeadline(now().Add(s.cfg.DialTimeout)); err != nil {
 		closeQuietly(conn)
 		return
 	}

@@ -85,7 +85,7 @@ type shardAgg struct {
 	dirs   chan shardDirective
 	parts  chan *shardPartial
 
-	q        *quorumState
+	q        *Quorum
 	acc      *shard.Accumulator
 	decBuf   []float64 // codec decode scratch; folded before the next decode
 	expected []bool    // last broadcast outcome, indexed by global client id
@@ -103,7 +103,7 @@ func newShardAgg(srv *Server, idx int, clients []int, deadline time.Duration, lo
 		events:      make(chan connEvent, queueDepth*len(clients)),
 		dirs:        make(chan shardDirective, 1),
 		parts:       make(chan *shardPartial, 1),
-		q:           newQuorumState(srv.cfg.Clients),
+		q:           NewQuorum(srv.cfg.Clients),
 		acc:         shard.New(0),
 		expected:    make([]bool, srv.cfg.Clients),
 	}
@@ -184,8 +184,9 @@ func (a *shardAgg) broadcast(d shardDirective) *shardPartial {
 		wg.Add(1)
 		go func(li int, conn net.Conn) {
 			defer wg.Done()
-			//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters aggregation
-			if err := conn.SetWriteDeadline(time.Now().Add(a.srv.cfg.RoundTimeout)); err != nil {
+			// I/O deadline only; read through the package clock hook, and
+			// wall-clock never enters aggregation.
+			if err := conn.SetWriteDeadline(now().Add(a.srv.cfg.RoundTimeout)); err != nil {
 				errs[li] = err
 				return
 			}
@@ -236,8 +237,8 @@ func (a *shardAgg) done(shardDirective) *shardPartial {
 		wg.Add(1)
 		go func(conn net.Conn) {
 			defer wg.Done()
-			//cmfl:lint-ignore deterministicorder I/O deadline only; wall-clock never enters aggregation
-			if err := conn.SetWriteDeadline(time.Now().Add(a.srv.cfg.RoundTimeout)); err != nil {
+			// I/O deadline only; read through the package clock hook.
+			if err := conn.SetWriteDeadline(now().Add(a.srv.cfg.RoundTimeout)); err != nil {
 				return
 			}
 			if n, err := writeFrame(conn, msgDone, nil); err == nil {
@@ -262,12 +263,12 @@ func (a *shardAgg) done(shardDirective) *shardPartial {
 //
 //cmfl:deterministic
 func (a *shardAgg) gather(d shardDirective) *shardPartial {
-	a.q.beginRound(d.round, a.expected)
+	a.q.BeginRound(d.round, a.expected)
 	a.acc.Reset(d.dim)
 	p := &shardPartial{sum: a.acc}
 	timer := time.NewTimer(a.deadline)
 	defer timer.Stop()
-	for !a.q.complete() {
+	for !a.q.Complete() {
 		select {
 		case ev := <-a.events:
 			if err := a.handleEvent(d, ev, p); err != nil {
@@ -276,9 +277,9 @@ func (a *shardAgg) gather(d shardDirective) *shardPartial {
 			}
 		case <-timer.C:
 			p.deadlineFired = true
-			if a.localQuorum > 0 && a.q.accepted < a.localQuorum {
+			if a.localQuorum > 0 && a.q.Accepted() < a.localQuorum {
 				p.err = fmt.Errorf("emu: shard %d quorum not met at deadline %v: %d of %d replies (minimum %d)",
-					a.idx, a.deadline, a.q.accepted, a.q.expectedCount, a.localQuorum)
+					a.idx, a.deadline, a.q.Accepted(), a.q.Expected(), a.localQuorum)
 				return p
 			}
 			a.finish(p)
@@ -291,9 +292,9 @@ func (a *shardAgg) gather(d shardDirective) *shardPartial {
 
 // finish seals a completed gather partial.
 func (a *shardAgg) finish(p *shardPartial) {
-	p.accepted = a.q.accepted
-	p.expectedEnd = a.q.expectedCount
-	p.stragglers = a.q.stragglers()
+	p.accepted = a.q.Accepted()
+	p.expectedEnd = a.q.Expected()
+	p.stragglers = a.q.Stragglers()
 }
 
 // fatalError marks errors that must abort the run even in fault-tolerant
@@ -321,8 +322,8 @@ func (a *shardAgg) handleEvent(d shardDirective, ev connEvent, p *shardPartial) 
 		return a.connDown(ev.client, ev.gen, d.round, a.frameErr(ev, err), p)
 	}
 	p.wire += ev.wire
-	switch a.q.classify(id, r) {
-	case verdictAccept:
+	switch a.q.Classify(id, r) {
+	case VerdictAccept:
 		if err := a.fold(d, ev.f, id, p); err != nil {
 			var fatal fatalError
 			if errors.As(err, &fatal) {
@@ -330,14 +331,14 @@ func (a *shardAgg) handleEvent(d shardDirective, ev connEvent, p *shardPartial) 
 			}
 			return a.connDown(ev.client, ev.gen, d.round, a.frameErr(ev, err), p)
 		}
-	case verdictLate:
+	case VerdictLate:
 		p.late++
-	case verdictDuplicate:
+	case VerdictDuplicate:
 		p.dups++
-	case verdictFuture:
+	case VerdictFuture:
 		return a.connDown(ev.client, ev.gen, d.round,
 			fmt.Errorf("emu: client %d answered future round %d during round %d", id, r, d.round), p)
-	default: // verdictUnknown
+	default: // VerdictUnknown
 		return a.connDown(ev.client, ev.gen, d.round,
 			fmt.Errorf("emu: reply from unknown client %d", id), p)
 	}

@@ -349,7 +349,7 @@ func (c *client) trainRound(global, feedback []float64, feedbackSigns []int8, lr
 	}
 	privatize(delta, dpClip, dpSigma, c.rng)
 
-	dec, err := checkUpload(filter, delta, global, feedback, feedbackSigns, t)
+	dec, err := CheckUpload(filter, delta, global, feedback, feedbackSigns, t)
 	if err != nil {
 		return localResult{err: err}
 	}
@@ -372,11 +372,13 @@ func (c *client) trainRound(global, feedback []float64, feedbackSigns []int8, lr
 	}
 }
 
-// checkUpload routes the upload decision through the precomputed-sign fast
+// CheckUpload routes the upload decision through the precomputed-sign fast
 // path when the filter supports it, falling back to the general Check.
+// Exported so the discrete-event simulation (internal/sim) gates uploads
+// with the exact decision path the in-process engine uses.
 //
 //cmfl:hotpath
-func checkUpload(filter UploadFilter, delta, global, feedback []float64, feedbackSigns []int8, t int) (core.Decision, error) {
+func CheckUpload(filter UploadFilter, delta, global, feedback []float64, feedbackSigns []int8, t int) (core.Decision, error) {
 	if sc, ok := filter.(SignChecker); ok {
 		if dec, handled, err := sc.CheckSigns(delta, feedbackSigns, t); handled || err != nil {
 			return dec, err

@@ -34,6 +34,7 @@ var EnginePackages = map[string]bool{
 	"cmfl/internal/mtl":  true,
 	"cmfl/internal/emu":  true,
 	"cmfl/internal/core": true,
+	"cmfl/internal/sim":  true,
 }
 
 func runDeterministicOrder(pass *Pass) {

@@ -49,6 +49,7 @@ var SeedTaintPackages = map[string]bool{
 	"cmfl/internal/fl":    true,
 	"cmfl/internal/mtl":   true,
 	"cmfl/internal/emu":   true,
+	"cmfl/internal/sim":   true,
 	"cmfl/internal/xrand": true,
 }
 
@@ -103,7 +104,7 @@ func checkSeedCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 		return
 	}
 
-	if isXrandFunc(fn, "Derive") && len(call.Args) >= 2 {
+	if isXrandDerive(fn) && len(call.Args) >= 2 {
 		// R2: constant purpose.
 		purpose, ok := constStringValue(pass.Pkg, call.Args[1])
 		if !ok {
@@ -136,6 +137,12 @@ func checkSeedCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 			pass.Reportf(arg.Pos(), "raw seed crosses the package boundary into %s.%s: derive the stream at the source or route it through a blessed deriver", fn.Pkg().Name(), fn.Name())
 		}
 	}
+}
+
+// isXrandDerive matches the purpose-keyed derivers: Derive and its
+// compact-state sibling DeriveCompact share R2/R3/R4 and one purpose pool.
+func isXrandDerive(fn *types.Func) bool {
+	return isXrandFunc(fn, "Derive") || isXrandFunc(fn, "DeriveCompact")
 }
 
 // isXrandFunc matches the module's xrand package by path suffix so fixture
@@ -238,7 +245,7 @@ func blessedUse(mod *Module, pkg *Package, decl *ast.FuncDecl, id *ast.Ident, vi
 			if callee == nil {
 				return false
 			}
-			if isXrandFunc(callee, "Derive") || isXrandFunc(callee, "New") {
+			if isXrandDerive(callee) || isXrandFunc(callee, "New") {
 				return argIdx == 0
 			}
 			return blessedSeedParam(mod, callee, argIdx, visiting)

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventLoopSteadyState is the scheduler's inner loop in isolation:
+// one pop and one re-push against a warm heap, the operation the simulation
+// performs once per reply. The pinned baseline is 0 allocs/op — the heap's
+// capacity is retained across rounds, so steady state never touches the
+// allocator (the //cmfl:hotpath annotations make cmfl-vet prove it
+// statically; this benchmark measures it dynamically).
+func BenchmarkEventLoopSteadyState(b *testing.B) {
+	var h eventHeap
+	const inflight = 4096
+	for i := 0; i < inflight; i++ {
+		h.push(Event{At: time.Duration(i%97) * time.Millisecond, Kind: EventArrive, Client: i, Round: 1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, ok := h.pop()
+		if !ok {
+			b.Fatal("heap drained")
+		}
+		ev.At += time.Duration(i%13) * time.Millisecond
+		h.push(ev)
+	}
+}
+
+// BenchmarkEventLoop100k is the 100k-client smoke at the event-loop level:
+// schedule one full round's replies plus the deadline, then drain to the
+// deadline — the exact push/drain pattern Run executes per round, minus
+// training. After the first round grows the heap to population size, every
+// subsequent round must run allocation-free inside the retained capacity.
+func BenchmarkEventLoop100k(b *testing.B) {
+	const clients = 100_000
+	var h eventHeap
+	// Warm the heap to population capacity; Run pays this growth once on the
+	// first round, and it is the only allocation the scheduler ever makes.
+	for c := 0; c <= clients; c++ {
+		h.push(Event{At: time.Duration(c), Round: 0})
+	}
+	for h.len() > 0 {
+		h.pop()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for round := 1; round <= b.N; round++ {
+		base := time.Duration(round) * time.Second
+		for c := 0; c < clients; c++ {
+			h.push(Event{At: base + time.Duration((c*7919)%997)*time.Microsecond, Kind: EventArrive, Client: c, Round: round})
+		}
+		h.push(Event{At: base + time.Millisecond, Kind: EventDeadline, Round: round})
+		drained := 0
+		for {
+			ev, ok := h.pop()
+			if !ok {
+				b.Fatalf("round %d: heap drained after %d events", round, drained)
+			}
+			drained++
+			if ev.Kind == EventDeadline {
+				break
+			}
+		}
+		for h.len() > 0 {
+			h.pop()
+		}
+	}
+}
+
+// TestEventLoopAllocFree enforces the 0 allocs/op contract directly: once
+// the heap has grown to its working set, pop+push cycles allocate nothing.
+func TestEventLoopAllocFree(t *testing.T) {
+	var h eventHeap
+	for i := 0; i < 1024; i++ {
+		h.push(Event{At: time.Duration(i%31) * time.Millisecond, Client: i})
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		ev, ok := h.pop()
+		if !ok {
+			t.Fatal("heap drained")
+		}
+		ev.At += time.Duration(i%7) * time.Millisecond
+		i++
+		h.push(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pop+push allocates %.1f times per op, want 0", allocs)
+	}
+}

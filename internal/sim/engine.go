@@ -1,0 +1,367 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"cmfl/internal/core"
+	"cmfl/internal/emu"
+	"cmfl/internal/fl"
+	"cmfl/internal/nn"
+	"cmfl/internal/telemetry"
+	"cmfl/internal/tensor"
+	"cmfl/internal/xrand"
+)
+
+// clientRound is one client's contribution to the current round, written by
+// its shard worker and consumed by the driving goroutine.
+type clientRound struct {
+	delta     []float64
+	loss      float64
+	upload    bool
+	relevance float64
+	bytes     int64
+	delay     time.Duration
+	err       error
+}
+
+// shardWorker owns the scratch a worker goroutine reuses across rounds: one
+// model replica (reset per client via SetParamVector inside the solver) and
+// one codec encode buffer. Workers touch only per-client state — their own
+// scratch, the client's streams, the client's results slot — so the result
+// is independent of how clients are partitioned onto workers.
+type shardWorker struct {
+	net        *nn.Network
+	encScratch []byte
+}
+
+// Run executes the simulated federated training in virtual time.
+//
+//cmfl:deterministic
+func Run(cfg Config) (*Result, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	n := len(cfg.ClientData)
+	server := cfg.Model()
+	params := server.ParamVector()
+	dim := len(params)
+
+	var met *Families
+	if cfg.Registry != nil {
+		met = MetricFamilies(cfg.Registry)
+	}
+
+	// Per-client streams, fixed for the whole run. Training shuffles come
+	// from fl.ClientStream in compat mode (bit parity with fl.Run) or the
+	// compact splitmix64 derivation otherwise; timing draws (availability,
+	// arrival, latency) always use a compact stream of their own, consumed
+	// strictly in that order within each round.
+	trainRng := make([]*xrand.Stream, n)
+	timingRng := make([]*xrand.Stream, n)
+	for c := 0; c < n; c++ {
+		if cfg.CompatStreams {
+			trainRng[c] = fl.ClientStream(cfg.Seed, c)
+		} else {
+			trainRng[c] = xrand.DeriveCompact(cfg.Seed, "sim-train", c)
+		}
+		timingRng[c] = xrand.DeriveCompact(cfg.Seed, "sim-timing", c)
+	}
+
+	workers := make([]*shardWorker, cfg.Shards)
+	for w := range workers {
+		workers[w] = &shardWorker{net: cfg.Model()}
+	}
+
+	res := &Result{
+		SkipCounts:      make([]int, n),
+		StragglerCounts: make([]int, n),
+		FilterName:      cfg.Filter.Name(),
+	}
+
+	q := emu.NewQuorum(n)
+	var heap eventHeap
+	expected := make([]bool, n)
+	results := make([]clientRound, n)
+
+	feedback := make([]float64, dim) // all zeros: "no feedback yet"
+	var signBuf []int8
+	cumUploads := 0
+	var cumBytes int64
+	var encScratch []byte
+	var decScratch []float64
+	var clock time.Duration // virtual now; rounds advance it monotonically
+
+	for t := 1; t <= cfg.Rounds; t++ {
+		lr := cfg.LR.At(t)
+		roundStart := clock
+
+		var feedbackSigns []int8
+		if !core.AllZero(feedback) {
+			signBuf = core.SignsInto(signBuf[:0], feedback)
+			feedbackSigns = signBuf
+		}
+
+		// Availability draws happen here, on the driving goroutine in
+		// ascending client order, before any worker touches the round.
+		for c := 0; c < n; c++ {
+			expected[c] = cfg.Availability >= 1 || timingRng[c].Float64() < cfg.Availability
+			results[c] = clientRound{}
+		}
+
+		// Fan the per-client work out to the shard workers: train, gate,
+		// size the payload, draw the reply delay. Contiguous blocks keep
+		// each worker's memory access local; any partition would produce
+		// the same results.
+		var wg sync.WaitGroup
+		per := (n + cfg.Shards - 1) / cfg.Shards
+		for w := 0; w < cfg.Shards; w++ {
+			lo, hi := w*per, (w+1)*per
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w *shardWorker, lo, hi int) {
+				defer wg.Done()
+				w.round(&cfg, lo, hi, t, lr, params, feedback, feedbackSigns, expected, results, trainRng, timingRng)
+			}(workers[w], lo, hi)
+		}
+		wg.Wait()
+		for c := 0; c < n; c++ {
+			if results[c].err != nil {
+				return nil, fmt.Errorf("sim: round %d client %d: %w", t, c, results[c].err)
+			}
+		}
+
+		// Schedule the round: every expected reply in ascending client
+		// order, then the deadline. The push order is the (time, seq)
+		// tie-break, so zero-latency replies drain in client order and a
+		// reply landing exactly on the deadline beats the deadline event.
+		q.BeginRound(t, expected)
+		for c := 0; c < n; c++ {
+			if expected[c] {
+				heap.push(Event{At: roundStart + results[c].delay, Kind: EventArrive, Client: c, Round: t})
+			}
+		}
+		if cfg.RoundDeadline > 0 {
+			heap.push(Event{At: roundStart + cfg.RoundDeadline, Kind: EventDeadline, Round: t})
+		}
+
+		// Drain events in virtual-time order until the round closes: all
+		// expected replies in, or the deadline fires. Events tagged with
+		// earlier rounds are the straggler tail — replies drain as late
+		// frames; outrun deadlines are inert.
+		deadlineFired := false
+		roundEnd := roundStart
+		for !q.Complete() {
+			ev, ok := heap.pop()
+			if !ok {
+				return nil, fmt.Errorf("sim: round %d: event heap drained with %d of %d replies outstanding", t, q.Accepted(), q.Expected())
+			}
+			if ev.Round != t {
+				if ev.Kind == EventArrive {
+					if v := q.Classify(ev.Client, ev.Round); v != emu.VerdictLate {
+						return nil, fmt.Errorf("sim: round %d: stale reply from client %d classified %v, want late", t, ev.Client, v)
+					}
+					res.LateReplies++
+					if met != nil {
+						met.LateReplies.Inc()
+					}
+				}
+				continue
+			}
+			switch ev.Kind {
+			case EventDeadline:
+				deadlineFired = true
+				roundEnd = ev.At
+			case EventArrive:
+				switch v := q.Classify(ev.Client, ev.Round); v {
+				case emu.VerdictAccept:
+					roundEnd = ev.At
+					if met != nil {
+						met.ReplyLatency.Observe((ev.At - roundStart).Seconds())
+						met.ReplyBytes.Observe(float64(results[ev.Client].bytes))
+					}
+				case emu.VerdictDuplicate, emu.VerdictLate, emu.VerdictFuture, emu.VerdictUnknown:
+					return nil, fmt.Errorf("sim: round %d: current-round reply from client %d classified %v", t, ev.Client, v)
+				}
+			}
+			if deadlineFired {
+				break
+			}
+		}
+		if accepted := q.Accepted(); accepted < cfg.MinQuorum {
+			if deadlineFired {
+				return nil, fmt.Errorf("sim: round %d: quorum not met at deadline %v: %d of %d replies (minimum %d)",
+					t, cfg.RoundDeadline, accepted, q.Expected(), cfg.MinQuorum)
+			}
+			return nil, fmt.Errorf("sim: round %d: only %d replies possible (minimum %d)", t, accepted, cfg.MinQuorum)
+		}
+
+		// Aggregate the accepted uploads in ascending client order — the
+		// same accumulation order as fl.Run, regardless of arrival order
+		// or shard count.
+		globalUpdate := make([]float64, dim)
+		uploaded := 0
+		var weightSum, lossSum, relSum float64
+		var uploadBytes int64
+		trained, relCount := 0, 0
+		for c := 0; c < n; c++ {
+			if !expected[c] {
+				continue
+			}
+			r := &results[c]
+			lossSum += r.loss
+			trained++
+			if !math.IsNaN(r.relevance) {
+				relSum += r.relevance
+				relCount++
+			}
+			if !q.Replied(c) {
+				res.StragglerCounts[c]++
+				continue
+			}
+			if !r.upload {
+				res.SkipCounts[c]++
+				uploadBytes += fl.SkipNotificationBytes
+				continue
+			}
+			delta := r.delta
+			if cfg.Compressor != nil {
+				payload, err := cfg.Compressor.EncodeInto(encScratch, delta)
+				if err != nil {
+					return nil, fmt.Errorf("sim: round %d client %d encode: %w", t, c, err)
+				}
+				encScratch = payload
+				decoded, err := cfg.Compressor.DecodeInto(decScratch, payload, dim)
+				if err != nil {
+					return nil, fmt.Errorf("sim: round %d client %d decode: %w", t, c, err)
+				}
+				decScratch = decoded
+				delta = decoded
+			}
+			uploadBytes += r.bytes
+			tensor.Axpy(1, delta, globalUpdate)
+			weightSum++
+			uploaded++
+		}
+		if uploaded > 0 {
+			tensor.ScaleVec(1/weightSum, globalUpdate)
+			tensor.Axpy(1, globalUpdate, params)
+			feedback = globalUpdate
+		}
+		cumUploads += uploaded
+		cumBytes += uploadBytes
+
+		if obs, ok := cfg.Filter.(fl.FilterFeedback); ok {
+			obs.ObserveRound(t, uploaded, q.Expected())
+		}
+
+		clock = roundEnd
+		stats := RoundStats{
+			RoundEvent: telemetry.RoundEvent{
+				Engine:         telemetry.EngineSim,
+				Round:          t,
+				Participants:   q.Expected(),
+				Uploaded:       uploaded,
+				Skipped:        q.Accepted() - uploaded,
+				CumUploads:     cumUploads,
+				CumUplinkBytes: cumBytes,
+				Dropped:        q.StragglerCount(),
+				Accuracy:       math.NaN(),
+			},
+			VirtualStart:  roundStart,
+			VirtualEnd:    roundEnd,
+			DeadlineFired: deadlineFired,
+			TrainLoss:     math.NaN(),
+			MeanRelevance: math.NaN(),
+		}
+		if trained > 0 {
+			stats.TrainLoss = lossSum / float64(trained)
+		}
+		if relCount > 0 {
+			stats.MeanRelevance = relSum / float64(relCount)
+		}
+		if met != nil {
+			met.RoundDuration.Observe((roundEnd - roundStart).Seconds())
+		}
+		res.History = append(res.History, stats)
+		if len(cfg.Observers) > 0 {
+			for c := 0; c < n; c++ {
+				if !q.Replied(c) {
+					continue
+				}
+				telemetry.EmitClient(cfg.Observers, telemetry.ClientEvent{
+					Engine:      telemetry.EngineSim,
+					Round:       t,
+					Client:      c,
+					Uploaded:    results[c].upload,
+					Relevance:   results[c].relevance,
+					UplinkBytes: results[c].bytes,
+				})
+			}
+			telemetry.EmitRound(cfg.Observers, stats.RoundEvent)
+		}
+	}
+
+	res.FinalParams = append([]float64(nil), params...)
+	res.VirtualDuration = clock
+	return res, nil
+}
+
+// round processes the worker's client block for one round: local training,
+// the upload gate, payload sizing and the reply-delay draw. Everything here
+// is per-client pure computation — no event scheduling, no aggregation —
+// which is what makes the run invariant to the shard count.
+func (w *shardWorker) round(cfg *Config, lo, hi, t int, lr float64, params, feedback []float64, feedbackSigns []int8, expected []bool, results []clientRound, trainRng, timingRng []*xrand.Stream) {
+	dim := len(params)
+	for c := lo; c < hi; c++ {
+		if !expected[c] {
+			continue
+		}
+		r := &results[c]
+		delta, loss, err := fl.LocalTrainProx(w.net, cfg.ClientData[c], params, lr, cfg.Epochs, cfg.Batch, 0, trainRng[c])
+		if err != nil {
+			r.err = err
+			continue
+		}
+		dec, err := fl.CheckUpload(cfg.Filter, delta, params, feedback, feedbackSigns, t)
+		if err != nil {
+			r.err = err
+			continue
+		}
+		rel := math.NaN()
+		if len(feedbackSigns) > 0 {
+			if v, err := core.SignAgreement(delta, feedbackSigns); err == nil {
+				rel = v
+			}
+		}
+		bytes := int64(fl.SkipNotificationBytes)
+		if dec.Upload {
+			if cfg.Compressor != nil {
+				payload, err := cfg.Compressor.EncodeInto(w.encScratch, delta)
+				if err != nil {
+					r.err = err
+					continue
+				}
+				w.encScratch = payload
+				bytes = int64(len(payload))
+			} else {
+				bytes = int64(dim) * 8
+			}
+		}
+		delay := cfg.Arrival.Sample(timingRng[c]) + cfg.Latency.Sample(timingRng[c])
+		if cfg.BandwidthBytesPerSec > 0 {
+			delay += time.Duration(float64(bytes) / cfg.BandwidthBytesPerSec * float64(time.Second))
+		}
+		if delay < 0 {
+			delay = 0
+		}
+		r.delta, r.loss, r.upload, r.relevance, r.bytes, r.delay = delta, loss, dec.Upload, rel, bytes, delay
+	}
+}

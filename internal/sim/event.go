@@ -1,0 +1,99 @@
+package sim
+
+import "time"
+
+// EventKind distinguishes the two occurrences the virtual clock schedules.
+type EventKind uint8
+
+const (
+	// EventArrive is a client's uplink reply (update or skip notification)
+	// reaching the server.
+	EventArrive EventKind = iota
+	// EventDeadline is a round's quorum deadline firing.
+	EventDeadline
+)
+
+// Event is one scheduled occurrence in virtual time. At is the virtual
+// timestamp (duration since simulation start); Seq is the push sequence
+// number that breaks ties between events scheduled for the same instant, so
+// equal-timestamp events always drain in the order they were scheduled —
+// the property that makes the whole engine's float accumulation order a
+// pure function of the seed.
+type Event struct {
+	At     time.Duration
+	Seq    uint64
+	Kind   EventKind
+	Client int
+	Round  int
+}
+
+// eventLess orders the heap by (At, Seq): earliest first, FIFO on ties.
+func eventLess(a, b Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.Seq < b.Seq
+}
+
+// eventHeap is a binary min-heap of Events ordered by eventLess. It is the
+// simulation's entire scheduler state: one flat slice, no container/heap
+// interface boxing, no per-event allocation. Capacity grows to the maximum
+// number of in-flight events (≤ clients + rounds) and is reused for the
+// rest of the run, so the steady-state push/pop path never allocates.
+type eventHeap struct {
+	events []Event
+	seq    uint64
+}
+
+// push schedules an event, stamping its tie-break sequence number.
+//
+//cmfl:hotpath
+func (h *eventHeap) push(e Event) {
+	e.Seq = h.seq
+	h.seq++
+	//cmfl:lint-ignore hotpathalloc amortized grow-only resize; steady state runs inside retained capacity
+	h.events = append(h.events, e)
+	i := len(h.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h.events[i], h.events[parent]) {
+			break
+		}
+		h.events[i], h.events[parent] = h.events[parent], h.events[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event; ok is false on an empty heap.
+//
+//cmfl:hotpath
+func (h *eventHeap) pop() (e Event, ok bool) {
+	n := len(h.events)
+	if n == 0 {
+		return Event{}, false
+	}
+	top := h.events[0]
+	h.events[0] = h.events[n-1]
+	h.events = h.events[:n-1]
+	n--
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && eventLess(h.events[l], h.events[smallest]) {
+			smallest = l
+		}
+		if r < n && eventLess(h.events[r], h.events[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.events[i], h.events[smallest] = h.events[smallest], h.events[i]
+		i = smallest
+	}
+	return top, true
+}
+
+// len reports the number of scheduled events.
+func (h *eventHeap) len() int { return len(h.events) }

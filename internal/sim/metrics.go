@@ -1,0 +1,49 @@
+package sim
+
+import "cmfl/internal/telemetry"
+
+// Metric family names. Declared as constants so the metricschema analyzer
+// can pin them; each family has exactly one registration site (below).
+const (
+	metricReplyLatency  = "cmfl_sim_reply_latency_seconds"
+	metricRoundDuration = "cmfl_sim_round_duration_seconds"
+	metricUplinkBytes   = "cmfl_sim_reply_bytes"
+	metricLateReplies   = "cmfl_sim_late_replies_total"
+)
+
+// Families bundles the simulation's registry handles. The per-round and
+// per-reply observations go through fixed-bucket histograms so the soak
+// harness can read p50/p99/p999 straight off the registry (Histogram.
+// Quantile) without the engine retaining per-reply samples.
+type Families struct {
+	ReplyLatency  *telemetry.Histogram
+	RoundDuration *telemetry.Histogram
+	ReplyBytes    *telemetry.Histogram
+	LateReplies   *telemetry.Counter
+}
+
+// byteBuckets is an exponential grid from 16 B (the skip notification) to
+// 16 MiB, covering raw float64 updates and every codec in between.
+func byteBuckets() []float64 {
+	b := make([]float64, 21)
+	v := 16.0
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}
+
+// MetricFamilies registers (or resolves) the sim metric families in reg.
+// Run calls it to record; readers (cmd/cmfl-soak) call it with the same
+// registry to pull quantiles off the identical handles. This is the single
+// registration site for every cmfl_sim_* family.
+func MetricFamilies(reg *telemetry.Registry) *Families {
+	label := `{engine="` + telemetry.EngineSim + `"}`
+	return &Families{
+		ReplyLatency:  reg.Histogram(metricReplyLatency+label, "Virtual delay from round start to a reply's arrival at the server.", telemetry.LatencyBuckets()),
+		RoundDuration: reg.Histogram(metricRoundDuration+label, "Virtual duration of a round, start to aggregation.", telemetry.LatencyBuckets()),
+		ReplyBytes:    reg.Histogram(metricUplinkBytes+label, "Uplink payload size of one accepted reply (update or skip notification).", byteBuckets()),
+		LateReplies:   reg.Counter(metricLateReplies+label, "Replies that arrived after their round's deadline and were drained, never aggregated."),
+	}
+}

@@ -26,6 +26,7 @@ const (
 	EngineAsync   = "fl-async"
 	EngineMTL     = "mtl"
 	EngineEmu     = "emu"
+	EngineSim     = "sim"
 )
 
 // RoundEvent is the communication-cost core every engine records per round:

@@ -318,6 +318,45 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.total.Load() }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket counts,
+// the way promql's histogram_quantile does: find the bucket holding the
+// q·count-th observation and interpolate linearly inside it. Returns NaN
+// for an empty histogram or q outside [0, 1]. The estimate is exact at
+// bucket boundaries and resolution-limited inside them — callers wanting
+// tight tails (p999) should register grids dense where it matters. An
+// observation landing in the +Inf overflow bucket reports the highest
+// finite bound (there is nothing to interpolate toward).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (bound-lower)*frac
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN() // only the +Inf bucket exists: no finite estimate
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 

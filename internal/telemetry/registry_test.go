@@ -74,6 +74,51 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "", []float64{1, 2, 4, 8})
+
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram must report NaN")
+	}
+
+	// 10 observations in (1,2]: every quantile interpolates inside [1,2].
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Fatalf("p50 of a single-bucket distribution = %v, want 1.5 (midpoint interpolation)", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Fatalf("p100 = %v, want the bucket's upper bound 2", got)
+	}
+
+	// Add 10 in (4,8]: now p50 sits exactly on the first bucket's boundary.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Fatalf("p50 = %v, want exact boundary 2", got)
+	}
+	if got := h.Quantile(0.75); got != 6 {
+		t.Fatalf("p75 = %v, want 6 (midpoint of (4,8])", got)
+	}
+
+	// Overflow bucket: quantiles landing there clamp to the top finite bound.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	if got := h.Quantile(0.999); got != 8 {
+		t.Fatalf("p999 with overflow mass = %v, want top bound 8", got)
+	}
+
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(h.Quantile(q)) {
+			t.Fatalf("Quantile(%v) must be NaN", q)
+		}
+	}
+}
+
 func TestPrometheusGroupsLabeledSeries(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter(`uploads_total{engine="fl"}`, "Uploads.").Add(3)

@@ -1,0 +1,43 @@
+// Package vclock is the one time abstraction shared by every engine that
+// reads a clock: the TCP emulation (internal/emu) reads wall time through
+// it, and the discrete-event simulation (internal/sim) substitutes a
+// manually advanced virtual clock. Keeping the interface this small — a
+// single Now — is deliberate: timers, sleeps and deadlines are engine
+// concerns with engine-specific semantics (a real timer parks a goroutine,
+// a virtual one is a heap entry), but *reading* the current instant is the
+// operation both worlds share, and the one that must never leak an
+// unhooked time.Now into round timing.
+package vclock
+
+import "time"
+
+// Clock supplies the current instant. Implementations must be safe for
+// concurrent use.
+type Clock interface {
+	Now() time.Time
+}
+
+// Wall reads the system clock — the production clock of the emulation.
+type Wall struct{}
+
+// Now implements Clock.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Fixed is a settable clock for tests: Now returns whatever the last Set
+// stored. The zero value returns the zero time.
+type Fixed struct {
+	t time.Time
+}
+
+// NewFixed returns a Fixed clock primed with t.
+func NewFixed(t time.Time) *Fixed { return &Fixed{t: t} }
+
+// Set stores the instant subsequent Now calls return. Not safe to call
+// concurrently with Now; Fixed is a single-goroutine test helper.
+func (f *Fixed) Set(t time.Time) { f.t = t }
+
+// Advance moves the clock forward by d.
+func (f *Fixed) Advance(d time.Duration) { f.t = f.t.Add(d) }
+
+// Now implements Clock.
+func (f *Fixed) Now() time.Time { return f.t }

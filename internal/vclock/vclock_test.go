@@ -1,0 +1,35 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWallTracksSystemClock(t *testing.T) {
+	before := time.Now()
+	got := Wall{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Wall.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestFixed(t *testing.T) {
+	base := time.Unix(1000, 0)
+	f := NewFixed(base)
+	if !f.Now().Equal(base) {
+		t.Fatalf("Now = %v, want %v", f.Now(), base)
+	}
+	f.Advance(3 * time.Second)
+	if want := base.Add(3 * time.Second); !f.Now().Equal(want) {
+		t.Fatalf("after Advance Now = %v, want %v", f.Now(), want)
+	}
+	f.Set(base)
+	if !f.Now().Equal(base) {
+		t.Fatalf("after Set Now = %v, want %v", f.Now(), base)
+	}
+	var zero Fixed
+	if !zero.Now().IsZero() {
+		t.Fatalf("zero Fixed Now = %v, want zero time", zero.Now())
+	}
+}

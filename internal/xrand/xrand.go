@@ -41,6 +41,41 @@ func Derive(seed int64, purpose string, id int) *Stream {
 	return New(int64(h.Sum64()))
 }
 
+// DeriveCompact returns a child Stream keyed by (seed, purpose, id) like
+// Derive, but backed by a splitmix64 generator whose state is a single
+// uint64 instead of math/rand's ~5 KB lagged-Fibonacci table. Use it when
+// a population holds one stream per client — a million-client simulation
+// pays 8 bytes per client instead of 5 GB — and Derive when bit-compat
+// with existing Derive-seeded experiments matters. The two constructors
+// yield different sequences for equal arguments by design.
+func DeriveCompact(seed int64, purpose string, id int) *Stream {
+	h := fnv.New64a()
+	var buf [8]byte
+	putUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	h.Write([]byte(purpose))
+	putUint64(buf[:], uint64(id))
+	h.Write(buf[:])
+	return &Stream{rng: rand.New(&splitmix64{state: h.Sum64()})}
+}
+
+// splitmix64 is Steele et al.'s SplitMix generator: 8 bytes of state, full
+// 2^64 period, passes BigCrush. It implements rand.Source64 so math/rand
+// draws whole words instead of pairing Int63s.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }
+
 func putUint64(b []byte, v uint64) {
 	for i := 0; i < 8; i++ {
 		b[i] = byte(v >> (8 * i))
