@@ -113,6 +113,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
+	// Validate the numeric flag lattice before any work: a bad combination
+	// must fail here with the flag's name in the message, not panic three
+	// layers down in the engine after minutes of workload synthesis.
+	for _, c := range []struct {
+		bad bool
+		msg string
+	}{
+		{*clients <= 0, fmt.Sprintf("-clients %d: the population must be positive", *clients)},
+		{*rounds <= 0, fmt.Sprintf("-rounds %d: need at least one training round", *rounds)},
+		{*shards < 0, fmt.Sprintf("-shards %d: shard count cannot be negative (0 = GOMAXPROCS)", *shards)},
+		{*features <= 0, fmt.Sprintf("-features %d: the synthetic workload needs at least one feature", *features)},
+		{*classes <= 1, fmt.Sprintf("-classes %d: classification needs at least two classes", *classes)},
+		{*samples <= 0, fmt.Sprintf("-samples %d: every client needs at least one training sample", *samples)},
+		{*epochs <= 0, fmt.Sprintf("-epochs %d: need at least one local epoch", *epochs)},
+		{*batch <= 0, fmt.Sprintf("-batch %d: the minibatch size must be positive", *batch)},
+		{*lr <= 0, fmt.Sprintf("-lr %g: the learning rate must be positive", *lr)},
+		{*gate < 0 || *gate > 1, fmt.Sprintf("-gate %g: the relevance threshold is a fraction in [0,1]", *gate)},
+		{*bandwidth < 0, fmt.Sprintf("-bandwidth %g: bytes/sec cannot be negative (0 = infinite)", *bandwidth)},
+		{*availability < 0 || *availability > 1, fmt.Sprintf("-availability %g: a probability must lie in [0,1]", *availability)},
+		{*deadline < 0, fmt.Sprintf("-deadline %v: the round deadline cannot be negative (0 = wait for all)", *deadline)},
+		{*minQuorum < 0, fmt.Sprintf("-min-quorum %d: the quorum cannot be negative", *minQuorum)},
+		{*minQuorum > 1 && *deadline == 0, fmt.Sprintf("-min-quorum %d without -deadline: a quorum only matters when a deadline can cut replies off — set -deadline or drop -min-quorum", *minQuorum)},
+		{*minQuorum > *clients, fmt.Sprintf("-min-quorum %d exceeds -clients %d: no round could ever reach quorum", *minQuorum, *clients)},
+	} {
+		if c.bad {
+			return fmt.Errorf("%s", c.msg)
+		}
+	}
+
 	codec, err := compress.ParseName(*codecName)
 	if err != nil {
 		return err

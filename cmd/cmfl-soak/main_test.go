@@ -39,18 +39,53 @@ func TestSoakDeterministic(t *testing.T) {
 	}
 }
 
-// TestSoakRejectsBadFlags keeps flag validation honest: malformed specs fail
-// before any simulation work starts.
+// TestSoakRejectsBadFlags keeps flag validation honest: malformed specs and
+// impossible combinations fail up front, with the offending flag named in
+// the error, before any workload synthesis or simulation starts.
 func TestSoakRejectsBadFlags(t *testing.T) {
-	for _, args := range [][]string{
-		{"-latency", "bogus:1ms"},
-		{"-arrival", "uniform:9ms"},
-		{"-codec", "warp9"},
-		{"-clients", "0"},
-		{"positional"},
-	} {
-		if err := run(append([]string{"-rounds", "1"}, args...), io.Discard, io.Discard); err == nil {
-			t.Errorf("args %v: want error, got nil", args)
-		}
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"unknown latency dist", []string{"-latency", "bogus:1ms"}, "bogus"},
+		{"incomplete uniform spec", []string{"-arrival", "uniform:9ms"}, "uniform"},
+		{"unknown codec", []string{"-codec", "warp9"}, "warp9"},
+		{"zero clients", []string{"-clients", "0"}, "-clients 0"},
+		{"negative clients", []string{"-clients", "-5"}, "-clients -5"},
+		{"zero rounds", []string{"-rounds", "0"}, "-rounds 0"},
+		{"negative shards", []string{"-shards", "-1"}, "-shards -1"},
+		{"zero samples", []string{"-samples", "0"}, "-samples 0"},
+		{"one class", []string{"-classes", "1"}, "-classes 1"},
+		{"zero batch", []string{"-batch", "0"}, "-batch 0"},
+		{"negative lr", []string{"-lr", "-0.1"}, "-lr"},
+		{"gate above one", []string{"-gate", "1.5"}, "-gate 1.5"},
+		{"negative bandwidth", []string{"-bandwidth", "-1"}, "-bandwidth"},
+		{"availability above one", []string{"-availability", "1.1"}, "-availability 1.1"},
+		{"negative deadline", []string{"-deadline", "-1s"}, "-deadline"},
+		{"negative quorum", []string{"-min-quorum", "-2"}, "-min-quorum -2"},
+		{"quorum without deadline", []string{"-min-quorum", "3"}, "without -deadline"},
+		{"quorum beyond population", []string{"-clients", "10", "-min-quorum", "11", "-deadline", "1s"}, "exceeds -clients"},
+		{"positional argument", []string{"positional"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(append([]string{"-rounds", "1"}, tc.args...), io.Discard, io.Discard)
+			if err == nil {
+				t.Fatalf("args %v: want error containing %q, got nil", tc.args, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("args %v: error %q does not name the cause %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestSoakDefaultsStayValid guards the validation lattice against rejecting
+// the documented defaults (deadline 0 with min-quorum 1 must stay legal).
+func TestSoakDefaultsStayValid(t *testing.T) {
+	err := run([]string{"-clients", "50", "-rounds", "1", "-samples", "2", "-table=false"}, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatalf("default flag shape rejected: %v", err)
 	}
 }

@@ -10,13 +10,22 @@
 //
 // Usage:
 //
-//	cmfl-vet [-json] [-list] [-stats] [-pkg substr] [-cache dir]
-//	         [-diff ref] [-write-api-baseline] [-budget file]
+//	cmfl-vet [-json] [-sarif file] [-fix] [-list] [-stats] [-pkg substr]
+//	         [-cache dir] [-diff ref] [-write-api-baseline] [-budget file]
 //	         [-cpuprofile file] [packages]
 //
 // Packages default to ./... (every buildable package of the module,
 // excluding testdata). Directories may be named explicitly — including
 // testdata fixture packages, which is how the suite tests itself.
+//
+// -fix applies every finding that carries a mechanical rewrite (today:
+// wallclock's time.Now/Since/Sleep → package-hook rewrites), re-running
+// the suite after each apply round until no fixable findings remain.
+// Rewritten files are always gofmt-clean; the findings printed afterwards
+// are the unfixable remainder. Caching is bypassed while fixing.
+//
+// -sarif writes the run's findings as a SARIF 2.1.0 log to the given file
+// ("-" for stdout), the format GitHub code scanning ingests.
 //
 // -diff ref narrows the run to the packages whose files differ from the
 // git ref (plus untracked files), extended by their forward and reverse
@@ -49,6 +58,8 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON document")
+	sarifOut := flag.String("sarif", "", "write findings as a SARIF 2.1.0 log to this file (\"-\" for stdout)")
+	fix := flag.Bool("fix", false, "apply mechanical rewrites for fixable findings, re-running until none remain")
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	stats := flag.Bool("stats", false, "report per-analyzer wall time and cache behavior")
 	pkgFilter := flag.String("pkg", "", "only analyze targets whose import path contains this substring")
@@ -58,7 +69,7 @@ func main() {
 	budgetFile := flag.String("budget", "", "JSON budget file; fail when suppressions exceed its max_suppressed")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cmfl-vet [-json] [-list] [-stats] [-pkg substr] [-cache dir] [-diff ref] [-write-api-baseline] [-budget file] [-cpuprofile file] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: cmfl-vet [-json] [-sarif file] [-fix] [-list] [-stats] [-pkg substr] [-cache dir] [-diff ref] [-write-api-baseline] [-budget file] [-cpuprofile file] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(os.Stderr, "  %-20s %s\n", a.Name, a.Doc)
 		}
@@ -87,15 +98,37 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := lint.RunModule(cwd, flag.Args(), lint.All(), lint.RunOptions{
+	runOpts := lint.RunOptions{
 		CacheDir:         *cacheDir,
 		Stats:            *stats || *jsonOut,
 		PkgFilter:        *pkgFilter,
 		DiffRef:          *diffRef,
 		WriteAPIBaseline: *writeBaseline,
-	})
-	if err != nil {
-		fatal(err)
+	}
+	var res lint.Result
+	if *fix {
+		fixed, sum, err := lint.RunFix(cwd, flag.Args(), lint.All(), runOpts)
+		if err != nil {
+			fatal(err)
+		}
+		res = fixed
+		if len(sum.FilesChanged) > 0 {
+			fmt.Fprintf(os.Stderr, "cmfl-vet: fixed %d file(s) in %d pass(es):\n", len(sum.FilesChanged), sum.Iterations)
+			for _, p := range sum.FilesChanged {
+				fmt.Fprintf(os.Stderr, "  %s\n", p)
+			}
+		}
+	} else {
+		var err error
+		res, err = lint.RunModule(cwd, flag.Args(), lint.All(), runOpts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *sarifOut != "" {
+		if err := writeSARIFFile(*sarifOut, cwd, res); err != nil {
+			fatal(err)
+		}
 	}
 	if !*stats {
 		res.Stats = nil // only attach to -json output when explicitly asked
@@ -133,6 +166,23 @@ func main() {
 		}
 		os.Exit(exit)
 	}
+}
+
+// writeSARIFFile renders res as SARIF 2.1.0 to path ("-" for stdout).
+func writeSARIFFile(path, root string, res lint.Result) error {
+	if path == "-" {
+		return lint.WriteSARIF(os.Stdout, root, lint.All(), res)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := lint.WriteSARIF(f, root, lint.All(), res)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 func printStats(s *lint.RunStats) {

@@ -341,11 +341,11 @@ func (s *clientSession) recover(cause error, cycle int) error {
 	closeQuietly(s.conn)
 	// A crash fault's downtime is served before the first redial attempt.
 	if d := s.inj.takeRejoinDelay(); d > 0 {
-		time.Sleep(d)
+		sleep(d)
 	}
 	lastErr := cause
 	for attempt := 0; attempt < s.cfg.MaxRedials; attempt++ {
-		time.Sleep(s.backoff(attempt))
+		sleep(s.backoff(attempt))
 		conn, err := net.DialTimeout("tcp", s.cfg.Addr, s.cfg.DialTimeout)
 		if err != nil {
 			lastErr = err

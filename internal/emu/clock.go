@@ -17,6 +17,23 @@ var clock vclock.Clock = vclock.Wall{}
 // now reads the package clock.
 func now() time.Time { return clock.Now() }
 
+// newTimer arms a single-shot timer on the package clock. Clocks without
+// timer support (test fakes that only answer Now) fall back to wall timers:
+// the fake still controls every Now read, and deadlines keep firing.
+func newTimer(d time.Duration) vclock.Timer {
+	if tc, ok := clock.(vclock.TimerClock); ok {
+		return tc.NewTimer(d)
+	}
+	return vclock.Wall{}.NewTimer(d)
+}
+
+// sleep blocks for d on the package clock, so injected delays and retry
+// backoffs are steered by the same time source as every deadline.
+func sleep(d time.Duration) {
+	t := newTimer(d)
+	<-t.C()
+}
+
 // setClock swaps the package clock and returns a restore func. Test-only:
 // the swap is not synchronized against concurrently running servers, so
 // callers must install the fake before starting any cluster.

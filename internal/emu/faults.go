@@ -278,7 +278,7 @@ func (c *faultConn) Write(b []byte) (int, error) {
 		return len(b), nil
 	case FaultDelay:
 		in.mode = modePass
-		time.Sleep(in.fault.Delay)
+		sleep(in.fault.Delay)
 		return c.Conn.Write(b)
 	case FaultDisconnect:
 		in.mode = modePass

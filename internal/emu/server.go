@@ -213,10 +213,20 @@ type Server struct {
 	metaScratch []replyMeta
 	metaHas     []bool
 
-	mu      sync.Mutex
-	closed  bool
-	conns   []net.Conn
-	alive   []bool
+	// wg tracks every connection-servicing goroutine the server spawns
+	// (acceptLoop, admit, readLoop); closeConns waits for all of them after
+	// closing the sockets they may be blocked on, so Close returns only
+	// once no server goroutine can touch a connection again.
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  []net.Conn
+	alive  []bool
+	// pending holds connections inside the admit handshake that are not yet
+	// registered in conns; closeConns closes them so a teardown never waits
+	// out a handshake read deadline.
+	pending map[net.Conn]struct{}
 	gens    []int // connection generation per client (1 = first join)
 	downGen []int // highest generation already accounted as down
 	joined  int   // distinct clients that ever completed a hello
@@ -289,6 +299,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		alive:       make([]bool, cfg.Clients),
 		gens:        make([]int, cfg.Clients),
 		downGen:     make([]int, cfg.Clients),
+		pending:     make(map[net.Conn]struct{}),
 		codecs:      make([]fl.UpdateCodec, cfg.Clients),
 		helloErrs:   make(chan error, cfg.Clients),
 		shardOf:     make([]int, cfg.Clients),
@@ -384,6 +395,10 @@ func closeQuietly(c io.Closer) {
 // closeConns releases the listener and client connections, leaving the
 // metrics endpoint (if any) scrapeable until Close. Idempotent: Run defers
 // it and Close calls it again; secondary net.ErrClosed noise is filtered.
+// It returns only after every connection-servicing goroutine exited:
+// closing the listener unblocks acceptLoop, closing registered and pending
+// connections errors out blocked reads, and the stop channel releases
+// everything parked on a select — so the Wait below cannot hang.
 func (s *Server) closeConns() error {
 	s.stopOnce.Do(func() { close(s.stop) })
 	err := s.ln.Close()
@@ -391,7 +406,6 @@ func (s *Server) closeConns() error {
 		err = nil
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.closed = true
 	for i, c := range s.conns {
 		if c == nil {
@@ -403,6 +417,11 @@ func (s *Server) closeConns() error {
 		s.conns[i] = nil
 		s.alive[i] = false
 	}
+	for c := range s.pending {
+		closeQuietly(c)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
 	return err
 }
 
@@ -472,6 +491,7 @@ func (s *Server) Run() (res *ServerResult, err error) {
 			res, err = nil, cerr
 		}
 	}()
+	s.wg.Add(1)
 	go s.acceptLoop()
 	for _, a := range s.shards {
 		go a.run()
@@ -549,9 +569,11 @@ func (s *Server) Run() (res *ServerResult, err error) {
 		}
 		if n := len(out.updates) + len(out.skips); n > 0 {
 			var msum float64
+			//cmfl:order-pinned diagnostic mean over the gather's canonical reply order; never compared across engines
 			for _, u := range out.updates {
 				msum += u.metric
 			}
+			//cmfl:order-pinned diagnostic mean over the gather's canonical reply order; never compared across engines
 			for _, sk := range out.skips {
 				msum += sk.metric
 			}
@@ -605,13 +627,17 @@ func (s *Server) Run() (res *ServerResult, err error) {
 }
 
 // acceptLoop admits connections for the whole run: the initial barrier and
-// any rejoins after a fault. It exits when the listener closes.
+// any rejoins after a fault. It exits when the listener closes. The wg.Add
+// for each admit happens here, while acceptLoop still holds its own wg
+// slot, so the count can never hit zero with a spawn in flight.
 func (s *Server) acceptLoop() {
+	defer s.wg.Done()
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return
 		}
+		s.wg.Add(1)
 		go s.admit(conn)
 	}
 }
@@ -622,6 +648,7 @@ func (s *Server) acceptLoop() {
 // surfaces on helloErrs so a strict startup fails fast. A valid hello
 // replaces any previous connection for the same id (latest wins).
 func (s *Server) admit(conn net.Conn) {
+	defer s.wg.Done()
 	// Admission backpressure: at most MaxPendingHandshakes hellos in
 	// flight; excess connections queue here (each slot is released within
 	// DialTimeout by the read deadline below).
@@ -632,6 +659,21 @@ func (s *Server) admit(conn net.Conn) {
 		closeQuietly(conn)
 		return
 	}
+	// Track the handshake connection so closeConns can cut a blocked hello
+	// read short instead of waiting out its deadline.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		closeQuietly(conn)
+		return
+	}
+	s.pending[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.pending, conn)
+		s.mu.Unlock()
+	}()
 	// I/O deadline only; read through the package clock hook.
 	if err := conn.SetReadDeadline(now().Add(s.cfg.DialTimeout)); err != nil {
 		closeQuietly(conn)
@@ -681,6 +723,7 @@ func (s *Server) admit(conn net.Conn) {
 		s.rejoin++
 	}
 	s.mu.Unlock()
+	s.wg.Add(1)
 	go s.readLoop(id, gen, conn)
 }
 
@@ -714,7 +757,7 @@ func (s *Server) negotiateCodec(id int, spec []byte) (fl.UpdateCodec, error) {
 // learns the cohort can never assemble (RunCluster watching its dialers)
 // can cancel the barrier instead of burning the whole timeout.
 func (s *Server) awaitClients() error {
-	timer := time.NewTimer(s.cfg.DialTimeout)
+	timer := newTimer(s.cfg.DialTimeout)
 	defer timer.Stop()
 	select {
 	case <-s.ready:
@@ -722,7 +765,7 @@ func (s *Server) awaitClients() error {
 		return err
 	case <-s.stop:
 		return errors.New("emu: server closed before all clients connected")
-	case <-timer.C:
+	case <-timer.C():
 		s.mu.Lock()
 		have := s.joined
 		s.mu.Unlock()
@@ -748,6 +791,7 @@ func (s *Server) rejoinCount() int {
 // being a transport failure — slowness is the quorum deadline's problem,
 // not the socket's. Blocked reads are released by closeConns.
 func (s *Server) readLoop(id, gen int, conn net.Conn) {
+	defer s.wg.Done()
 	agg := s.shards[s.shardOf[id]]
 	for {
 		f, err := readFrame(conn)

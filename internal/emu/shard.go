@@ -266,7 +266,7 @@ func (a *shardAgg) gather(d shardDirective) *shardPartial {
 	a.q.BeginRound(d.round, a.expected)
 	a.acc.Reset(d.dim)
 	p := &shardPartial{sum: a.acc}
-	timer := time.NewTimer(a.deadline)
+	timer := newTimer(a.deadline)
 	defer timer.Stop()
 	for !a.q.Complete() {
 		select {
@@ -275,7 +275,7 @@ func (a *shardAgg) gather(d shardDirective) *shardPartial {
 				p.err = err
 				return p
 			}
-		case <-timer.C:
+		case <-timer.C():
 			p.deadlineFired = true
 			if a.localQuorum > 0 && a.q.Accepted() < a.localQuorum {
 				p.err = fmt.Errorf("emu: shard %d quorum not met at deadline %v: %d of %d replies (minimum %d)",

@@ -96,11 +96,20 @@ func (a *Accumulator) Merge(b *Accumulator) {
 	}
 }
 
-// add1 grows coordinate j's expansion by x: the TwoSum cascade keeps the
-// invariant that the expansion's exact real sum is unchanged while its
-// terms stay non-overlapping in increasing magnitude order.
+// add1 grows coordinate j's expansion by x.
 func (a *Accumulator) add1(j int, x float64) {
-	p := a.parts[j]
+	p := growExpansion(a.parts[j], x)
+	a.parts[j] = p
+	if len(p) > a.maxTerms {
+		a.maxTerms = len(p)
+	}
+}
+
+// growExpansion folds x into a non-overlapping expansion: the TwoSum
+// cascade keeps the invariant that the expansion's exact real sum is
+// unchanged while its terms stay non-overlapping in increasing magnitude
+// order.
+func growExpansion(p []float64, x float64) []float64 {
 	i := 0
 	for _, y := range p {
 		if math.Abs(x) < math.Abs(y) {
@@ -117,12 +126,37 @@ func (a *Accumulator) add1(j int, x float64) {
 		}
 		x = hi
 	}
-	p = append(p[:i], x)
-	a.parts[j] = p
-	if len(p) > a.maxTerms {
-		a.maxTerms = len(p)
+	return append(p[:i], x)
+}
+
+// Scalar sums float64 values exactly: the one-component sibling of
+// Accumulator, for the scalar round statistics (loss and relevance sums)
+// that ride alongside the vector aggregate and must be just as
+// grouping-invariant. Unlike Accumulator, the zero value is empty and
+// ready to use.
+//
+// Not safe for concurrent use.
+type Scalar struct {
+	parts []float64
+}
+
+// Add folds one value into the running exact sum.
+func (s *Scalar) Add(x float64) { s.parts = growExpansion(s.parts, x) }
+
+// Merge folds another scalar's exact sum into this one; like
+// Accumulator.Merge, grouping leaves no trace.
+func (s *Scalar) Merge(b *Scalar) {
+	for _, v := range b.parts {
+		s.parts = growExpansion(s.parts, v)
 	}
 }
+
+// Round returns the correctly rounded float64 of the exact sum (+0 when
+// empty), leaving the scalar untouched.
+func (s *Scalar) Round() float64 { return roundExpansion(s.parts) }
+
+// Reset empties the scalar, retaining term capacity.
+func (s *Scalar) Reset() { s.parts = s.parts[:0] }
 
 // Round writes the correctly rounded float64 value of each coordinate's
 // exact sum into dst (grown as needed) and returns it. An empty coordinate

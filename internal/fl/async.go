@@ -219,6 +219,7 @@ func RunAsync(cfg AsyncConfig) (*AsyncResult, error) {
 				params[j] += applied[j]
 			}
 			version++
+			//cmfl:order-pinned completion events pop in deterministic virtual-time order; the event schedule is the algorithm
 			staleSum += float64(staleness)
 			cumUploads++
 			cumBytes += int64(dim) * 8

@@ -135,6 +135,7 @@ func Run(cfg Config) (*Result, error) {
 		var lossSum, relSum, sigSum, weightSum float64
 		var uploadBytes int64
 		relCount := 0
+		//cmfl:order-pinned the ascending-client FedAvg fold IS the parity reference every other engine reproduces bit-for-bit
 		for _, i := range participants {
 			r := &results[i]
 			lossSum += r.loss
@@ -201,6 +202,7 @@ func Run(cfg Config) (*Result, error) {
 				// momentum-smoothed velocity.
 				copy(globalUpdate, serverVelocity)
 			}
+			//cmfl:order-pinned rounds apply to the model strictly sequentially; t-order is the algorithm
 			tensor.Axpy(1, globalUpdate, params)
 		}
 
@@ -306,6 +308,7 @@ func LocalTrainProx(net *nn.Network, data *dataset.Set, global []float64, lr flo
 				hi = n
 			}
 			data.GatherInto(&mb, order[lo:hi])
+			//cmfl:order-pinned SGD minibatches fold in schedule order; the seeded permutation is the algorithm
 			lossSum += nn.TrainBatch(net, mb.X, mb.Y, lr)
 			if mu > 0 {
 				// Proximal pull toward the broadcast model, applied in place.

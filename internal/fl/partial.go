@@ -208,6 +208,7 @@ func RunPartial(cfg PartialConfig) (*PartialResult, error) {
 			}
 			roundBytes += clientBytes[i]
 		}
+		//cmfl:order-pinned rounds apply to the model strictly sequentially; t-order is the algorithm
 		tensor.Axpy(1, globalUpdate, params)
 		if !core.AllZero(globalUpdate) {
 			feedback = globalUpdate

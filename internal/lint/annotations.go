@@ -29,12 +29,22 @@ import (
 //	    Anywhere in a public package: waives the apicompat baseline for
 //	    that package this run, acknowledging an intentional breaking
 //	    change. Remove it after regenerating the baseline.
+//
+//	//cmfl:order-pinned <reason>
+//	    On (or directly above) an order-sensitive float accumulation, or on
+//	    any of its enclosing loops: asserts the accumulation order is part
+//	    of the algorithm's definition (e.g. fl.Run's ascending-client
+//	    FedAvg order is the parity reference). floatsum honors the marker
+//	    only when it can prove every enclosing loop drains in deterministic
+//	    order; a reasonless marker, or one on a nondeterministic drain, is
+//	    itself a finding.
 
 const (
 	markerHotPath       = "cmfl:hotpath"
 	markerDeterministic = "cmfl:deterministic"
 	markerIgnore        = "cmfl:lint-ignore"
 	markerAPIChange     = "cmfl:api-change"
+	markerOrderPinned   = "cmfl:order-pinned"
 )
 
 // funcHasMarker reports whether a function declaration's doc comment

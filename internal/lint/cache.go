@@ -44,7 +44,7 @@ import (
 // cacheSchemaVersion invalidates every record when analyzer semantics or
 // the record layout change. Bump it alongside such changes.
 // v2: protostate/lockorder/exhaustive/apicompat facts joined the record.
-const cacheSchemaVersion = "cmflvet-cache-v2"
+const cacheSchemaVersion = "cmflvet-cache-v3"
 
 // DefaultCacheDir is the conventional cache location, relative to the
 // module root.
@@ -257,6 +257,15 @@ func readCacheRecords(cacheDir string, scan *moduleScan, targets []string, versi
 			for i := range rec.Facts.APIChanges {
 				rec.Facts.APIChanges[i].File = scan.abs(rec.Facts.APIChanges[i].File)
 			}
+			for i := range rec.Facts.FloatSums {
+				rec.Facts.FloatSums[i].File = scan.abs(rec.Facts.FloatSums[i].File)
+			}
+			for i := range rec.Facts.Clocks {
+				rec.Facts.Clocks[i].File = scan.abs(rec.Facts.Clocks[i].File)
+			}
+			for i := range rec.Facts.GoLife {
+				rec.Facts.GoLife[i].File = scan.abs(rec.Facts.GoLife[i].File)
+			}
 		}
 		records[t] = &rec
 	}
@@ -341,6 +350,18 @@ func relFacts(scan *moduleScan, facts *PackageFacts) *PackageFacts {
 	for _, c := range facts.APIChanges {
 		c.File = scan.rel(c.File)
 		out.APIChanges = append(out.APIChanges, c)
+	}
+	for _, s := range facts.FloatSums {
+		s.File = scan.rel(s.File)
+		out.FloatSums = append(out.FloatSums, s)
+	}
+	for _, c := range facts.Clocks {
+		c.File = scan.rel(c.File)
+		out.Clocks = append(out.Clocks, c)
+	}
+	for _, g := range facts.GoLife {
+		g.File = scan.rel(g.File)
+		out.GoLife = append(out.GoLife, g)
 	}
 	return out
 }

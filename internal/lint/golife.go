@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLife proves that every goroutine the runtime packages spawn has a
+// join: some path in the spawned body that a waiter can observe, so
+// Shutdown/Close can actually wait for the goroutine instead of leaking
+// it past teardown (where it races the next test, holds sockets open, or
+// trips the race detector long after its parent returned).
+//
+// A spawn is joined when the spawned body (followed transitively through
+// module callees, but not into nested spawns — their joins are their own
+// obligation) contains at least one of:
+//
+//   - waitgroup: a (*sync.WaitGroup).Done call — the classic wg.Wait join;
+//   - done-channel: a send on, or close of, a channel the module receives
+//     from somewhere — a completion signal with a waiter;
+//   - stop-channel: a receive or select on a channel that is closed in a
+//     function reachable from a Close/Shutdown/Stop method — teardown can
+//     force the goroutine to observe the close and exit;
+//   - context: a receive from (context.Context).Done — cancellation joins.
+//
+// Spawns whose target cannot be resolved statically (function values,
+// out-of-module callees) are findings: an unprovable join is treated as
+// no join. goroleak complements this with its infinite-loop heuristic;
+// golife is the lifecycle side — not "does it loop" but "can anyone wait
+// for it".
+var GoLife = &Analyzer{
+	Name: "golife",
+	Doc:  "every goroutine spawned in the runtime packages must have a provable join reachable from teardown",
+	Run:  runGoLife,
+}
+
+// GoLifePackages are the packages whose goroutines must be joinable.
+// (Var, not const: fixture tests extend it.)
+var GoLifePackages = map[string]bool{
+	"cmfl/internal/emu":       true,
+	"cmfl/internal/emu/shard": true,
+	"cmfl/internal/sim":       true,
+	"cmfl/internal/telemetry": true,
+}
+
+// teardownNames are the method names whose transitive call closure counts
+// as "reachable from teardown" for stop-channel classification.
+var teardownNames = map[string]bool{"Close": true, "Shutdown": true, "Stop": true}
+
+func runGoLife(pass *Pass) {
+	if !GoLifePackages[pass.Pkg.Path] {
+		return
+	}
+	idx := pass.Mod.golife()
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(pass, idx, fd, g)
+				return true
+			})
+		}
+	}
+}
+
+// checkGoStmt classifies one spawn's join or reports its absence.
+func checkGoStmt(pass *Pass, idx *golifeIndex, fd *ast.FuncDecl, g *ast.GoStmt) {
+	var body *ast.BlockStmt
+	var bodyPkg *Package
+	target := "function literal"
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		body, bodyPkg = lit.Body, pass.Pkg
+	} else {
+		fn := calleeFunc(pass.Pkg, g.Call)
+		if fn == nil {
+			pass.Reportf(g.Pos(), "%s spawns a goroutine through a function value: the join cannot be proven — spawn a named function or a literal with a visible join", fd.Name.Name)
+			return
+		}
+		target = fn.Name()
+		decl, declPkg := pass.Mod.FuncDecl(fn)
+		if decl == nil || decl.Body == nil {
+			pass.Reportf(g.Pos(), "%s spawns %s, which is outside the module: the join cannot be proven — wrap it in a literal with a visible join", fd.Name.Name, fn.FullName())
+			return
+		}
+		body, bodyPkg = decl.Body, declPkg
+	}
+	search := &joinSearch{pass: pass, idx: idx, visited: make(map[*types.Func]bool)}
+	if kind := search.scan(body, bodyPkg); kind != "" {
+		pos := pass.Fset().Position(g.Pos())
+		pass.Facts.GoLife = append(pass.Facts.GoLife, GoLifeFact{
+			Join: kind, Func: fd.Name.Name,
+			File: pos.Filename, Line: pos.Line, Column: pos.Column,
+		})
+		return
+	}
+	pass.Reportf(g.Pos(), "%s spawns %s with no provable join: no WaitGroup.Done, no send/close on a channel anyone receives, no receive on a teardown-closed stop channel, no context cancellation — Shutdown/Close cannot wait for this goroutine", fd.Name.Name, target)
+}
+
+// joinSearch walks a spawned body (and its module callees) for join
+// evidence.
+type joinSearch struct {
+	pass    *Pass
+	idx     *golifeIndex
+	visited map[*types.Func]bool
+}
+
+// scan returns the first join kind found in body, or "".
+func (s *joinSearch) scan(body *ast.BlockStmt, pkg *Package) string {
+	kind := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if kind != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// A nested spawn's join evidence joins the nested goroutine,
+			// not this one.
+			return false
+		case *ast.SendStmt:
+			if obj := chanObjOf(pkg, n.Chan); obj != nil && s.idx.received[obj] {
+				kind = "done-channel"
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if k := s.classifyReceive(pkg, n.X); k != "" {
+					kind = k
+					return false
+				}
+			}
+		case *ast.RangeStmt:
+			if _, ok := pkg.Info.TypeOf(n.X).Underlying().(*types.Chan); ok {
+				if k := s.classifyReceive(pkg, n.X); k != "" {
+					kind = k
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if k := s.classifyCall(pkg, n); k != "" {
+				kind = k
+				return false
+			}
+		}
+		return true
+	})
+	return kind
+}
+
+// classifyReceive classifies the channel expression of a receive or range.
+func (s *joinSearch) classifyReceive(pkg *Package, ch ast.Expr) string {
+	ch = ast.Unparen(ch)
+	if call, ok := ch.(*ast.CallExpr); ok {
+		if fn := calleeFunc(pkg, call); fn != nil && fn.FullName() == "(context.Context).Done" {
+			return "context"
+		}
+		return ""
+	}
+	if obj := chanObjOf(pkg, ch); obj != nil && s.idx.teardownClosed[obj] {
+		return "stop-channel"
+	}
+	return ""
+}
+
+// classifyCall classifies a call as join evidence, descending into module
+// callees.
+func (s *joinSearch) classifyCall(pkg *Package, call *ast.CallExpr) string {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pkg.Info.ObjectOf(id).(*types.Builtin); ok {
+			if b.Name() == "close" && len(call.Args) == 1 {
+				if obj := chanObjOf(pkg, call.Args[0]); obj != nil && s.idx.received[obj] {
+					return "done-channel"
+				}
+			}
+			return ""
+		}
+	}
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return ""
+	}
+	if fn.FullName() == "(*sync.WaitGroup).Done" {
+		return "waitgroup"
+	}
+	if s.visited[fn] {
+		return ""
+	}
+	s.visited[fn] = true
+	if decl, declPkg := s.pass.Mod.FuncDecl(fn); decl != nil && decl.Body != nil {
+		return s.scan(decl.Body, declPkg)
+	}
+	return ""
+}
+
+// golifeIndex is the module-wide channel-flow index the analyzer shares
+// across packages: which channel objects anyone receives from, and which
+// are closed on a teardown path.
+type golifeIndex struct {
+	received       map[types.Object]bool
+	teardownClosed map[types.Object]bool
+}
+
+// golife builds the index once per module (concurrent passes share it).
+func (m *Module) golife() *golifeIndex {
+	m.golOnce.Do(func() {
+		idx := &golifeIndex{
+			received:       make(map[types.Object]bool),
+			teardownClosed: make(map[types.Object]bool),
+		}
+		for _, pkg := range m.Pkgs {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.UnaryExpr:
+						if n.Op == token.ARROW {
+							if obj := chanObjOf(pkg, n.X); obj != nil {
+								idx.received[obj] = true
+							}
+						}
+					case *ast.RangeStmt:
+						if t := pkg.Info.TypeOf(n.X); t != nil {
+							if _, ok := t.Underlying().(*types.Chan); ok {
+								if obj := chanObjOf(pkg, n.X); obj != nil {
+									idx.received[obj] = true
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+		m.indexTeardownCloses(idx)
+		m.gol = idx
+	})
+	return m.gol
+}
+
+// indexTeardownCloses records every channel closed in the transitive
+// (non-spawn) call closure of the module's Close/Shutdown/Stop functions.
+func (m *Module) indexTeardownCloses(idx *golifeIndex) {
+	cg := m.CallGraph()
+	var work []*types.Func
+	seen := make(map[*types.Func]bool)
+	for fn := range m.funcDecls {
+		if teardownNames[fn.Name()] {
+			work = append(work, fn)
+			seen[fn] = true
+		}
+	}
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		ref, ok := m.funcDecls[fn]
+		if !ok || ref.Decl.Body == nil {
+			continue
+		}
+		ast.Inspect(ref.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := ref.Pkg.Info.ObjectOf(id).(*types.Builtin); ok && b.Name() == "close" && len(call.Args) == 1 {
+					if obj := chanObjOf(ref.Pkg, call.Args[0]); obj != nil {
+						idx.teardownClosed[obj] = true
+					}
+					return true
+				}
+			}
+			return true
+		})
+		if node := cg.Nodes[fn]; node != nil {
+			for _, site := range node.Sites {
+				if site.Spawn || site.Callee == nil || seen[site.Callee] {
+					continue
+				}
+				if _, inModule := m.funcDecls[site.Callee]; inModule {
+					seen[site.Callee] = true
+					work = append(work, site.Callee)
+				}
+			}
+		}
+	}
+}
+
+// chanObjOf resolves a channel expression to the variable or field object
+// it names, when it names one directly.
+func chanObjOf(pkg *Package, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pkg.Info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return pkg.Info.ObjectOf(e.Sel)
+	}
+	return nil
+}

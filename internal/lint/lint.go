@@ -31,12 +31,25 @@ type Analyzer struct {
 }
 
 // Finding is one reported violation, positioned for editors and CI logs.
+// Findings may carry machine-applicable Edits; `cmfl-vet -fix` applies them
+// (see fix.go) and re-runs the suite to prove convergence.
 type Finding struct {
 	Analyzer string `json:"analyzer"`
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Column   int    `json:"column"`
 	Message  string `json:"message"`
+	// Edits, when non-empty, rewrite File so the finding no longer fires.
+	Edits []TextEdit `json:"edits,omitempty"`
+}
+
+// TextEdit is one byte-range replacement inside a finding's file: replace
+// [Start, End) with NewText. Offsets are 0-based byte positions into the
+// file contents the analysis saw.
+type TextEdit struct {
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
 }
 
 func (f Finding) String() string {
@@ -81,6 +94,9 @@ type PackageFacts struct {
 	LockEdges  []LockEdgeFact  `json:"lock_edges,omitempty"`
 	API        []APISymbolFact `json:"api,omitempty"`
 	APIChanges []APIChangeFact `json:"api_changes,omitempty"`
+	FloatSums  []FloatSumFact  `json:"float_sums,omitempty"`
+	Clocks     []ClockFact     `json:"clocks,omitempty"`
+	GoLife     []GoLifeFact    `json:"golife,omitempty"`
 }
 
 // MetricFact is one telemetry metric-family registration site.
@@ -144,6 +160,45 @@ type APIChangeFact struct {
 	Column int    `json:"column"`
 }
 
+// FloatSumFact is floatsum's proof surface in a grouping-invariance
+// package: Kind "accumulator" records one exact-summation fold site
+// (shard.Accumulator Add/Merge/Round), Kind "pinned" records one
+// order-sensitive accumulation whose //cmfl:order-pinned annotation the
+// analyzer proved against its enclosing loops. Detail carries the
+// accumulator method or the pin reason.
+type FloatSumFact struct {
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+}
+
+// ClockFact is wallclock's proof surface: Kind "hook-read" records one
+// call into internal/vclock (the sanctioned time source), Kind "scope"
+// records, once per package, how many function bodies were scanned (Count)
+// — the non-vacuousness guard asserts the scan saw real code.
+type ClockFact struct {
+	Kind   string `json:"kind"`
+	Func   string `json:"func,omitempty"`
+	Count  int    `json:"count,omitempty"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+}
+
+// GoLifeFact is one proven goroutine join: a `go` statement in a
+// lifecycle-scoped package whose spawned body golife tied to a WaitGroup,
+// a done channel the module receives from, a stop channel closed on the
+// Shutdown/Close path, or a context cancellation.
+type GoLifeFact struct {
+	Join   string `json:"join"` // waitgroup | done-channel | stop-channel | context
+	Func   string `json:"func,omitempty"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+}
+
 // Pass is the per-(analyzer, package) invocation context.
 type Pass struct {
 	Analyzer *Analyzer
@@ -185,6 +240,11 @@ func (p *Pass) InModule(obj types.Object) bool {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportEdits(pos, nil, format, args...)
+}
+
+// ReportEdits records a finding at pos carrying machine-applicable edits.
+func (p *Pass) ReportEdits(pos token.Pos, edits []TextEdit, format string, args ...any) {
 	position := p.Mod.Fset.Position(pos)
 	*p.findings = append(*p.findings, Finding{
 		Analyzer: p.Analyzer.Name,
@@ -192,7 +252,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Line:     position.Line,
 		Column:   position.Column,
 		Message:  fmt.Sprintf(format, args...),
+		Edits:    edits,
 	})
+}
+
+// EditFor builds a TextEdit replacing node's source range with newText.
+// The offsets are byte positions in the node's file.
+func (p *Pass) EditFor(n ast.Node, newText string) TextEdit {
+	f := p.Mod.Fset.File(n.Pos())
+	return TextEdit{Start: f.Offset(n.Pos()), End: f.Offset(n.End()), NewText: newText}
 }
 
 // SourceFiles yields the package files an analyzer should inspect:
@@ -244,11 +312,14 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		HotPathAlloc,
 		DeterministicOrder,
+		FloatSum,
+		WallClock,
 		MetricSchema,
 		ErrCheck,
 		FloatEq,
 		ConcSafety,
 		GoroLeak,
+		GoLife,
 		SeedTaint,
 		ProtoState,
 		LockOrder,

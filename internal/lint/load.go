@@ -59,6 +59,9 @@ type Module struct {
 
 	suppOnce sync.Once
 	supp     *suppressionIndex
+
+	golOnce sync.Once
+	gol     *golifeIndex
 }
 
 // Suppressions returns the module-wide //cmfl:lint-ignore index, built once

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF 2.1.0 output, the interchange format GitHub code scanning (and
+// most IDE problem panes) ingest. The emitter is deliberately minimal:
+// one run, one rule per analyzer (plus the "lint" pseudo-rule that owns
+// malformed-marker findings), one result per finding, with file paths
+// relative to a ROOT uriBase so the log is machine-independent.
+
+// sarifLog is the document root.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool               sarifTool              `json:"tool"`
+	OriginalURIBaseIDs map[string]sarifArtLoc `json:"originalUriBaseIds,omitempty"`
+	Results            []sarifResult          `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtLoc `json:"artifactLocation"`
+	Region           sarifRegion `json:"region"`
+}
+
+type sarifArtLoc struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders a run's findings as a SARIF 2.1.0 log. rootDir is
+// the module root; finding paths beneath it are emitted relative to the
+// ROOT uriBase, others fall back to absolute file URIs.
+func WriteSARIF(w io.Writer, rootDir string, analyzers []*Analyzer, res Result) error {
+	driver := sarifDriver{Name: "cmfl-vet"}
+	ruleIndex := make(map[string]int)
+	addRule := func(id, doc string) {
+		if _, ok := ruleIndex[id]; ok {
+			return
+		}
+		ruleIndex[id] = len(driver.Rules)
+		driver.Rules = append(driver.Rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: doc}})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	// The pseudo-analyzer that owns malformed //cmfl: markers.
+	addRule("lint", "well-formed //cmfl: markers")
+
+	results := make([]sarifResult, 0, len(res.Findings))
+	for _, f := range res.Findings {
+		addRule(f.Analyzer, f.Analyzer) // unknown analyzers still index validly
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: ruleIndex[f.Analyzer],
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact(rootDir, f.File),
+				Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+			}}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:               sarifTool{Driver: driver},
+			OriginalURIBaseIDs: map[string]sarifArtLoc{"ROOT": {URI: fileURI(rootDir) + "/"}},
+			Results:            results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifArtifact renders one finding path: ROOT-relative with forward
+// slashes when possible, absolute file URI otherwise.
+func sarifArtifact(rootDir, file string) sarifArtLoc {
+	if rel, err := filepath.Rel(rootDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return sarifArtLoc{URI: filepath.ToSlash(rel), URIBaseID: "ROOT"}
+	}
+	return sarifArtLoc{URI: fileURI(file)}
+}
+
+func fileURI(path string) string {
+	return "file://" + filepath.ToSlash(path)
+}

@@ -1,0 +1,18 @@
+package fixtree
+
+import "time"
+
+func elapsed() time.Duration {
+	start := now()
+	pause()
+	return now().Sub(start)
+}
+
+func pause() {
+	sleep(5 * time.Millisecond)
+}
+
+func stamped() (int64, time.Duration) {
+	t0 := now()
+	return t0.UnixNano(), now().Sub(t0)
+}

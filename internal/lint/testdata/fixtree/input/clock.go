@@ -1,0 +1,11 @@
+// Package fixtree is the `cmfl-vet -fix` golden tree: wall.go carries
+// every fixable wallclock shape, this file declares the hooks the
+// rewrites retarget to. The test copies the tree into a temp module, runs
+// RunFix, and compares byte-for-byte against ../golden.
+package fixtree
+
+import "time"
+
+func now() time.Time { return time.Unix(0, 0) }
+
+func sleep(d time.Duration) { _ = d }

@@ -1,0 +1,18 @@
+package fixtree
+
+import "time"
+
+func elapsed() time.Duration {
+	start := time.Now()
+	pause()
+	return time.Since(start)
+}
+
+func pause() {
+	time.Sleep(5 * time.Millisecond)
+}
+
+func stamped() (int64, time.Duration) {
+	t0 := time.Now()
+	return t0.UnixNano(), time.Since(t0)
+}

@@ -1,0 +1,82 @@
+// Package golife is a lint fixture for the goroutine-lifecycle prover.
+package golife
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	stop chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// run drains until the stop channel closes — joined because Close closes
+// it (stop-channel evidence).
+func (s *server) run() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// serve signals completion on done — joined because Close receives from it
+// (done-channel evidence).
+func (s *server) serve() {
+	defer close(s.done)
+}
+
+func (s *server) start() {
+	s.wg.Add(1)
+	go func() { // waitgroup join
+		defer s.wg.Done()
+	}()
+	go s.run()   // stop-channel join
+	go s.serve() // done-channel join
+	go orphan()  // want "spawns orphan with no provable join"
+	fn := orphan
+	go fn() // want "spawns a goroutine through a function value"
+}
+
+// viaHelper proves the join transitively: the literal's only statement is
+// a call whose body holds the Done.
+func (s *server) viaHelper() {
+	s.wg.Add(1)
+	go func() {
+		s.finish()
+	}()
+}
+
+func (s *server) finish() {
+	s.wg.Done()
+}
+
+func (s *server) Close() {
+	close(s.stop)
+	s.wg.Wait()
+	<-s.done
+}
+
+func orphan() {
+	for {
+	}
+}
+
+// watch joins through context cancellation.
+func watch(ctx context.Context) {
+	go func() { // context join
+		<-ctx.Done()
+	}()
+}
+
+// nested: the inner spawn's Done must not join the outer goroutine.
+func nested(wg *sync.WaitGroup) {
+	go func() { // want "spawns function literal with no provable join"
+		go func() {
+			wg.Done()
+		}()
+	}()
+}

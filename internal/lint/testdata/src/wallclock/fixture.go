@@ -1,0 +1,34 @@
+// Package wallclock is a lint fixture for the virtual-clock prover.
+package wallclock
+
+import (
+	"time"
+
+	"cmfl/internal/lint/testdata/src/wallclock/inner"
+)
+
+// now is the package clock hook; declaring it makes time.Now and
+// time.Since findings carry mechanical rewrites.
+func now() time.Time { return time.Unix(0, 0) }
+
+func direct() time.Duration {
+	start := time.Now()          // want "direct calls time.Now directly"
+	time.Sleep(time.Millisecond) // want "direct calls time.Sleep directly"
+	return time.Since(start)     // want "direct calls time.Since directly"
+}
+
+func inLiteral() {
+	f := func() {
+		_ = time.Now() // want "inLiteral calls time.Now directly"
+	}
+	f()
+}
+
+func throughHelper() int64 {
+	return inner.Stamp() // want "reaches time.Now"
+}
+
+// typeUsesAreFine: time's types and constants are not clock reads.
+func typeUsesAreFine(d time.Duration) bool {
+	return d > time.Millisecond
+}

@@ -1,0 +1,11 @@
+// Package inner is the out-of-scope module helper the wallclock fixture
+// reaches the wall clock through — two hops deep, to exercise the
+// transitive proof.
+package inner
+
+import "time"
+
+// Stamp reads the wall clock via hidden.
+func Stamp() int64 { return hidden() }
+
+func hidden() int64 { return time.Now().UnixNano() }

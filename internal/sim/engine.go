@@ -8,6 +8,7 @@ import (
 
 	"cmfl/internal/core"
 	"cmfl/internal/emu"
+	"cmfl/internal/emu/shard"
 	"cmfl/internal/fl"
 	"cmfl/internal/nn"
 	"cmfl/internal/telemetry"
@@ -205,10 +206,11 @@ func Run(cfg Config) (*Result, error) {
 
 		// Aggregate the accepted uploads in ascending client order — the
 		// same accumulation order as fl.Run, regardless of arrival order
-		// or shard count.
+		// or shard count. The scalar statistics go through exact
+		// accumulators, so they too are independent of any regrouping.
 		globalUpdate := make([]float64, dim)
 		uploaded := 0
-		var weightSum, lossSum, relSum float64
+		var lossAcc, relAcc shard.Scalar
 		var uploadBytes int64
 		trained, relCount := 0, 0
 		for c := 0; c < n; c++ {
@@ -216,10 +218,10 @@ func Run(cfg Config) (*Result, error) {
 				continue
 			}
 			r := &results[c]
-			lossSum += r.loss
+			lossAcc.Add(r.loss)
 			trained++
 			if !math.IsNaN(r.relevance) {
-				relSum += r.relevance
+				relAcc.Add(r.relevance)
 				relCount++
 			}
 			if !q.Replied(c) {
@@ -246,12 +248,13 @@ func Run(cfg Config) (*Result, error) {
 				delta = decoded
 			}
 			uploadBytes += r.bytes
+			//cmfl:order-pinned ascending-client FedAvg fold is the cross-engine parity reference (fl.Run folds identically)
 			tensor.Axpy(1, delta, globalUpdate)
-			weightSum++
 			uploaded++
 		}
 		if uploaded > 0 {
-			tensor.ScaleVec(1/weightSum, globalUpdate)
+			tensor.ScaleVec(1/float64(uploaded), globalUpdate)
+			//cmfl:order-pinned rounds apply to the model strictly sequentially; t-order is the algorithm
 			tensor.Axpy(1, globalUpdate, params)
 			feedback = globalUpdate
 		}
@@ -282,10 +285,10 @@ func Run(cfg Config) (*Result, error) {
 			MeanRelevance: math.NaN(),
 		}
 		if trained > 0 {
-			stats.TrainLoss = lossSum / float64(trained)
+			stats.TrainLoss = lossAcc.Round() / float64(trained)
 		}
 		if relCount > 0 {
-			stats.MeanRelevance = relSum / float64(relCount)
+			stats.MeanRelevance = relAcc.Round() / float64(relCount)
 		}
 		if met != nil {
 			met.RoundDuration.Observe((roundEnd - roundStart).Seconds())

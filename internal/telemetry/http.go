@@ -47,8 +47,9 @@ func Handler(reg *Registry) http.Handler {
 
 // MetricsServer is a live /metrics + /healthz endpoint bound to a TCP port.
 type MetricsServer struct {
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when the serve goroutine exits
 }
 
 // Serve binds addr (e.g. "127.0.0.1:0") and serves Handler(reg) in the
@@ -59,13 +60,25 @@ func Serve(addr string, reg *Registry) (*MetricsServer, error) {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 10 * time.Second}
-	ms := &MetricsServer{ln: ln, srv: srv}
-	go srv.Serve(ln) //cmfl:lint-ignore errcheck Serve always returns ErrServerClosed once Close fires; there is nothing to handle
+	ms := &MetricsServer{ln: ln, srv: srv, done: make(chan struct{})}
+	go ms.serve()
 	return ms, nil
+}
+
+// serve runs the HTTP server until Close and signals completion on done.
+func (s *MetricsServer) serve() {
+	defer close(s.done)
+	//cmfl:lint-ignore errcheck Serve always returns ErrServerClosed once Close fires; there is nothing to handle
+	_ = s.srv.Serve(s.ln)
 }
 
 // Addr returns the bound address, with any ephemeral port resolved.
 func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops serving and releases the port.
-func (s *MetricsServer) Close() error { return s.srv.Close() }
+// Close stops serving, releases the port, and waits for the serve
+// goroutine to exit, so no handler runs past Close.
+func (s *MetricsServer) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

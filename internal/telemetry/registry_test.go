@@ -207,3 +207,56 @@ func TestObserveIsAllocationFree(t *testing.T) {
 		t.Fatalf("metric updates allocate %v times per round, want 0", allocs)
 	}
 }
+
+// TestHistogramQuantileEdgeCases pins the degenerate shapes the soak report
+// can hit: q=0 (lower edge of the first occupied bucket), a grid with no
+// finite bounds (nothing to interpolate — NaN even with observations), a
+// single-bound grid, and the NaN-observation guard.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	reg := NewRegistry()
+
+	h := reg.Histogram("edge", "", []float64{1, 2, 4, 8})
+	for i := 0; i < 10; i++ {
+		h.Observe(3)
+	}
+	if got := h.Quantile(0); got != 2 {
+		t.Errorf("Quantile(0) = %v, want 2 (lower edge of the occupied (2,4] bucket)", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %v, want 4 (upper edge of the occupied bucket)", got)
+	}
+
+	// Only the implicit +Inf bucket: observations land but no finite
+	// estimate exists at any quantile.
+	inf := reg.Histogram("edge_inf", "", nil)
+	inf.Observe(7)
+	if got := inf.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("Quantile on a boundless grid = %v, want NaN", got)
+	}
+	if inf.Count() != 1 {
+		t.Errorf("boundless grid count = %d, want 1 (the observation still counts)", inf.Count())
+	}
+
+	// A single finite bound interpolates from zero.
+	one := reg.Histogram("edge_one", "", []float64{10})
+	for i := 0; i < 4; i++ {
+		one.Observe(5)
+	}
+	if got := one.Quantile(0.5); got != 5 {
+		t.Errorf("single-bound p50 = %v, want 5 (midpoint of [0,10])", got)
+	}
+
+	// NaN observations are dropped entirely: no count, no sum poisoning.
+	n := reg.Histogram("edge_nan", "", []float64{1})
+	n.Observe(0.5)
+	n.Observe(math.NaN())
+	if n.Count() != 1 {
+		t.Errorf("count after NaN observation = %d, want 1", n.Count())
+	}
+	if got := n.Sum(); got != 0.5 {
+		t.Errorf("sum after NaN observation = %v, want 0.5", got)
+	}
+	if got := n.Quantile(0.5); math.IsNaN(got) {
+		t.Error("NaN observation poisoned the quantile estimate")
+	}
+}

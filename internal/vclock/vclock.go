@@ -1,12 +1,14 @@
 // Package vclock is the one time abstraction shared by every engine that
 // reads a clock: the TCP emulation (internal/emu) reads wall time through
 // it, and the discrete-event simulation (internal/sim) substitutes a
-// manually advanced virtual clock. Keeping the interface this small — a
-// single Now — is deliberate: timers, sleeps and deadlines are engine
-// concerns with engine-specific semantics (a real timer parks a goroutine,
-// a virtual one is a heap entry), but *reading* the current instant is the
-// operation both worlds share, and the one that must never leak an
-// unhooked time.Now into round timing.
+// manually advanced virtual clock. Keeping the interface this small — Now,
+// plus single-shot timers for the clocks that support them — is deliberate:
+// sleeps and deadlines are engine concerns with engine-specific semantics
+// (a real timer parks a goroutine, a virtual one is a heap entry), but
+// *reading* the current instant is the operation both worlds share, and the
+// one that must never leak an unhooked time.Now into round timing. The
+// wallclock analyzer (internal/lint) enforces the discipline: this package
+// is the only sanctioned path from the engines to package time.
 package vclock
 
 import "time"
@@ -17,11 +19,43 @@ type Clock interface {
 	Now() time.Time
 }
 
+// Timer is a single-shot timer: C delivers the firing instant at most once.
+// The zero-duration and negative cases fire immediately, matching
+// time.NewTimer.
+type Timer interface {
+	// C returns the delivery channel. Each Timer owns its channel; after
+	// Stop reports true, nothing is ever delivered on it.
+	C() <-chan time.Time
+	// Stop cancels the timer, reporting whether it was still pending.
+	Stop() bool
+}
+
+// TimerClock is a Clock that can also arm timers against its own notion of
+// time. Wall implements it; Fixed deliberately does not — a virtual
+// deadline is an event-heap entry (internal/sim), not a parked goroutine,
+// so handing out fake timers would paper over a design error.
+type TimerClock interface {
+	Clock
+	// NewTimer arms a single-shot timer firing once d of this clock's time
+	// has elapsed.
+	NewTimer(d time.Duration) Timer
+}
+
 // Wall reads the system clock — the production clock of the emulation.
 type Wall struct{}
 
 // Now implements Clock.
 func (Wall) Now() time.Time { return time.Now() }
+
+// NewTimer implements TimerClock over a real time.Timer.
+func (Wall) NewTimer(d time.Duration) Timer { return wallTimer{time.NewTimer(d)} }
+
+// wallTimer adapts *time.Timer to the Timer interface (the standard
+// library's exported C field cannot satisfy an interface method directly).
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) C() <-chan time.Time { return w.t.C }
+func (w wallTimer) Stop() bool          { return w.t.Stop() }
 
 // Fixed is a settable clock for tests: Now returns whatever the last Set
 // stored. The zero value returns the zero time.

@@ -33,3 +33,43 @@ func TestFixed(t *testing.T) {
 		t.Fatalf("zero Fixed Now = %v, want zero time", zero.Now())
 	}
 }
+
+func TestWallTimerFires(t *testing.T) {
+	timer := Wall{}.NewTimer(time.Millisecond)
+	select {
+	case fired := <-timer.C():
+		if fired.IsZero() {
+			t.Fatal("timer delivered the zero time")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("wall timer never fired")
+	}
+	if timer.Stop() {
+		t.Fatal("Stop after delivery reported the timer as still pending")
+	}
+}
+
+func TestWallTimerStop(t *testing.T) {
+	timer := Wall{}.NewTimer(time.Hour)
+	if !timer.Stop() {
+		t.Fatal("Stop before firing reported the timer as already spent")
+	}
+	select {
+	case <-timer.C():
+		t.Fatal("stopped timer delivered a value")
+	default:
+	}
+}
+
+// TestFixedIsNotATimerClock pins the design decision: virtual deadlines are
+// event-heap entries, so the test clock must not satisfy TimerClock and
+// silently absorb timer construction.
+func TestFixedIsNotATimerClock(t *testing.T) {
+	var c Clock = NewFixed(time.Unix(0, 0))
+	if _, ok := c.(TimerClock); ok {
+		t.Fatal("*Fixed implements TimerClock; virtual deadlines must stay event-driven")
+	}
+	if _, ok := any(Wall{}).(TimerClock); !ok {
+		t.Fatal("Wall does not implement TimerClock")
+	}
+}

@@ -219,3 +219,37 @@ func TestDeriveDiffersFromOtherSeeds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDeriveCompactCrossCorrelation strengthens the independence claim
+// beyond "draws rarely collide": adjacent-id and adjacent-seed compact
+// streams must be statistically uncorrelated, not merely unequal, or a
+// million-client population would carry hidden structure between
+// neighbouring clients.
+func TestDeriveCompactCrossCorrelation(t *testing.T) {
+	pairs := []struct {
+		name string
+		a, b *Stream
+	}{
+		{"adjacent ids", DeriveCompact(1, "client", 1000), DeriveCompact(1, "client", 1001)},
+		{"adjacent seeds", DeriveCompact(7, "client", 0), DeriveCompact(8, "client", 0)},
+		{"prefix purposes", DeriveCompact(7, "cli", 0), DeriveCompact(7, "client", 0)},
+	}
+	const n = 20000
+	for _, p := range pairs {
+		var sa, sb, saa, sbb, sab float64
+		for i := 0; i < n; i++ {
+			x, y := p.a.Float64(), p.b.Float64()
+			sa += x
+			sb += y
+			saa += x * x
+			sbb += y * y
+			sab += x * y
+		}
+		cov := sab/n - (sa/n)*(sb/n)
+		va := saa/n - (sa/n)*(sa/n)
+		vb := sbb/n - (sb/n)*(sb/n)
+		if r := cov / math.Sqrt(va*vb); math.Abs(r) > 0.03 {
+			t.Errorf("%s: correlation = %v, want |r| < 0.03", p.name, r)
+		}
+	}
+}
